@@ -1,0 +1,39 @@
+"""Shared helpers for the figure-regeneration benchmark suite.
+
+Each ``benchmarks/test_figXX_*.py`` regenerates one table or figure from
+the paper via the experiment registry (``repro.core.experiments``) and
+times the regeneration with pytest-benchmark.  The regenerated rows are
+printed (run with ``-s`` to see them) and attached to the benchmark's
+``extra_info`` so ``--benchmark-json`` captures the data, not just the
+timing.
+
+Set ``REPRO_BENCH_FULL=1`` to run the full (paper-sized) sweeps instead
+of the quick ones.
+"""
+
+import os
+
+import pytest
+
+from repro.core.experiments import run_experiment
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run one registered experiment under pytest-benchmark."""
+
+    def _run(exp_id: str):
+        result = benchmark.pedantic(
+            lambda: run_experiment(exp_id, quick=not FULL),
+            rounds=1, iterations=1)
+        print()
+        print(result.to_text())
+        benchmark.extra_info["exp_id"] = exp_id
+        benchmark.extra_info["columns"] = result.columns
+        benchmark.extra_info["rows"] = [
+            [str(v) for v in row] for row in result.rows]
+        return result
+
+    return _run

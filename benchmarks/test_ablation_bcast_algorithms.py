@@ -1,0 +1,16 @@
+"""Benchmark: Ablation — broadcast algorithm WAN crossings.
+
+Regenerates the experiment(s) abl_bcast from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_abl_bcast(regen):
+    """ring allgather collapses at 1ms; hierarchical best-or-tied."""
+    res = regen("abl_bcast")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[1][2] > 5 * res.rows[1][4] and res.rows[1][4] <= res.rows[1][1]
+

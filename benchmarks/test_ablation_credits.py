@@ -1,0 +1,16 @@
+"""Benchmark: Ablation — Longbow buffer-credit pool.
+
+Regenerates the experiment(s) abl_credits from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_abl_credits(regen):
+    """starved credits throttle the WAN."""
+    res = regen("abl_credits")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[0][1] < res.rows[-1][1]
+

@@ -1,0 +1,16 @@
+"""Benchmark: Ablation — RC send window vs bandwidth-delay product.
+
+Regenerates the experiment(s) abl_rc_window from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_abl_rc_window(regen):
+    """larger windows monotonically help at 10ms."""
+    res = regen("abl_rc_window")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[0][-1] < res.rows[1][-1] < res.rows[2][-1]
+

@@ -1,0 +1,18 @@
+"""Benchmark: Extension — RDMA-atomic distributed locking over WAN.
+
+Regenerates the ``ext_dlm`` experiment: lock acquire+release cost
+versus emulated cluster separation (an extension in the direction of
+the paper's data-center future work).
+"""
+
+import pytest
+
+
+def test_ext_dlm(regen):
+    """Handoff cost grows ~linearly with one-way WAN delay."""
+    res = regen("ext_dlm")
+    assert res.rows, "experiment produced no rows"
+    costs = [r[1] for r in res.rows]
+    assert costs == sorted(costs)
+    # at 10 ms delay an acquire+release needs >= 2 round trips = 40 ms
+    assert costs[-1] >= 40000.0

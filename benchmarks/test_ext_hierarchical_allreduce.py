@@ -1,0 +1,16 @@
+"""Benchmark: Extension — hierarchical allreduce (paper future work).
+
+Regenerates the experiment(s) ext_hier_allreduce from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_ext_hier_allreduce(regen):
+    """hierarchical not slower over WAN."""
+    res = regen("ext_hier_allreduce")
+    assert res.rows, "experiment produced no rows"
+    assert all(r[2] <= r[1] * 1.05 for r in res.rows)
+

@@ -1,0 +1,16 @@
+"""Benchmark: Extension — striped parallel filesystem over IB WAN.
+
+Regenerates the experiment(s) ext_pfs from the registry and checks the
+expected qualitative shape (these extend the paper per its future-work
+section; there are no paper numbers to compare against).
+"""
+
+import pytest
+
+
+def test_ext_pfs(regen):
+    """striping recovers WAN bandwidth like parallel streams."""
+    res = regen("ext_pfs")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[1][3] > 3 * res.rows[1][1]
+

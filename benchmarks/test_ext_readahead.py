@@ -1,0 +1,16 @@
+"""Benchmark: Extension — NFS client readahead over WAN.
+
+Regenerates the experiment(s) ext_readahead from the registry and checks the
+expected qualitative shape (these extend the paper per its future-work
+section; there are no paper numbers to compare against).
+"""
+
+import pytest
+
+
+def test_ext_readahead(regen):
+    """readahead multiplies single-client WAN throughput."""
+    res = regen("ext_readahead")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[2][2] > 2 * res.rows[0][2]
+

@@ -1,0 +1,16 @@
+"""Benchmark: Extension — Sockets Direct Protocol vs IPoIB.
+
+Regenerates the experiment(s) ext_sdp from the registry and checks the
+expected qualitative shape (these extend the paper per its future-work
+section; there are no paper numbers to compare against).
+"""
+
+import pytest
+
+
+def test_ext_sdp(regen):
+    """SDP beats both IPoIB modes at LAN and keeps winning over WAN."""
+    res = regen("ext_sdp")
+    assert res.rows, "experiment produced no rows"
+    assert all(r[1] > r[2] for r in res.rows)
+

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 3 — verbs small-message latency.
+
+Regenerates the experiment(s) fig03 from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig03(regen):
+    """Longbow pair adds ~5 us over back-to-back."""
+    res = regen("fig03")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[1][1] - res.rows[3][1] > 4.0
+

@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 4 — verbs UD (bidirectional) bandwidth vs delay.
+
+Regenerates the experiment(s) fig04a, fig04b from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig04a(regen):
+    """UD is delay-independent at 2K."""
+    res = regen("fig04a")
+    assert res.rows, "experiment produced no rows"
+    assert abs(res.rows[-1][1] - res.rows[-1][-1]) < 0.02 * res.rows[-1][1]
+
+
+def test_fig04b(regen):
+    """bidirectional roughly doubles unidirectional."""
+    res = regen("fig04b")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][1] > 1800
+

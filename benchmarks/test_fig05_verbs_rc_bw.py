@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 5 — verbs RC (bidirectional) bandwidth vs delay.
+
+Regenerates the experiment(s) fig05a, fig05b from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig05a(regen):
+    """4M reaches peak at every delay; 64K collapses at 10ms."""
+    res = regen("fig05a")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][-1] > 900 and res.rows[1][-1] < 100
+
+
+def test_fig05b(regen):
+    """bidirectional peak ~2x SDR."""
+    res = regen("fig05b")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][1] > 1800
+

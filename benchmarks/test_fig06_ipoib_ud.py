@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 6 — IPoIB-UD throughput: window sizes and parallel streams.
+
+Regenerates the experiment(s) fig06a, fig06b from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig06a(regen):
+    """larger windows win at high delay."""
+    res = regen("fig06a")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[0][-1] < res.rows[-1][-1]
+
+
+def test_fig06b(regen):
+    """8 streams beat 1 stream at 10ms."""
+    res = regen("fig06b")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][-1] > 2 * res.rows[0][-1]
+

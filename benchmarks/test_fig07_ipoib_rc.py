@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 7 — IPoIB-RC throughput: IP MTU and parallel streams.
+
+Regenerates the experiment(s) fig07a, fig07b from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig07a(regen):
+    """64K MTU fastest at low delay, collapses at >=1ms."""
+    res = regen("fig07a")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[2][1] > res.rows[0][1] and res.rows[2][-1] < 0.2 * res.rows[2][1]
+
+
+def test_fig07b(regen):
+    """streams recover throughput at 10ms."""
+    res = regen("fig07b")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][-1] > res.rows[0][-1]
+

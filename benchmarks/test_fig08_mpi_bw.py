@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 8 — MPI (bidirectional) bandwidth vs delay.
+
+Regenerates the experiment(s) fig08a, fig08b from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig08a(regen):
+    """peak near SDR; medium sizes dip under delay."""
+    res = regen("fig08a")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][1] > 850 and res.rows[1][-2] < 0.3 * res.rows[1][1]
+
+
+def test_fig08b(regen):
+    """bidirectional 4M near 2x SDR."""
+    res = regen("fig08b")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][1] > 1600
+

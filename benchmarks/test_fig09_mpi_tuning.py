@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 9 — MPI rendezvous-threshold tuning at 10 ms.
+
+Regenerates the experiment(s) fig09a, fig09b from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig09a(regen):
+    """tuned threshold wins for 8-32K."""
+    res = regen("fig09a")
+    assert res.rows, "experiment produced no rows"
+    assert min(res.column('improvement_%')) > 30.0
+
+
+def test_fig09b(regen):
+    """bidirectional gains as well."""
+    res = regen("fig09b")
+    assert res.rows, "experiment produced no rows"
+    assert max(res.column('improvement_%')) > 30.0
+

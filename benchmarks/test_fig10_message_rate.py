@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 10 — multi-pair aggregate message rate.
+
+Regenerates the experiment(s) fig10 from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig10(regen):
+    """16 pairs beat 4 pairs at every delay."""
+    res = regen("fig10")
+    assert res.rows, "experiment produced no rows"
+    assert all(r[-1] > r[2] for r in res.rows)
+

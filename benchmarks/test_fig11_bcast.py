@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 11 — broadcast: default vs WAN-aware hierarchical.
+
+Regenerates the experiment(s) fig11 from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig11(regen):
+    """hierarchical never slower for >=32K sizes."""
+    res = regen("fig11")
+    assert res.rows, "experiment produced no rows"
+    assert all(r[3] <= r[2] * 1.05 for r in res.rows if r[1] >= 32768)
+

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 12 — NAS class-B benchmarks vs WAN delay.
+
+Regenerates the experiment(s) fig12 from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig12(regen):
+    """IS tolerant, CG degrades."""
+    res = regen("fig12")
+    assert res.rows, "experiment produced no rows"
+    assert dict((r[0], r) for r in res.rows)['IS'][-1] < 1.3 and dict((r[0], r) for r in res.rows)['CG'][-1] > 1.8
+

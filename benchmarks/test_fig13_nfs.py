@@ -1,0 +1,30 @@
+"""Benchmark: Fig. 13 — NFS read throughput over RDMA and IPoIB.
+
+Regenerates the experiment(s) fig13a, fig13b, fig13c from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_fig13a(regen):
+    """LAN > WAN; collapse at 1ms."""
+    res = regen("fig13a")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][1] > res.rows[-1][2] and res.rows[-1][-1] < 0.2 * res.rows[-1][2]
+
+
+def test_fig13b(regen):
+    """RDMA best at 10us (8 streams)."""
+    res = regen("fig13b")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][1] > res.rows[-1][2] > res.rows[-1][3]
+
+
+def test_fig13c(regen):
+    """IPoIB-RC best at 1ms (8 streams)."""
+    res = regen("fig13c")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[-1][2] > 3 * res.rows[-1][1]
+

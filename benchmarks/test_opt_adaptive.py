@@ -1,0 +1,16 @@
+"""Benchmark: §3.4 — adaptive protocol-threshold tuning.
+
+Regenerates the experiment(s) opt_adaptive from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_opt_adaptive(regen):
+    """adaptive beats the static default over WAN."""
+    res = regen("opt_adaptive")
+    assert res.rows, "experiment produced no rows"
+    assert all(r[-1] > 0.0 for r in res.rows)
+

@@ -1,0 +1,16 @@
+"""Benchmark: §3 — message-coalescing optimization.
+
+Regenerates the experiment(s) opt_coalescing from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_opt_coalescing(regen):
+    """coalescing speeds up small messages over WAN."""
+    res = regen("opt_coalescing")
+    assert res.rows, "experiment produced no rows"
+    assert all(r[-1] > 1.5 for r in res.rows)
+

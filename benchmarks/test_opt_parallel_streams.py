@@ -1,0 +1,16 @@
+"""Benchmark: §3.3 — parallel-stream optimization claim.
+
+Regenerates the experiment(s) opt_streams from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_opt_streams(regen):
+    """gain exceeds the paper's ~50% at high delay."""
+    res = regen("opt_streams")
+    assert res.rows, "experiment produced no rows"
+    assert max(res.column('gain_%')) > 40.0
+

@@ -1,0 +1,16 @@
+"""Benchmark: Table 1 — WAN delay vs emulated distance.
+
+Regenerates the experiment(s) table1 from the registry and checks the
+paper's qualitative shape on the regenerated rows (absolute numbers are
+simulator-calibrated; the *shape* is the reproduction target).
+"""
+
+import pytest
+
+
+def test_table1(regen):
+    """delay 5 us/km, rows 1..2000 km."""
+    res = regen("table1")
+    assert res.rows, "experiment produced no rows"
+    assert res.rows[0] == ('1 km', '5 us')
+

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the PEP-660 wheel backend
+(pip falls back to the legacy ``setup.py develop`` path with
+``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

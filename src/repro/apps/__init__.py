@@ -1,0 +1,8 @@
+"""NAS parallel benchmark communication skeletons."""
+
+from .nas import NASResult, run_nas
+from .profiles import (NAS_BENCHMARKS, NASProfile, message_size_distribution,
+                       nas_profile)
+
+__all__ = ["run_nas", "NASResult", "nas_profile", "NASProfile",
+           "NAS_BENCHMARKS", "message_size_distribution"]

@@ -1,0 +1,109 @@
+"""NAS parallel benchmark skeletons on the simulated MPI library.
+
+Each benchmark runs its class-B communication structure (profiles in
+:mod:`repro.apps.profiles`) over the simulated cluster-of-clusters, so
+the runtime-vs-WAN-delay behaviour of Fig. 12 — IS/FT tolerant, CG
+degrading — emerges from the protocol dynamics:
+
+* IS/FT's bulk all-to-alls are posted concurrently, so they are
+  bandwidth-bound and nearly delay-insensitive;
+* CG's inner loop is a chain of data-dependent transpose exchanges and
+  8-byte reductions, so every inner step eats a WAN round trip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..fabric.topology import Fabric
+from ..mpi.collectives import allreduce, alltoall, barrier
+from ..mpi.runtime import MPIJob
+from ..mpi.tuning import DEFAULT_TUNING, MPITuning
+from ..sim import Simulator
+from .profiles import NASProfile, nas_profile
+
+__all__ = ["NASResult", "run_nas"]
+
+
+@dataclass
+class NASResult:
+    """Outcome of one NAS run."""
+
+    benchmark: str
+    ranks: int
+    iterations: int
+    runtime_us: float
+    compute_us: float
+
+    @property
+    def runtime_s(self) -> float:
+        return self.runtime_us * 1e-6
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of runtime not covered by the compute phases."""
+        return max(0.0, 1.0 - self.compute_us / self.runtime_us)
+
+
+def _transpose_partner(rank: int, grid: int) -> int:
+    row, col = divmod(rank, grid)
+    return col * grid + row
+
+
+def _nas_program(sim: Simulator, profile: NASProfile, grid: int):
+    """Factory for one rank's program."""
+
+    def prog(proc):
+        n = proc.job.size
+        yield from barrier(proc)
+        t0 = sim.now
+        for _ in range(profile.iterations):
+            if profile.compute_us_per_iter > 0:
+                # Compute splits around the communication phases.
+                yield from proc.compute(profile.compute_us_per_iter / 2)
+            if profile.alltoall_per_peer:
+                yield from alltoall(proc, profile.alltoall_per_peer)
+            for _ in range(profile.neighbor_count):
+                partner = _transpose_partner(proc.rank, grid)
+                if partner != proc.rank:
+                    yield from proc.sendrecv(partner, profile.neighbor_bytes)
+                if profile.allreduce_bytes and profile.allreduce_count:
+                    row = proc.rank // grid
+                    row_ranks = list(range(row * grid, (row + 1) * grid))
+                    yield from allreduce(proc, profile.allreduce_bytes,
+                                         ranks=row_ranks)
+            if (profile.allreduce_bytes and profile.allreduce_count
+                    and not profile.neighbor_count):
+                for _ in range(profile.allreduce_count):
+                    yield from allreduce(proc, profile.allreduce_bytes)
+            if profile.compute_us_per_iter > 0:
+                yield from proc.compute(profile.compute_us_per_iter / 2)
+        yield from barrier(proc)
+        return sim.now - t0
+
+    return prog
+
+
+def run_nas(sim: Simulator, fabric: Fabric, benchmark: str,
+            ppn: int = 1, scale: float = 1.0,
+            tuning: MPITuning = DEFAULT_TUNING) -> NASResult:
+    """Run one NAS benchmark skeleton across the fabric.
+
+    ``scale`` shrinks the iteration count (never message sizes) so
+    benchmark runs stay tractable; runtime scales proportionally, and
+    the delay *slowdown ratio* — what Fig. 12 is about — is unaffected.
+    """
+    job = MPIJob(fabric, ppn=ppn, placement="block", tuning=tuning)
+    profile = nas_profile(benchmark, job.size, scale)
+    grid = int(math.sqrt(job.size))
+    if grid * grid != job.size and profile.neighbor_count:
+        raise ValueError(
+            f"{benchmark} needs a square rank count, got {job.size}")
+    runtimes = job.run(_nas_program(sim, profile, grid))
+    return NASResult(
+        benchmark=profile.name, ranks=job.size,
+        iterations=profile.iterations,
+        runtime_us=max(runtimes),
+        compute_us=profile.compute_us_per_iter * profile.iterations)

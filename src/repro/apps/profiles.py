@@ -1,0 +1,165 @@
+"""NAS parallel benchmark communication profiles (class B).
+
+The paper (§3.5) explains the WAN behaviour of the NAS codes entirely by
+their message-size mix: IS and FT are dominated by large messages (100 %
+and 83 % respectively) and tolerate WAN delay; CG is all small/medium
+messages (everything under 1 MB) and degrades sharply.
+
+These profiles encode, per benchmark, the class-B communication
+structure for a given rank count and a calibrated per-iteration compute
+time.  The skeletons in :mod:`repro.apps.nas` execute them against the
+simulated MPI library, so the runtime-vs-delay curves emerge from the
+protocol dynamics rather than being scripted.
+
+Data-volume derivations (class B, P ranks):
+
+* **IS** — 2^25 4-byte keys, 10 ranking iterations.  Each iteration does
+  a small allreduce of bucket counts then an all-to-all-v redistributing
+  all keys: ~``2^27 / P`` bytes per rank spread over P-1 peers.
+* **FT** — 512x256x256 complex grid (16 B/point), 20 iterations, one
+  global transpose (all-to-all) per iteration moving the whole
+  ~2.1 GB grid: ``grid / P`` bytes per rank, ``grid / P^2`` per peer.
+* **CG** — n = 75000, 75 CG iterations, ~25 inner products each.  On a
+  P = r x r processor grid each inner step exchanges ~``8 * n / r`` bytes
+  with the row neighbour and runs an 8-byte reduction down the row.
+* **MG** / **EP** — extra benchmarks from the suite: MG mixes short
+  boundary exchanges of varying sizes; EP only communicates at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["NASProfile", "nas_profile", "NAS_BENCHMARKS",
+           "message_size_distribution"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class NASProfile:
+    """One benchmark's per-iteration communication recipe."""
+
+    name: str
+    #: Outer iterations of the time-stepped loop.
+    iterations: int
+    #: Compute time per rank per iteration, µs (class-B calibration for
+    #: ~2008 Xeon nodes; affects absolute runtime, not the delay shape).
+    compute_us_per_iter: float
+    #: alltoall per-peer bytes per iteration (0 = none).
+    alltoall_per_peer: int = 0
+    #: allreduce payload bytes per iteration and how many of them.
+    allreduce_bytes: int = 0
+    allreduce_count: int = 0
+    #: neighbour exchanges: (bytes, exchanges_per_iteration).
+    neighbor_bytes: int = 0
+    neighbor_count: int = 0
+    #: fraction of traffic the paper classes as "large" (>= 64 KB).
+    paper_large_fraction: float = 0.0
+
+
+def nas_profile(name: str, ranks: int, scale: float = 1.0) -> NASProfile:
+    """Class-B profile for ``name`` on ``ranks`` ranks.
+
+    ``scale`` < 1 shrinks iteration counts proportionally (documented
+    bench-time reduction; per-message sizes are never scaled, because
+    the sizes are what determine WAN behaviour).
+    """
+    name = name.upper()
+    if ranks < 2:
+        raise ValueError("NAS profiles need at least 2 ranks")
+
+    def iters(n: int) -> int:
+        return max(1, round(n * scale))
+
+    if name == "IS":
+        total_keys_bytes = (2 ** 25) * 4
+        per_peer = max(1, 4 * total_keys_bytes // ranks // ranks)
+        return NASProfile(
+            name="IS", iterations=iters(10),
+            compute_us_per_iter=230000.0 / (ranks / 64),
+            alltoall_per_peer=per_peer,
+            allreduce_bytes=1024, allreduce_count=1,
+            paper_large_fraction=1.0)
+    if name == "FT":
+        grid_bytes = 512 * 256 * 256 * 16
+        per_peer = max(1, grid_bytes // (ranks * ranks))
+        return NASProfile(
+            name="FT", iterations=iters(20),
+            compute_us_per_iter=1900000.0 / (ranks / 64),
+            alltoall_per_peer=per_peer,
+            allreduce_bytes=16, allreduce_count=1,
+            paper_large_fraction=0.83)
+    if name == "CG":
+        import math
+        row = int(math.sqrt(ranks))
+        n = 75000
+        exchange = 8 * n // max(1, row)
+        # 25 cgit steps per outer iteration, each with two transpose
+        # exchanges and two scalar reductions, all data-dependent.
+        inner = 50
+        return NASProfile(
+            name="CG", iterations=iters(75),
+            compute_us_per_iter=250000.0 / (ranks / 64),
+            neighbor_bytes=exchange, neighbor_count=inner,
+            allreduce_bytes=8, allreduce_count=inner,
+            paper_large_fraction=0.0)
+    if name == "MG":
+        return NASProfile(
+            name="MG", iterations=iters(20),
+            compute_us_per_iter=320000.0 / (ranks / 64),
+            neighbor_bytes=32768, neighbor_count=12,
+            allreduce_bytes=8, allreduce_count=2,
+            paper_large_fraction=0.1)
+    if name == "LU":
+        # SSOR wavefront sweeps: many tiny (~1-40 KB) pipelined
+        # north/south exchanges per time step -- latency-bound like CG.
+        return NASProfile(
+            name="LU", iterations=iters(50),
+            compute_us_per_iter=380000.0 / (ranks / 64),
+            neighbor_bytes=20480, neighbor_count=40,
+            allreduce_bytes=40, allreduce_count=2,
+            paper_large_fraction=0.0)
+    if name == "EP":
+        return NASProfile(
+            name="EP", iterations=iters(1),
+            compute_us_per_iter=5200000.0 / (ranks / 64),
+            allreduce_bytes=80, allreduce_count=3,
+            paper_large_fraction=0.0)
+    raise ValueError(f"unknown NAS benchmark {name!r}")
+
+
+NAS_BENCHMARKS = ("IS", "FT", "CG", "MG", "LU", "EP")
+
+
+#: Byte boundaries of the paper's small / medium / large message classes.
+LARGE_MSG = 128 * 1024
+MEDIUM_MSG = 8 * 1024
+
+
+def message_size_distribution(profile: NASProfile, ranks: int
+                              ) -> Dict[str, float]:
+    """Fraction of moved bytes in small/medium/large classes per iteration
+    (the profiling the paper reports in §3.5)."""
+    large = medium = small = 0
+    if profile.alltoall_per_peer:
+        vol = profile.alltoall_per_peer * (ranks - 1)
+        if profile.alltoall_per_peer >= LARGE_MSG:
+            large += vol
+        elif profile.alltoall_per_peer >= MEDIUM_MSG:
+            medium += vol
+        else:
+            small += vol
+    if profile.neighbor_bytes:
+        vol = profile.neighbor_bytes * profile.neighbor_count
+        if profile.neighbor_bytes >= LARGE_MSG:
+            large += vol
+        elif profile.neighbor_bytes >= MEDIUM_MSG:
+            medium += vol
+        else:
+            small += vol
+    small += profile.allreduce_bytes * profile.allreduce_count
+    total = max(1, small + medium + large)
+    return {"small": small / total, "medium": medium / total,
+            "large": large / total}

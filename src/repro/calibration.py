@@ -1,0 +1,171 @@
+"""Hardware calibration profile.
+
+Every latency, rate and overhead constant used by the simulator lives in
+:class:`HardwareProfile`.  The defaults are calibrated so that the
+zero-delay (LAN) microbenchmark results land near the numbers the paper
+reports for its testbed (dual Xeon nodes, MT25208 DDR HCAs, OFED 1.2,
+Obsidian Longbow XR at SDR):
+
+========================================  =================  ===============
+quantity                                  paper              simulated target
+========================================  =================  ===============
+verbs RC send/recv latency (back-to-back) "quite low" (DDR)  ~3.3 µs
+added latency of a Longbow pair           ~5 µs              ~5 µs
+verbs UD peak bandwidth (2 KB)            ~967 MB/s          ~960 MB/s
+verbs RC peak bandwidth                   ~980 MB/s          ~980 MB/s
+verbs RC peak bidirectional bandwidth     ~1960 MB/s         ~1960 MB/s
+MPI peak bandwidth                        ~969 MB/s          ~965 MB/s
+IPoIB-RC peak (64 KB MTU)                 ~890 MB/s          ~880 MB/s
+NFS/RDMA peak read (LAN, DDR)             ~1100 MB/s         ~1100 MB/s
+========================================  =================  ===============
+
+Rates are in bytes/µs (== MB/s), times in µs, sizes in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["HardwareProfile", "DEFAULT_PROFILE", "KB", "MB", "US_PER_KM"]
+
+KB = 1024
+MB = 1024 * 1024
+
+#: Wire latency per kilometre of fibre (the paper's 5 µs/km rule).
+US_PER_KM = 5.0
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Calibrated constants for the simulated IB WAN testbed.
+
+    Instances are immutable; derive variants with :meth:`with_overrides`.
+    """
+
+    # ---- InfiniBand links ------------------------------------------------
+    #: 4x DDR data rate (16 Gb/s after 8b/10b) in bytes/µs.
+    ddr_rate: float = 2000.0
+    #: 4x SDR data rate (8 Gb/s after 8b/10b) — the Longbow WAN limit.
+    sdr_rate: float = 1000.0
+    #: IB MTU used by RC/UD packets on the fabric.
+    ib_mtu: int = 2048
+    #: Per-packet wire header for RC packets (LRH+BTH+ICRC+VCRC).
+    rc_packet_header: int = 30
+    #: Per-packet wire header for UD packets (adds GRH+DETH).
+    ud_packet_header: int = 86
+    #: Propagation delay of an intra-cluster copper/fibre cable.
+    cable_delay_us: float = 0.05
+    #: Cut-through forwarding latency of an IB switch.
+    switch_latency_us: float = 0.20
+
+    # ---- HCA / verbs -------------------------------------------------------
+    #: Time to post + DMA-launch one send work request.
+    hca_send_overhead_us: float = 0.40
+    #: Receive-side completion/dispatch time per message.
+    hca_recv_overhead_us: float = 0.40
+    #: Additional one-way latency of the first byte through an HCA pair
+    #: (PIO/doorbell + PCIe round trip), applied once per message.
+    hca_wire_latency_us: float = 1.10
+    #: RDMA ops skip the receive-side WQE consumption; small discount.
+    rdma_write_discount_us: float = 0.30
+    #: Maximum messages a RC QP keeps in flight awaiting ACK.  This is the
+    #: effective send window (send-queue depth combined with IB end-to-end
+    #: credits); it produces the paper's medium-message RC degradation.
+    rc_send_window: int = 16
+    #: ACK packet size on the wire.
+    rc_ack_bytes: int = 30
+    #: Retransmission timeout for RC (µs); generous, loss is rare here.
+    rc_retransmit_timeout_us: float = 500000.0
+    #: Maximum retries before the QP enters an error state.
+    rc_retry_count: int = 7
+
+    # ---- Obsidian Longbow XR ----------------------------------------------
+    #: Fixed store-and-forward latency added by one Longbow, per direction.
+    longbow_forward_us: float = 2.5
+    #: WAN link data rate (SONET / 10 GigE carrying SDR IB).
+    wan_rate: float = 1000.0
+    #: Buffer credit pool of a Longbow in bytes — deep enough to cover the
+    #: bandwidth-delay product of trans-continental pipes (Obsidian's
+    #: headline feature).  Traffic stalls when exceeded.
+    longbow_buffer_bytes: int = 64 * MB
+
+    # ---- TCP / IPoIB --------------------------------------------------------
+    #: Fixed per-segment TCP/IP stack cost, per host (interrupt, protocol
+    #: processing).  This is what starves IPoIB-UD at its 2 KB MTU.
+    tcp_segment_fixed_us: float = 2.3
+    #: Per-byte copy/checksum cost of the TCP stack, per host (~0.9 GB/s).
+    tcp_per_byte_us: float = 0.0011
+    #: CPU cost to generate or absorb a bare ACK segment.
+    tcp_ack_cpu_us: float = 0.3
+    #: TCP/IP header bytes per segment.
+    tcp_header_bytes: int = 40
+    #: IPoIB encapsulation header.
+    ipoib_header_bytes: int = 4
+    #: IPoIB UD-mode IP MTU (2048 IB MTU minus encapsulation).
+    ipoib_ud_mtu: int = 2044
+    #: IPoIB connected-mode (RC) default IP MTU.
+    ipoib_rc_mtu: int = 65520
+    #: Default TCP window (the paper's ">1M default").
+    tcp_default_window: int = 1 * MB
+    #: Initial congestion window in segments.
+    tcp_init_cwnd_segments: int = 10
+    #: TCP delayed-ACK aggregation (segments per ACK).
+    tcp_ack_every: int = 2
+
+    # ---- SDP (Sockets Direct Protocol) --------------------------------------
+    #: Payloads at/above this take the zero-copy path.
+    sdp_zcopy_threshold: int = 64 * KB
+    #: Per-byte buffer-copy cost on the bcopy path (per host).
+    sdp_bcopy_us_per_byte: float = 0.0009
+    #: Fixed per-operation overhead on the bcopy path.
+    sdp_op_overhead_us: float = 1.0
+    #: Pin/post setup cost per zcopy operation.
+    sdp_zcopy_setup_us: float = 4.0
+    #: Largest single SDP wire message (stream is chunked above this).
+    sdp_max_message: int = 128 * KB
+
+    # ---- MPI (MVAPICH2-like) -----------------------------------------------
+    #: Eager -> rendezvous switch point.
+    mpi_eager_threshold: int = 8 * KB
+    #: Per-message MPI software overhead (matching, request bookkeeping).
+    mpi_overhead_us: float = 0.30
+    #: Extra copy cost per byte for eager messages (bounce buffers).
+    mpi_eager_copy_us_per_byte: float = 0.0003
+    #: Control-message size for RTS/CTS/FIN.
+    mpi_ctrl_bytes: int = 64
+    #: Maximum concurrent in-flight sends per process pair the MPI
+    #: progress engine keeps (mirrors MVAPICH2's send-queue depth).
+    mpi_send_depth: int = 16
+
+    # ---- NFS -----------------------------------------------------------------
+    #: RDMA transport chunk size (the paper: "data is fragmented into 4K
+    #: packets for transferring").
+    nfs_rdma_chunk: int = 4 * KB
+    #: Server-side per-RPC processing time (lookup, cache hit).
+    nfs_rpc_server_us: float = 12.0
+    #: Client-side per-RPC processing time.
+    nfs_rpc_client_us: float = 6.0
+    #: Per-byte server buffer-cache copy cost for the TCP transport
+    #: (RDMA avoids this copy; that asymmetry is the paper's low-delay win).
+    nfs_tcp_copy_us_per_byte: float = 0.00035
+    #: NFS READ RPC header bytes.
+    nfs_rpc_header: int = 128
+    #: Server CPU per RDMA chunk (fragmentation, MR lookup, WQE build);
+    #: calibrated so LAN (DDR) NFS/RDMA read peaks near the paper's
+    #: ~1.1 GB/s.
+    nfs_rdma_chunk_cpu_us: float = 3.6
+    #: Concurrent RPC service threads on the server (nfsd count).
+    nfs_server_threads: int = 16
+
+    # ------------------------------------------------------------------------
+    def with_overrides(self, **kwargs) -> "HardwareProfile":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def link_rate(self, wan: bool) -> float:
+        """Data rate of a link: WAN links run at SDR, LAN links at DDR."""
+        return self.wan_rate if wan else self.ddr_rate
+
+
+#: Module-level default used when callers do not pass a profile.
+DEFAULT_PROFILE = HardwareProfile()

@@ -1,0 +1,154 @@
+"""Command-line tools mirroring the utilities the paper's authors ran.
+
+Four subcommands, each the simulated twin of a classic tool:
+
+* ``repro perftest`` — OFED perftest (ib_send_lat / ib_send_bw /
+  ib_write_bw, RC or UD, with the Longbow delay knob);
+* ``repro netperf``  — TCP throughput over IPoIB (window / MTU /
+  parallel streams) plus SDP;
+* ``repro iozone``   — NFS read throughput over RDMA / IPoIB;
+* ``repro experiments`` — regenerate paper tables/figures by id.
+
+Examples::
+
+    python -m repro.cli perftest bw --size 65536 --delay-us 1000
+    python -m repro.cli perftest lat --transport ud
+    python -m repro.cli netperf --mode rc --mtu 65520 --streams 4
+    python -m repro.cli iozone --transport ipoib-rc --delay-us 1000
+    python -m repro.cli experiments fig05a fig13c
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import Simulator, build_cluster_of_clusters
+from .calibration import MB
+
+__all__ = ["main"]
+
+
+def _fabric(delay_us: float, nodes: int = 1):
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, nodes, nodes,
+                                       wan_delay_us=delay_us)
+    return sim, fabric
+
+
+def _cmd_perftest(args) -> int:
+    from .verbs import perftest
+    sim, fabric = _fabric(args.delay_us)
+    a, b = fabric.cluster_a[0], fabric.cluster_b[0]
+    if args.test == "lat":
+        lat = perftest.run_send_lat(sim, a, b, args.size, args.iters,
+                                    transport=args.transport)
+        print(f"{args.transport.upper()} send latency, {args.size}B, "
+              f"delay {args.delay_us:g}us: {lat:.2f} us")
+    elif args.test == "bw":
+        bw = perftest.run_send_bw(sim, a, b, args.size, args.iters,
+                                  transport=args.transport)
+        print(f"{args.transport.upper()} send bandwidth, {args.size}B, "
+              f"delay {args.delay_us:g}us: {bw:.1f} MB/s")
+    elif args.test == "write_bw":
+        bw = perftest.run_write_bw(sim, a, b, args.size, args.iters)
+        print(f"RDMA write bandwidth, {args.size}B, "
+              f"delay {args.delay_us:g}us: {bw:.1f} MB/s")
+    else:
+        bw = perftest.run_bidir_bw(sim, a, b, args.size, args.iters,
+                                   transport=args.transport)
+        print(f"{args.transport.upper()} bidirectional bandwidth, "
+              f"{args.size}B, delay {args.delay_us:g}us: {bw:.1f} MB/s")
+    return 0
+
+
+def _cmd_netperf(args) -> int:
+    sim, fabric = _fabric(args.delay_us)
+    a, b = fabric.cluster_a[0], fabric.cluster_b[0]
+    if args.mode == "sdp":
+        from .sdp import run_sdp_stream_bw
+        bw = run_sdp_stream_bw(sim, fabric, a, b, args.bytes)
+        label = "SDP"
+    else:
+        from .ipoib import netperf
+        if args.streams > 1:
+            bw = netperf.run_parallel_stream_bw(
+                sim, fabric, a, b, args.bytes, streams=args.streams,
+                mode=args.mode, mtu=args.mtu, window=args.window)
+        else:
+            bw = netperf.run_stream_bw(
+                sim, fabric, a, b, args.bytes, mode=args.mode,
+                mtu=args.mtu, window=args.window)
+        label = f"IPoIB-{args.mode.upper()}"
+    print(f"{label} throughput, {args.streams} stream(s), "
+          f"delay {args.delay_us:g}us: {bw:.1f} MB/s")
+    return 0
+
+
+def _cmd_iozone(args) -> int:
+    from .nfs import run_iozone_read
+    sim, fabric = _fabric(args.delay_us)
+    bw = run_iozone_read(sim, fabric, fabric.cluster_a[0],
+                         fabric.cluster_b[0], args.transport,
+                         n_streams=args.threads,
+                         read_bytes=args.bytes)
+    print(f"NFS/{args.transport} read, {args.threads} thread(s), "
+          f"delay {args.delay_us:g}us: {bw:.1f} MB/s")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .core.experiments import run_all
+    for result in run_all(quick=not args.full, ids=args.ids):
+        print(result.to_text())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("perftest", help="verbs microbenchmarks")
+    p.add_argument("test", choices=["lat", "bw", "bibw", "write_bw"])
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--iters", type=int, default=48)
+    p.add_argument("--transport", choices=["rc", "ud"], default="rc")
+    p.add_argument("--delay-us", type=float, default=0.0)
+    p.set_defaults(fn=_cmd_perftest)
+
+    p = sub.add_parser("netperf", help="socket throughput (IPoIB / SDP)")
+    p.add_argument("--mode", choices=["ud", "rc", "sdp"], default="ud")
+    p.add_argument("--mtu", type=int, default=None)
+    p.add_argument("--window", type=int, default=None)
+    p.add_argument("--streams", type=int, default=1)
+    p.add_argument("--bytes", type=int, default=8 * MB)
+    p.add_argument("--delay-us", type=float, default=0.0)
+    p.set_defaults(fn=_cmd_netperf)
+
+    p = sub.add_parser("iozone", help="NFS read throughput")
+    p.add_argument("--transport", choices=["rdma", "ipoib-rc", "ipoib-ud"],
+                   default="rdma")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--bytes", type=int, default=8 * MB)
+    p.add_argument("--delay-us", type=float, default=0.0)
+    p.set_defaults(fn=_cmd_iozone)
+
+    p = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p.add_argument("ids", nargs="*")
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(fn=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""The paper's core: scenarios, WAN-aware optimizations, experiments."""
+
+from .adaptive import PathEstimate, auto_tune, probe_path, recommend_tuning
+from .dlm import LockClient, LockServer
+from .experiments import (EXPERIMENTS, ExperimentResult, run_all,
+                          run_experiment)
+from .hierarchical import hierarchical_allreduce, hierarchical_barrier
+from .optimizations import MessageCoalescer, coalesced_message_rate, decoalesce, striped_send
+from .scenario import Scenario, back_to_back, lan, wan_clusters, wan_pair
+
+__all__ = ["Scenario", "wan_pair", "wan_clusters", "back_to_back", "lan",
+           "MessageCoalescer", "decoalesce", "striped_send",
+           "coalesced_message_rate", "PathEstimate", "probe_path",
+           "recommend_tuning", "auto_tune", "hierarchical_allreduce",
+           "hierarchical_barrier", "ExperimentResult", "EXPERIMENTS",
+           "run_experiment", "run_all", "LockServer", "LockClient"]

@@ -1,0 +1,64 @@
+"""Adaptive MPI protocol tuning (paper §3.4: "mechanisms like adaptive
+tuning of MPI protocol ... are likely to yield the best performance").
+
+The tuner probes the path once (small-message RTT and a streaming
+bandwidth estimate), then raises the eager/rendezvous threshold so that
+every message whose rendezvous handshake would cost more than its
+transfer time rides the eager path instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..calibration import KB, MB
+from ..fabric.topology import Fabric
+from ..mpi.benchmarks import run_osu_bw, run_osu_latency
+from ..mpi.tuning import DEFAULT_TUNING, MPITuning
+from ..sim import Simulator
+
+__all__ = ["PathEstimate", "probe_path", "recommend_tuning", "auto_tune"]
+
+
+@dataclass(frozen=True)
+class PathEstimate:
+    """Measured path characteristics."""
+
+    rtt_us: float
+    bandwidth_mbps: float  # MB/s == bytes/µs
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of the path."""
+        return self.bandwidth_mbps * self.rtt_us
+
+
+def probe_path(sim: Simulator, fabric: Fabric,
+               tuning: MPITuning = DEFAULT_TUNING) -> PathEstimate:
+    """One latency ping-pong + one streaming probe across the WAN."""
+    lat = run_osu_latency(sim, fabric, size=8, iters=10, tuning=tuning)
+    bw = run_osu_bw(sim, fabric, size=256 * KB, window=16, iters=3,
+                    tuning=tuning)
+    return PathEstimate(rtt_us=2 * lat, bandwidth_mbps=bw)
+
+
+def recommend_tuning(estimate: PathEstimate,
+                     base: MPITuning = DEFAULT_TUNING,
+                     floor: int = 8 * KB, ceiling: int = 1 * MB) -> MPITuning:
+    """Threshold rule: a message should go rendezvous only once its
+    transfer time dwarfs the handshake RTT.  Eager up to ~one RTT's
+    worth of wire occupancy (clamped to [floor, ceiling])."""
+    if estimate.rtt_us <= 0:
+        raise ValueError("rtt must be positive")
+    threshold = int(estimate.bandwidth_mbps * estimate.rtt_us)
+    threshold = max(floor, min(ceiling, threshold))
+    algo = "hierarchical" if estimate.rtt_us > 100.0 else base.bcast_algorithm
+    return base.with_overrides(eager_threshold=threshold,
+                               bcast_algorithm=algo)
+
+
+def auto_tune(sim: Simulator, fabric: Fabric,
+              base: MPITuning = DEFAULT_TUNING) -> MPITuning:
+    """Probe then recommend — the adaptive loop a WAN-aware MPI would run
+    at connection setup (and periodically, since WAN links are dynamic)."""
+    return recommend_tuning(probe_path(sim, fabric, base), base)

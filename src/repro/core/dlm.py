@@ -1,0 +1,94 @@
+"""Distributed lock manager over network atomics (extension).
+
+The paper's group proposed RDMA-atomic-based distributed locking for
+data-centers; the paper's own future work names data-centers over IB
+WAN as the next target.  This module combines the two: a spin lock whose
+state lives in one node's HCA-addressable memory, acquired with remote
+compare-and-swap and released with fetch-and-add — so we can measure
+how lock handoff behaves across emulated WAN separations.
+
+The acquire protocol (simplified N-R-A scheme):
+
+* ``cmp_swap(addr, 0 -> my_id)`` — success means the lock was free;
+* on failure, back off for one RTT estimate and retry (spin-with-backoff
+  rather than a queue, which is enough to expose the WAN cost).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..fabric.node import Node
+from ..sim import Simulator
+from ..verbs.device import VerbsContext
+from ..verbs.rc import RCQueuePair, connect_rc_pair
+
+__all__ = ["LockServer", "LockClient"]
+
+
+class LockServer:
+    """Hosts lock words in its HCA's atomic memory."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.ctx = VerbsContext(node)
+        self._next_addr = 0x1000
+
+    def create_lock(self) -> int:
+        """Allocate a lock word (0 = free); returns its address."""
+        addr = self._next_addr
+        self._next_addr += 8
+        self.node.hca.atomic_mem[addr] = 0
+        return addr
+
+    def holder(self, addr: int) -> int:
+        return self.node.hca.atomic_mem.get(addr, 0)
+
+
+class LockClient:
+    """One client with an RC connection to the lock server."""
+
+    def __init__(self, node: Node, server: LockServer, client_id: int,
+                 backoff_us: float = 10.0):
+        if client_id <= 0:
+            raise ValueError("client_id must be positive (0 means free)")
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.client_id = client_id
+        self.backoff_us = backoff_us
+        self.ctx = VerbsContext(node)
+        self.qp: RCQueuePair = self.ctx.create_rc_qp(
+            self.ctx.create_cq("dlm.scq"), self.ctx.create_cq("dlm.rcq"))
+        server_qp = server.ctx.create_rc_qp(
+            server.ctx.create_cq("dlm.s.scq"),
+            server.ctx.create_cq("dlm.s.rcq"))
+        connect_rc_pair(self.qp, server_qp)
+        self.acquires = 0
+        self.retries = 0
+
+    def acquire(self, addr: int, max_retries: Optional[int] = None):
+        """Generator: spin until the lock at ``addr`` is ours."""
+        attempts = 0
+        while True:
+            self.qp.atomic_cmp_swap(addr, 0, self.client_id)
+            wc = yield self.qp.send_cq.wait()
+            if wc.payload == 0:  # observed free -> we now hold it
+                self.acquires += 1
+                return attempts
+            attempts += 1
+            self.retries += 1
+            if max_retries is not None and attempts > max_retries:
+                raise TimeoutError(
+                    f"client {self.client_id}: lock {addr:#x} still held "
+                    f"by {wc.payload} after {attempts} attempts")
+            yield self.sim.timeout(self.backoff_us * attempts)
+
+    def release(self, addr: int):
+        """Generator: release a lock we hold (CAS my_id -> 0)."""
+        self.qp.atomic_cmp_swap(addr, self.client_id, 0)
+        wc = yield self.qp.send_cq.wait()
+        if wc.payload != self.client_id:
+            raise RuntimeError(
+                f"client {self.client_id}: released a lock held by "
+                f"{wc.payload}")

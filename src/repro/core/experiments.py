@@ -1,0 +1,686 @@
+"""Experiment registry: one entry per paper table/figure plus ablations.
+
+Each experiment is a function ``fn(quick: bool) -> ExperimentResult``.
+``quick=True`` (the default used by the pytest-benchmark suite) trims
+iteration counts and sweep points; ``quick=False`` runs the full sweeps
+used to fill EXPERIMENTS.md.  Message *sizes* are never trimmed — sizes
+are what determine WAN behaviour.
+
+Run everything from the command line::
+
+    python -m repro.core.experiments            # quick sweeps
+    python -m repro.core.experiments --full     # full sweeps
+    python -m repro.core.experiments fig05a fig13b
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..calibration import DEFAULT_PROFILE, KB, MB
+from ..apps.nas import run_nas
+from ..ipoib import netperf
+from ..mpi.benchmarks import (run_osu_bcast, run_osu_bibw, run_osu_bw,
+                              run_osu_latency, run_osu_mbw_mr)
+from ..mpi.tuning import DEFAULT_TUNING, MPITuning
+from ..nfs.iozone import run_iozone_read
+from ..verbs import perftest
+from ..wan.delaymap import table1
+from . import scenario
+from .adaptive import auto_tune, probe_path, recommend_tuning
+from .optimizations import coalesced_message_rate
+from .scenario import back_to_back, lan, wan_clusters, wan_pair
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment",
+           "run_all"]
+
+DELAYS = (0.0, 10.0, 100.0, 1000.0, 10000.0)
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure: labelled columns and data rows."""
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    rows: List[Tuple]
+    notes: str = ""
+
+    def to_text(self) -> str:
+        widths = [max(len(str(c)), *(len(_fmt(r[i])) for r in self.rows))
+                  for i, c in enumerate(self.columns)]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        lines.append("  ".join(str(c).ljust(w)
+                               for c, w in zip(self.columns, widths)))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(v).ljust(w)
+                                   for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List:
+        i = self.columns.index(name)
+        return [r[i] for r in self.rows]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.1f}" if abs(v) >= 10 else f"{v:.2f}"
+    return str(v)
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {}
+
+
+def experiment(exp_id: str, title: str):
+    def wrap(fn):
+        def runner(quick: bool = True) -> ExperimentResult:
+            cols, rows, notes = fn(quick)
+            return ExperimentResult(exp_id, title, cols, rows, notes)
+        runner.exp_id = exp_id
+        runner.title = title
+        EXPERIMENTS[exp_id] = runner
+        return runner
+    return wrap
+
+
+def run_experiment(exp_id: str, quick: bool = True) -> ExperimentResult:
+    return EXPERIMENTS[exp_id](quick)
+
+
+def run_all(quick: bool = True, ids: Sequence[str] = ()) -> List[ExperimentResult]:
+    keys = list(ids) if ids else list(EXPERIMENTS)
+    return [run_experiment(k, quick) for k in keys]
+
+
+def _delay_cols(delays) -> List[str]:
+    return [f"{int(d)}us" for d in delays]
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Fig. 3 — delay map & verbs latency
+# ---------------------------------------------------------------------------
+
+@experiment("table1", "WAN delay vs emulated wire length (5 us/km)")
+def _table1(quick):
+    rows = [(f"{km:g} km", f"{us:g} us") for km, us in table1()]
+    return ["distance", "one-way delay"], rows, ""
+
+
+@experiment("fig03", "Verbs small-message latency (us), 0 km")
+def _fig03(quick):
+    iters = 20 if quick else 100
+    rows = []
+    s = wan_pair(0.0)
+    rows.append(("Send/Recv UD (Longbows)", perftest.run_send_lat(
+        s.sim, s.a, s.b, 2, iters, transport="ud")))
+    s = wan_pair(0.0)
+    rows.append(("Send/Recv RC (Longbows)", perftest.run_send_lat(
+        s.sim, s.a, s.b, 2, iters)))
+    s = wan_pair(0.0)
+    rows.append(("RDMA Write RC (Longbows)", perftest.run_write_lat(
+        s.sim, s.a, s.b, 2, iters)))
+    s = back_to_back()
+    rows.append(("Send/Recv RC (back-to-back)", perftest.run_send_lat(
+        s.sim, *s.fabric.nodes, 2, iters)))
+    return ["operation", "latency_us"], rows, \
+        "Longbow pair adds ~5 us over the back-to-back baseline"
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 / Fig. 5 — verbs bandwidth
+# ---------------------------------------------------------------------------
+
+def _verbs_bw_rows(sizes, delays, transport, bidir, iters_of):
+    rows = []
+    for size in sizes:
+        row = [size]
+        for d in delays:
+            s = wan_pair(d)
+            fn = perftest.run_bidir_bw if bidir else perftest.run_send_bw
+            row.append(fn(s.sim, s.a, s.b, size, iters=iters_of(size),
+                          transport=transport))
+        rows.append(tuple(row))
+    return rows
+
+
+def _bw_iters(size):
+    return 96 if size <= 4 * KB else (48 if size <= 256 * KB else 16)
+
+
+@experiment("fig04a", "Verbs UD bandwidth (MB/s) vs size and delay")
+def _fig04a(quick):
+    sizes = [2, 512, 2048] if quick else [2, 64, 256, 512, 1024, 2048]
+    rows = _verbs_bw_rows(sizes, DELAYS, "ud", False, _bw_iters)
+    return ["size"] + _delay_cols(DELAYS), rows, \
+        "UD bandwidth is delay-independent (no ACKs)"
+
+
+@experiment("fig04b", "Verbs UD bidirectional bandwidth (MB/s)")
+def _fig04b(quick):
+    sizes = [2048] if quick else [2, 512, 1024, 2048]
+    rows = _verbs_bw_rows(sizes, DELAYS, "ud", True, _bw_iters)
+    return ["size"] + _delay_cols(DELAYS), rows, ""
+
+
+@experiment("fig05a", "Verbs RC bandwidth (MB/s) vs size and delay")
+def _fig05a(quick):
+    sizes = ([2 * KB, 64 * KB, 256 * KB, 4 * MB] if quick else
+             [2, 256, 2 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB])
+    rows = _verbs_bw_rows(sizes, DELAYS, "rc", False, _bw_iters)
+    return ["size"] + _delay_cols(DELAYS), rows, \
+        "RC window limits small/medium messages over long pipes"
+
+
+@experiment("fig05b", "Verbs RC bidirectional bandwidth (MB/s)")
+def _fig05b(quick):
+    sizes = [64 * KB, 4 * MB] if quick else [2 * KB, 64 * KB, 1 * MB, 4 * MB]
+    rows = _verbs_bw_rows(sizes, DELAYS, "rc", True, _bw_iters)
+    return ["size"] + _delay_cols(DELAYS), rows, ""
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 / Fig. 7 — IPoIB
+# ---------------------------------------------------------------------------
+
+@experiment("fig06a", "IPoIB-UD single-stream throughput (MB/s) vs TCP window")
+def _fig06a(quick):
+    windows = [64 * KB, 256 * KB, 512 * KB, None]  # None = default
+    delays = DELAYS if not quick else (0.0, 100.0, 1000.0, 10000.0)
+    total = 4 * MB if quick else 16 * MB
+    rows = []
+    for w in windows:
+        label = "default" if w is None else f"{w // KB}K"
+        row = [label]
+        for d in delays:
+            s = wan_pair(d)
+            row.append(netperf.run_stream_bw(
+                s.sim, s.fabric, s.a, s.b, total_bytes=total, mode="ud",
+                window=w))
+        rows.append(tuple(row))
+    return ["window"] + _delay_cols(delays), rows, \
+        "larger windows sustain longer pipes; all degrade eventually"
+
+
+@experiment("fig06b", "IPoIB-UD parallel-stream throughput (MB/s)")
+def _fig06b(quick):
+    streams = (1, 2, 4, 8) if quick else (1, 2, 4, 6, 8)
+    delays = (0.0, 1000.0, 10000.0) if quick else DELAYS
+    total = 8 * MB if quick else 16 * MB
+    rows = []
+    for n in streams:
+        row = [n]
+        for d in delays:
+            s = wan_pair(d)
+            row.append(netperf.run_parallel_stream_bw(
+                s.sim, s.fabric, s.a, s.b, total_bytes=total, streams=n,
+                mode="ud"))
+        rows.append(tuple(row))
+    return ["streams"] + _delay_cols(delays), rows, \
+        "parallel streams recover throughput on high-delay links"
+
+
+@experiment("fig07a", "IPoIB-RC single-stream throughput (MB/s) vs IP MTU")
+def _fig07a(quick):
+    mtus = [2044, 16384, 65520]
+    delays = DELAYS if not quick else (0.0, 100.0, 1000.0, 10000.0)
+    total = 8 * MB if quick else 16 * MB
+    rows = []
+    for mtu in mtus:
+        row = [f"{(mtu + 4) // 1024}K MTU"]
+        for d in delays:
+            s = wan_pair(d)
+            row.append(netperf.run_stream_bw(
+                s.sim, s.fabric, s.a, s.b, total_bytes=total, mode="rc",
+                mtu=mtu))
+        rows.append(tuple(row))
+    return ["mtu"] + _delay_cols(delays), rows, \
+        "64K MTU amortizes per-packet cost; collapses at >=1ms delays"
+
+
+@experiment("fig07b", "IPoIB-RC parallel-stream throughput (MB/s)")
+def _fig07b(quick):
+    streams = (1, 2, 4, 8) if quick else (1, 2, 4, 6, 8)
+    delays = (0.0, 1000.0, 10000.0) if quick else DELAYS
+    total = 8 * MB if quick else 16 * MB
+    rows = []
+    for n in streams:
+        row = [n]
+        for d in delays:
+            s = wan_pair(d)
+            row.append(netperf.run_parallel_stream_bw(
+                s.sim, s.fabric, s.a, s.b, total_bytes=total, streams=n,
+                mode="rc"))
+        rows.append(tuple(row))
+    return ["streams"] + _delay_cols(delays), rows, ""
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 / 9 / 10 / 11 — MPI
+# ---------------------------------------------------------------------------
+
+@experiment("fig08a", "MPI bandwidth (MB/s) vs size and delay (MVAPICH2-like)")
+def _fig08a(quick):
+    sizes = ([2 * KB, 8 * KB, 64 * KB, 256 * KB, 4 * MB] if quick else
+             [2, 256, 2 * KB, 8 * KB, 16 * KB, 64 * KB, 256 * KB,
+              1 * MB, 4 * MB])
+    rows = []
+    for size in sizes:
+        row = [size]
+        for d in DELAYS:
+            s = wan_pair(d)
+            iters = 4 if size >= MB else 6
+            row.append(run_osu_bw(s.sim, s.fabric, size, window=64,
+                                  iters=iters))
+        rows.append(tuple(row))
+    return ["size"] + _delay_cols(DELAYS), rows, \
+        "rendezvous handshake penalizes medium sizes under delay"
+
+
+@experiment("fig08b", "MPI bidirectional bandwidth (MB/s)")
+def _fig08b(quick):
+    sizes = [64 * KB, 4 * MB] if quick else [2 * KB, 64 * KB, 1 * MB, 4 * MB]
+    rows = []
+    for size in sizes:
+        row = [size]
+        for d in DELAYS:
+            s = wan_pair(d)
+            iters = 3 if size >= MB else 6
+            row.append(run_osu_bibw(s.sim, s.fabric, size, window=32,
+                                    iters=iters))
+        rows.append(tuple(row))
+    return ["size"] + _delay_cols(DELAYS), rows, ""
+
+
+@experiment("fig09a", "MPI bandwidth at 10ms delay: default vs tuned threshold")
+def _fig09a(quick):
+    sizes = ([8 * KB, 16 * KB, 32 * KB] if quick else
+             [1 * KB, 2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB])
+    tuned = DEFAULT_TUNING.with_overrides(eager_threshold=64 * KB + 1)
+    rows = []
+    for size in sizes:
+        s = wan_pair(10000.0)
+        orig = run_osu_bw(s.sim, s.fabric, size, window=32, iters=4)
+        s = wan_pair(10000.0)
+        new = run_osu_bw(s.sim, s.fabric, size, window=32, iters=4,
+                         tuning=tuned)
+        rows.append((size, orig, new, 100.0 * (new - orig) / orig))
+    return ["size", "thresh-8K", "thresh-64K", "improvement_%"], rows, \
+        "paper reports large gains for 8K-32K at high delay"
+
+
+@experiment("fig09b", "MPI bidirectional bandwidth at 10ms: default vs tuned")
+def _fig09b(quick):
+    sizes = [8 * KB, 32 * KB] if quick else [8 * KB, 16 * KB, 32 * KB,
+                                             64 * KB]
+    tuned = DEFAULT_TUNING.with_overrides(eager_threshold=64 * KB + 1)
+    rows = []
+    for size in sizes:
+        s = wan_pair(10000.0)
+        orig = run_osu_bibw(s.sim, s.fabric, size, window=32, iters=4)
+        s = wan_pair(10000.0)
+        new = run_osu_bibw(s.sim, s.fabric, size, window=32, iters=4,
+                           tuning=tuned)
+        rows.append((size, orig, new, 100.0 * (new - orig) / orig))
+    return ["size", "thresh-8K", "thresh-64K", "improvement_%"], rows, ""
+
+
+@experiment("fig10", "Multi-pair aggregate message rate (msg/s)")
+def _fig10(quick):
+    delays = (10.0, 1000.0, 10000.0)
+    pairs_list = (4, 8, 16)
+    sizes = [1, 1 * KB, 8 * KB] if quick else [1, 256, 1 * KB, 4 * KB,
+                                               8 * KB, 32 * KB]
+    iters = 3 if quick else 6
+    rows = []
+    for d in delays:
+        for size in sizes:
+            row = [f"{int(d)}us", size]
+            for pairs in pairs_list:
+                s = wan_clusters(pairs, pairs, d)
+                _, rate = run_osu_mbw_mr(s.sim, s.fabric, pairs, size,
+                                         window=32, iters=iters)
+                row.append(rate)
+            rows.append(tuple(row))
+    return ["delay", "size", "4 pairs", "8 pairs", "16 pairs"], rows, \
+        "message rate scales with pairs; more streams fill long pipes"
+
+
+@experiment("fig11", "Broadcast latency (us): default vs hierarchical")
+def _fig11(quick):
+    delays = (10.0, 100.0, 1000.0)
+    nodes = 8 if quick else 32            # per cluster, 2 ranks per node
+    sizes = ([4 * KB, 32 * KB, 128 * KB] if quick else
+             [4 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB])
+    iters = 3 if quick else 10
+    rows = []
+    for d in delays:
+        for size in sizes:
+            s = wan_clusters(nodes, nodes, d)
+            orig = run_osu_bcast(s.sim, s.fabric, size, ppn=2, iters=iters)
+            s = wan_clusters(nodes, nodes, d)
+            hier = run_osu_bcast(s.sim, s.fabric, size, ppn=2, iters=iters,
+                                 algorithm="hierarchical")
+            rows.append((f"{int(d)}us", size, orig, hier,
+                         100.0 * (orig - hier) / orig))
+    return ["delay", "size", "original_us", "hierarchical_us",
+            "improvement_%"], rows, \
+        f"{4 * nodes} ranks, block placement, ACK-based OSU loop"
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — NAS
+# ---------------------------------------------------------------------------
+
+@experiment("fig12", "NAS class-B runtime vs WAN delay (normalized)")
+def _fig12(quick):
+    delays = (0.0, 100.0, 1000.0, 10000.0)
+    if quick:
+        nodes, benches = 8, (("IS", 0.2), ("FT", 0.05), ("CG", 0.027))
+    else:
+        nodes, benches = 16, (("IS", 0.4), ("FT", 0.1), ("CG", 0.067),
+                              ("MG", 0.25), ("EP", 1.0))
+    rows = []
+    for bench, bscale in benches:
+        base = None
+        row = [bench]
+        for d in delays:
+            s = wan_clusters(nodes, nodes, d)
+            r = run_nas(s.sim, s.fabric, bench, ppn=1, scale=bscale)
+            if base is None:
+                base = r.runtime_us
+            row.append(r.runtime_us / base)
+        rows.append(tuple(row))
+    return ["benchmark"] + _delay_cols(delays), rows, \
+        (f"{2 * nodes} ranks; slowdown relative to 0-delay; IS/FT "
+         f"tolerate delay, CG degrades (paper Fig. 12)")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — NFS
+# ---------------------------------------------------------------------------
+
+@experiment("fig13a", "NFS/RDMA read throughput (MB/s) vs client streams")
+def _fig13a(quick):
+    streams = (1, 2, 4, 8)
+    read = 8 * MB if quick else 64 * MB
+    rows = []
+    for n in streams:
+        row = [n]
+        s = lan(2)
+        row.append(run_iozone_read(s.sim, s.fabric, s.fabric.nodes[0],
+                                   s.fabric.nodes[1], "rdma", n_streams=n,
+                                   read_bytes=read))
+        for d in (0.0, 10.0, 100.0, 1000.0):
+            s = wan_pair(d)
+            row.append(run_iozone_read(s.sim, s.fabric, s.a, s.b, "rdma",
+                                       n_streams=n, read_bytes=read))
+        rows.append(tuple(row))
+    return ["streams", "LAN", "0us", "10us", "100us", "1000us"], rows, \
+        "LAN runs at DDR; WAN at SDR; 4K chunks collapse at 1ms"
+
+
+def _fig13_compare(delay_us, quick):
+    streams = (1, 2, 4, 8)
+    read = 8 * MB if quick else 32 * MB
+    rows = []
+    for n in streams:
+        row = [n]
+        for tr in ("rdma", "ipoib-rc", "ipoib-ud"):
+            s = wan_pair(delay_us)
+            row.append(run_iozone_read(s.sim, s.fabric, s.a, s.b, tr,
+                                       n_streams=n, read_bytes=read))
+        rows.append(tuple(row))
+    return ["streams", "RDMA", "IPoIB-RC", "IPoIB-UD"], rows
+
+
+@experiment("fig13b", "NFS read throughput by transport, 10us delay (MB/s)")
+def _fig13b(quick):
+    cols, rows = _fig13_compare(10.0, quick)
+    return cols, rows, "RDMA wins at low delay (no copies)"
+
+
+@experiment("fig13c", "NFS read throughput by transport, 1ms delay (MB/s)")
+def _fig13c(quick):
+    cols, rows = _fig13_compare(1000.0, quick)
+    return cols, rows, "IPoIB-RC wins at high delay (4K RDMA chunks stall)"
+
+
+# ---------------------------------------------------------------------------
+# Optimizations & ablations
+# ---------------------------------------------------------------------------
+
+@experiment("opt_streams", "Parallel-stream gain over single stream (IPoIB-UD)")
+def _opt_streams(quick):
+    total = 8 * MB
+    rows = []
+    for d in (100.0, 1000.0, 10000.0):
+        s = wan_pair(d)
+        one = netperf.run_parallel_stream_bw(s.sim, s.fabric, s.a, s.b,
+                                             total, streams=1, mode="ud")
+        s = wan_pair(d)
+        eight = netperf.run_parallel_stream_bw(s.sim, s.fabric, s.a, s.b,
+                                               total, streams=8, mode="ud")
+        rows.append((f"{int(d)}us", one, eight,
+                     100.0 * (eight - one) / one))
+    return ["delay", "1 stream", "8 streams", "gain_%"], rows, \
+        "the paper's 'up to ~50%' parallel-stream claim"
+
+
+@experiment("opt_coalescing", "Message coalescing gain (small-message rate)")
+def _opt_coalescing(quick):
+    from ..mpi.runtime import MPIJob
+    count = 256 if quick else 1024
+    rows = []
+    for d in (100.0, 1000.0):
+        rates = []
+        for threshold in (None, 64 * KB):
+            s = wan_pair(d)
+            job = MPIJob(s.fabric, nprocs=2, ppn=1, placement="cyclic")
+            rates.append(coalesced_message_rate(
+                s.sim, job.procs[0], job.procs[1], msg_bytes=512,
+                count=count, threshold=threshold))
+        rows.append((f"{int(d)}us", rates[0], rates[1],
+                     rates[1] / rates[0]))
+    return ["delay", "individual msg/s", "coalesced msg/s", "speedup"], \
+        rows, "512B messages, 64K coalescing buffer"
+
+
+@experiment("opt_adaptive", "Adaptive threshold tuning vs static default")
+def _opt_adaptive(quick):
+    rows = []
+    for d in (1000.0, 10000.0):
+        s = wan_pair(d)
+        est = probe_path(s.sim, s.fabric)
+        tuned = recommend_tuning(est)
+        s = wan_pair(d)
+        orig = run_osu_bw(s.sim, s.fabric, 16 * KB, window=32, iters=4)
+        s = wan_pair(d)
+        new = run_osu_bw(s.sim, s.fabric, 16 * KB, window=32, iters=4,
+                         tuning=tuned)
+        rows.append((f"{int(d)}us", tuned.eager_threshold, orig, new,
+                     100.0 * (new - orig) / max(orig, 1e-9)))
+    return ["delay", "chosen_threshold", "default MB/s", "adaptive MB/s",
+            "gain_%"], rows, "probe RTT+BW, set threshold ~ BDP"
+
+
+@experiment("abl_rc_window", "Ablation: RC send window vs 64K bandwidth")
+def _abl_rc_window(quick):
+    rows = []
+    for window in (4, 16, 64):
+        row = [window]
+        for d in (100.0, 1000.0, 10000.0):
+            s = wan_pair(d)
+            row.append(perftest.run_send_bw(s.sim, s.a, s.b, 64 * KB,
+                                            iters=48, window=window))
+        rows.append(tuple(row))
+    return ["window", "100us", "1000us", "10000us"], rows, \
+        "window vs BDP is the whole RC-over-WAN story"
+
+
+@experiment("abl_credits", "Ablation: Longbow buffer credits vs throughput")
+def _abl_credits(quick):
+    rows = []
+    for credits in (64 * KB, 1 * MB, 64 * MB):
+        profile = DEFAULT_PROFILE.with_overrides(
+            longbow_buffer_bytes=credits)
+        s = wan_pair(1000.0, profile=profile)
+        bw = perftest.run_send_bw(s.sim, s.a, s.b, 256 * KB, iters=24)
+        rows.append((f"{credits // KB}K", bw))
+    return ["credit pool", "256K bw @1ms (MB/s)"], rows, \
+        "deep buffers are what make long-haul IB work at all"
+
+
+@experiment("abl_bcast", "Ablation: bcast algorithm comparison at 128K")
+def _abl_bcast(quick):
+    nodes = 8 if quick else 16
+    iters = 3 if quick else 6
+    rows = []
+    for d in (10.0, 1000.0):
+        row = [f"{int(d)}us"]
+        for algo in ("binomial", "scatter_allgather",
+                     "scatter_rd_allgather", "hierarchical"):
+            s = wan_clusters(nodes, nodes, d)
+            row.append(run_osu_bcast(s.sim, s.fabric, 128 * KB, ppn=2,
+                                     iters=iters, algorithm=algo))
+        rows.append(tuple(row))
+    return ["delay", "binomial", "scat+ring", "scat+rd", "hierarchical"], \
+        rows, "WAN crossings dominate: 1 (binomial/hier) vs O(P) (ring)"
+
+
+@experiment("ext_hier_allreduce", "Extension: hierarchical vs flat allreduce")
+def _ext_hier_allreduce(quick):
+    from ..mpi.collectives import allreduce
+    from ..mpi.runtime import MPIJob
+    from .hierarchical import hierarchical_allreduce
+    nodes = 8 if quick else 16
+    size = 64 * KB
+    rows = []
+    for d in (10.0, 1000.0):
+        times = []
+        for fn in (allreduce, hierarchical_allreduce):
+            s = wan_clusters(nodes, nodes, d)
+            job = MPIJob(s.fabric, ppn=1, placement="block")
+
+            def prog(proc, fn=fn):
+                t0 = proc.sim.now
+                for _ in range(3):
+                    yield from fn(proc, size)
+                return (proc.sim.now - t0) / 3
+
+            times.append(max(job.run(prog)))
+        rows.append((f"{int(d)}us", times[0], times[1],
+                     100.0 * (times[0] - times[1]) / times[0]))
+    return ["delay", "flat_us", "hierarchical_us", "improvement_%"], rows, \
+        "future-work item from the paper's conclusions"
+
+
+@experiment("ext_sdp", "Extension: SDP vs IPoIB socket paths (MB/s)")
+def _ext_sdp(quick):
+    from ..sdp import run_sdp_stream_bw
+    total = 8 * MB
+    rows = []
+    for d in (0.0, 1000.0, 10000.0):
+        s = wan_pair(d)
+        sdp = run_sdp_stream_bw(s.sim, s.fabric, s.a, s.b, total)
+        s = wan_pair(d)
+        rc = netperf.run_stream_bw(s.sim, s.fabric, s.a, s.b, total,
+                                   mode="rc")
+        s = wan_pair(d)
+        ud = netperf.run_stream_bw(s.sim, s.fabric, s.a, s.b, total,
+                                   mode="ud")
+        rows.append((f"{int(d)}us", sdp, rc, ud))
+    return ["delay", "SDP", "IPoIB-RC", "IPoIB-UD"], rows, \
+        "SDP skips the TCP stack ([19]'s ttcp-over-SDP comparison)"
+
+
+@experiment("ext_pfs", "Extension: striped parallel FS read over WAN (MB/s)")
+def _ext_pfs(quick):
+    from ..pfs import run_pfs_read
+    file_bytes = 8 * MB if quick else 32 * MB
+    rows = []
+    for d in (0.0, 1000.0):
+        row = [f"{int(d)}us"]
+        for n_oss in (1, 2, 4):
+            s = wan_clusters(n_oss, 1, d)
+            row.append(run_pfs_read(s.sim, s.fabric,
+                                    s.fabric.cluster_a[:n_oss],
+                                    s.fabric.cluster_b[0],
+                                    file_bytes=file_bytes))
+        rows.append(tuple(row))
+    return ["delay", "1 OSS", "2 OSS", "4 OSS"], rows, \
+        "striping = parallel streams for filesystems (paper future work)"
+
+
+@experiment("ext_readahead", "Extension: NFS client readahead over WAN")
+def _ext_readahead(quick):
+    from ..nfs.iozone import mount
+    rows = []
+    for ra in (1, 4, 8):
+        row = [ra]
+        for d in (100.0, 1000.0):
+            s = wan_pair(d)
+            server, factory = mount(s.fabric, s.a, s.b, "ipoib-rc")
+            server.export("/f", 64 * MB)
+            span = {}
+
+            def main(ra=ra, span=span, factory=factory, s=s):
+                client = yield from factory()
+                t0 = s.sim.now
+                yield from client.read_file("/f", 8 * MB, 256 * 1024,
+                                            readahead=ra)
+                span["t"] = s.sim.now - t0
+
+            done = s.sim.process(main())
+            s.sim.run(until=done)
+            row.append(8 * MB / span["t"])
+        rows.append(tuple(row))
+    return ["readahead", "100us (MB/s)", "1000us (MB/s)"], rows, \
+        "client readahead pipelines RPC round trips like parallel streams"
+
+
+@experiment("ext_dlm", "Extension: RDMA-atomic lock handoff over WAN")
+def _ext_dlm(quick):
+    from .dlm import LockClient, LockServer
+    rows = []
+    for d in (0.0, 100.0, 1000.0, 10000.0):
+        s = wan_pair(d)
+        server = LockServer(s.a)
+        client = LockClient(s.b, server, client_id=1)
+        addr = server.create_lock()
+        span = {}
+
+        def main(s=s, client=client, addr=addr, span=span):
+            t0 = s.sim.now
+            for _ in range(5):
+                yield from client.acquire(addr)
+                yield from client.release(addr)
+            span["t"] = (s.sim.now - t0) / 5
+
+        s.sim.run(until=s.sim.process(main()))
+        rows.append((f"{int(d)}us", span["t"]))
+    return ["delay", "acquire+release_us"], rows, \
+        "each handoff costs ~2 WAN RTTs; atomics cannot hide distance"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", help="experiment ids (default all)")
+    parser.add_argument("--full", action="store_true",
+                        help="full sweeps instead of quick ones")
+    args = parser.parse_args(argv)
+    for res in run_all(quick=not args.full, ids=args.ids):
+        print(res.to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

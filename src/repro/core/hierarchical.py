@@ -1,0 +1,89 @@
+"""WAN-aware hierarchical collectives.
+
+The paper demonstrates a hierarchical broadcast (§3.4, Fig. 11) and
+names collectives over cluster-of-clusters as future work (§5).  This
+module provides the broadcast's siblings built on the same principle —
+cross the WAN once (per direction), do everything else inside the
+clusters:
+
+* :func:`hierarchical_allreduce` — local reduce to a cluster leader,
+  leader exchange over the WAN, local broadcast;
+* :func:`hierarchical_barrier`  — local barrier, leader handshake,
+  local release.
+
+(The hierarchical *broadcast* itself lives in
+:func:`repro.mpi.collectives.bcast` with ``algorithm="hierarchical"``.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..mpi.collectives import _bcast_binomial, _coll_tag, barrier, bcast, reduce
+from ..mpi.process import MPIProcess
+
+__all__ = ["hierarchical_allreduce", "hierarchical_barrier"]
+
+
+def _cluster_groups(proc: MPIProcess,
+                    ranks: Optional[Sequence[int]]) -> Dict[str, List[int]]:
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    groups: Dict[str, List[int]] = {}
+    for r in ranks:
+        groups.setdefault(proc.job.cluster_of[r], []).append(r)
+    return groups
+
+
+def hierarchical_allreduce(proc: MPIProcess, size: int,
+                           ranks: Optional[Sequence[int]] = None):
+    """Allreduce with exactly one WAN crossing per direction per cluster."""
+    groups = _cluster_groups(proc, ranks)
+    clusters = sorted(groups)
+    mine = proc.job.cluster_of[proc.rank]
+    local = groups[mine]
+    leader = local[0]
+    tag = _coll_tag(proc)
+    # 1) local reduction to the cluster leader
+    if len(local) > 1:
+        yield from reduce(proc, size, root=leader, ranks=local)
+    # 2) leaders exchange partial results (all-to-all among leaders;
+    #    with two clusters this is a single WAN round trip)
+    if proc.rank == leader and len(clusters) > 1:
+        others = [groups[c][0] for c in clusters if c != mine]
+        sreqs = [proc.isend(o, size, tag) for o in others]
+        rreqs = [proc.irecv(src=o, tag=tag) for o in others]
+        yield from proc.waitall(sreqs + rreqs)
+    # 3) local broadcast of the combined result
+    if len(local) > 1:
+        yield from _bcast_binomial(proc, local, leader, size, None, tag + 1)
+    return ("allreduce", size)
+
+
+def hierarchical_barrier(proc: MPIProcess,
+                         ranks: Optional[Sequence[int]] = None):
+    """Barrier crossing the WAN once per direction (leader handshake)."""
+    groups = _cluster_groups(proc, ranks)
+    clusters = sorted(groups)
+    mine = proc.job.cluster_of[proc.rank]
+    local = groups[mine]
+    leader = local[0]
+    tag = _coll_tag(proc)
+    # gather: everyone checks in with the local leader
+    if proc.rank == leader:
+        for r in local[1:]:
+            yield from proc.recv(src=r, tag=tag)
+    else:
+        yield from proc.send(leader, 1, tag)
+    # leader handshake across the WAN
+    if proc.rank == leader and len(clusters) > 1:
+        others = [groups[c][0] for c in clusters if c != mine]
+        sreqs = [proc.isend(o, 1, tag + 1) for o in others]
+        rreqs = [proc.irecv(src=o, tag=tag + 1) for o in others]
+        yield from proc.waitall(sreqs + rreqs)
+    # release
+    if proc.rank == leader:
+        reqs = [proc.isend(r, 1, tag + 2) for r in local[1:]]
+        if reqs:
+            yield from proc.waitall(reqs)
+    else:
+        yield from proc.recv(src=leader, tag=tag + 2)

@@ -1,0 +1,142 @@
+"""WAN-aware communication optimizations (paper §3, abstract claims).
+
+Three optimizations the paper proposes and evaluates:
+
+* **message coalescing** — batch small application messages into large
+  wire transfers ("transferring data using large messages");
+* **parallel streams** — stripe one logical transfer over several
+  connections so more data is in flight per RTT;
+* (protocol threshold tuning lives in :mod:`repro.core.adaptive`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..mpi.process import MPIProcess, MPIRequest
+from ..tcp.socket import Socket, TcpStack
+
+__all__ = ["MessageCoalescer", "striped_send", "coalesced_message_rate"]
+
+
+class MessageCoalescer:
+    """Batches small MPI sends to one destination into large messages.
+
+    The receiver side unpacks with :meth:`expected_messages` /
+    :func:`decoalesce`.  Flushing happens when the buffer reaches
+    ``threshold`` bytes or on an explicit :meth:`flush`.
+    """
+
+    def __init__(self, proc: MPIProcess, dst: int, threshold: int = 65536,
+                 tag: int = 7):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.proc = proc
+        self.dst = dst
+        self.threshold = threshold
+        self.tag = tag
+        self._buffer: List[Tuple[int, Any]] = []
+        self._buffered_bytes = 0
+        self.flushes = 0
+        self.messages_absorbed = 0
+        self._inflight: List[MPIRequest] = []
+
+    def add(self, nbytes: int, payload: Any = None) -> Optional[MPIRequest]:
+        """Queue one small message; returns a request when a flush fired."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        self._buffer.append((nbytes, payload))
+        self._buffered_bytes += nbytes
+        self.messages_absorbed += 1
+        if self._buffered_bytes >= self.threshold:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[MPIRequest]:
+        """Send everything buffered as one wire message."""
+        if not self._buffer:
+            return None
+        batch, self._buffer = self._buffer, []
+        nbytes, self._buffered_bytes = self._buffered_bytes, 0
+        self.flushes += 1
+        req = self.proc.isend(self.dst, nbytes, self.tag,
+                              payload=("coalesced", batch))
+        self._inflight.append(req)
+        return req
+
+    def drain(self):
+        """Generator: flush and wait for all outstanding batches."""
+        self.flush()
+        if self._inflight:
+            yield from self.proc.waitall(self._inflight)
+            self._inflight = []
+
+
+def decoalesce(payload: Any) -> List[Tuple[int, Any]]:
+    """Unpack a coalesced batch back into (nbytes, payload) items."""
+    if not (isinstance(payload, tuple) and payload
+            and payload[0] == "coalesced"):
+        raise ValueError("not a coalesced batch")
+    return payload[1]
+
+
+def coalesced_message_rate(sim, proc_a: MPIProcess, proc_b: MPIProcess,
+                           msg_bytes: int, count: int,
+                           threshold: Optional[int]):
+    """Move ``count`` small messages A->B; returns messages/second.
+
+    ``threshold=None`` sends them individually (the baseline);
+    otherwise they are coalesced into ``threshold``-byte batches.
+    """
+    done = {}
+
+    def sender():
+        t0 = sim.now
+        if threshold is None:
+            reqs = [proc_a.isend(proc_b.rank, msg_bytes, 7)
+                    for _ in range(count)]
+            yield from proc_a.waitall(reqs)
+        else:
+            co = MessageCoalescer(proc_a, proc_b.rank, threshold)
+            for _ in range(count):
+                co.add(msg_bytes)
+            yield from co.drain()
+        # one-byte handshake confirms full delivery
+        yield from proc_a.send(proc_b.rank, 1, 8)
+        done["t"] = sim.now - t0
+
+    def receiver():
+        got = 0
+        while got < count:
+            req = yield from proc_b.recv(src=proc_a.rank, tag=7)
+            if (isinstance(req.data, tuple) and req.data
+                    and req.data[0] == "coalesced"):
+                got += len(decoalesce(req.data))
+            else:
+                got += 1
+        yield from proc_b.recv(src=proc_a.rank, tag=8)
+
+    sim.process(receiver(), name="coal.rx")
+    p = sim.process(sender(), name="coal.tx")
+    sim.run(until=p)
+    return count / (done["t"] * 1e-6)
+
+
+def striped_send(sim, sockets: List[Socket], total_bytes: int):
+    """Stripe ``total_bytes`` evenly over ``sockets`` (parallel streams).
+
+    Returns per-socket byte counts; completion is observed by the
+    receiver (see :func:`repro.ipoib.netperf.run_parallel_stream_bw` for
+    the measurement harness).
+    """
+    if not sockets:
+        raise ValueError("need at least one socket")
+    share = total_bytes // len(sockets)
+    rem = total_bytes - share * len(sockets)
+    out = []
+    for i, sock in enumerate(sockets):
+        nbytes = share + (rem if i == 0 else 0)
+        if nbytes:
+            sock.send(nbytes)
+        out.append(nbytes)
+    return out

@@ -1,0 +1,70 @@
+"""Testbed scenarios (paper Fig. 2 and §3.1).
+
+Every measurement builds a fresh simulator + fabric so runs are
+independent and deterministic.  The canonical WAN scenario is two
+clusters joined by a Longbow pair; `back_to_back` and `lan` cover the
+Fig. 3 baseline and the NFS "LAN" reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..calibration import DEFAULT_PROFILE, HardwareProfile
+from ..fabric.topology import (Fabric, build_back_to_back, build_cluster,
+                               build_cluster_of_clusters)
+from ..sim import Simulator
+
+__all__ = ["Scenario", "wan_pair", "wan_clusters", "back_to_back", "lan"]
+
+#: The WAN delays (µs) the paper sweeps (Table 1: 0 to 2000 km).
+PAPER_DELAYS_US = (0.0, 10.0, 100.0, 1000.0, 10000.0)
+
+
+@dataclass
+class Scenario:
+    """A freshly built simulator + fabric pair."""
+
+    sim: Simulator
+    fabric: Fabric
+
+    @property
+    def a(self):
+        """First endpoint (cluster A side where applicable)."""
+        return (self.fabric.cluster_a or self.fabric.nodes)[0]
+
+    @property
+    def b(self):
+        """Second endpoint (cluster B side where applicable)."""
+        return (self.fabric.cluster_b or self.fabric.nodes[1:2]
+                or self.fabric.nodes)[0]
+
+
+def wan_pair(delay_us: float,
+             profile: HardwareProfile = DEFAULT_PROFILE) -> Scenario:
+    """One node per cluster across the Longbow pair (microbenchmarks)."""
+    sim = Simulator()
+    return Scenario(sim, build_cluster_of_clusters(
+        sim, 1, 1, wan_delay_us=delay_us, profile=profile))
+
+
+def wan_clusters(nodes_a: int, nodes_b: int, delay_us: float,
+                 profile: HardwareProfile = DEFAULT_PROFILE) -> Scenario:
+    """Multi-node cluster-of-clusters (MPI jobs, NAS, multi-pair)."""
+    sim = Simulator()
+    return Scenario(sim, build_cluster_of_clusters(
+        sim, nodes_a, nodes_b, wan_delay_us=delay_us, profile=profile))
+
+
+def back_to_back(profile: HardwareProfile = DEFAULT_PROFILE) -> Scenario:
+    """Two nodes on one cable — the Fig. 3 no-Longbow baseline."""
+    sim = Simulator()
+    return Scenario(sim, build_back_to_back(sim, profile=profile))
+
+
+def lan(n_nodes: int = 2,
+        profile: HardwareProfile = DEFAULT_PROFILE) -> Scenario:
+    """A single switched DDR cluster (the NFS 'LAN' reference)."""
+    sim = Simulator()
+    return Scenario(sim, build_cluster(sim, n_nodes, profile=profile))

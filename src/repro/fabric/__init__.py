@@ -1,0 +1,15 @@
+"""InfiniBand fabric model: frames, links, switches, nodes, routing."""
+
+from .link import Link
+from .node import HCA, Node
+from .packet import Frame, wire_size
+from .subnet import SubnetManager
+from .switch import Switch
+from .trace import FrameTracer, TraceRecord
+from .topology import (Fabric, build_back_to_back, build_cluster,
+                       build_cluster_of_clusters)
+
+__all__ = ["Frame", "wire_size", "Link", "Switch", "HCA", "Node",
+           "FrameTracer", "TraceRecord",
+           "SubnetManager", "Fabric", "build_back_to_back", "build_cluster",
+           "build_cluster_of_clusters"]

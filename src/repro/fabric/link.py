@@ -1,0 +1,195 @@
+"""Point-to-point links.
+
+A :class:`Link` joins two devices with a full-duplex pipe.  Each
+direction is an independent :class:`_HalfLink` that serializes queued
+frames at the link data rate and delivers them after the propagation
+delay.  Serialization is sequential (the wire is busy for
+``wire_bytes / rate`` µs per frame); propagation overlaps, so back-to-back
+frames pipeline exactly as on a real wire.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import itertools
+
+from ..sim import PriorityStore, Simulator
+from .packet import Frame
+
+__all__ = ["Link", "LinkEndpoint", "CUT_THROUGH_BYTES"]
+
+#: Bytes a cut-through device latches before forwarding (one IB MTU
+#: packet + headers).  Endpoints with a truthy ``cut_through`` attribute
+#: (switches, Longbows) receive a frame after this much serialization,
+#: while the link stays busy for the frame's full wire time — so
+#: contention is exact and large messages pipeline across hops as on
+#: real cut-through fabrics.  Destination HCAs always wait for the last
+#: byte.
+CUT_THROUGH_BYTES = 2078
+
+
+class LinkEndpoint(Protocol):
+    """Anything that can terminate a link (HCA, switch port, Longbow)."""
+
+    def receive_frame(self, frame: Frame, link: "Link") -> None: ...
+
+
+class _HalfLink:
+    """One direction of a link: FIFO queue -> serialization -> delivery."""
+
+    def __init__(self, sim: Simulator, rate: float, delay_us: float,
+                 name: str):
+        if rate <= 0:
+            raise ValueError("link rate must be positive")
+        if delay_us < 0:
+            raise ValueError("propagation delay must be >= 0")
+        self.sim = sim
+        self.rate = rate
+        self.delay_us = delay_us
+        #: Fault injection: probability a frame is silently dropped
+        #: after serialization (bit-error model; exercises RC recovery).
+        self.loss_rate = 0.0
+        #: Optional ``random.Random`` powering loss/jitter decisions.
+        self.rng = None
+        #: Uniform extra per-frame delay bound (dispersion jitter), µs.
+        self.jitter_us = 0.0
+        self.frames_dropped = 0
+        self._min_next_delivery = 0.0
+        self.name = name
+        # Weighted arbitration: control frames (priority 0) overtake
+        # queued bulk data, approximating per-packet interleaving.
+        self.queue: PriorityStore = PriorityStore(sim)
+        self._seq = itertools.count()
+        self.endpoint: Optional[LinkEndpoint] = None
+        self.parent: Optional["Link"] = None
+        self.bytes_carried = 0
+        self.frames_carried = 0
+        sim.process(self._pump(), name=f"link:{name}")
+
+    def put(self, frame: Frame) -> None:
+        self.queue.put((frame.priority, next(self._seq), frame))
+
+    def _pump(self):
+        while True:
+            _prio, _seq, frame = yield self.queue.get()
+            ser = frame.wire_bytes / self.rate
+            if self.loss_rate and self.rng is not None \
+                    and self.rng.random() < self.loss_rate:
+                yield self.sim.timeout(ser)  # the wire was still busy
+                self.frames_dropped += 1
+                continue
+            if self.jitter_us and self.rng is not None:
+                # dispersion jitter delays delivery, not the wire
+                extra = self.rng.uniform(0.0, self.jitter_us)
+            else:
+                extra = 0.0
+            if getattr(self.endpoint, "cut_through", False):
+                # Hand off after one packet's worth of bytes; the wire
+                # stays busy for the full serialization below.
+                handoff = min(ser, CUT_THROUGH_BYTES / self.rate)
+                self._schedule_delivery(frame, handoff + self.delay_us
+                                        + extra)
+                yield self.sim.timeout(ser)
+            else:
+                yield self.sim.timeout(ser)
+                self._schedule_delivery(frame, self.delay_us + extra)
+            self.bytes_carried += frame.wire_bytes
+            self.frames_carried += 1
+
+    def _schedule_delivery(self, frame: Frame, delay: float) -> None:
+        # Jitter must never reorder frames (RC assumes FIFO wires):
+        # delivery times are clamped to be non-decreasing.
+        at = max(self.sim.now + delay, self._min_next_delivery)
+        self._min_next_delivery = at
+        deliver = self.sim.event()
+        deliver.callbacks.append(self._make_delivery(frame))
+        deliver.succeed(None, delay=at - self.sim.now)
+
+    def _make_delivery(self, frame: Frame):
+        def _deliver(_event):
+            frame.hops += 1
+            self.endpoint.receive_frame(frame, self.parent)
+        return _deliver
+
+    @property
+    def queued_frames(self) -> int:
+        return len(self.queue)
+
+
+class Link:
+    """Full-duplex link between endpoints ``a`` and ``b``."""
+
+    def __init__(self, sim: Simulator, rate: float, delay_us: float = 0.0,
+                 name: str = "link"):
+        self.sim = sim
+        self.name = name
+        self.rate = rate
+        self.delay_us = delay_us
+        self._ab = _HalfLink(sim, rate, delay_us, f"{name}.ab")
+        self._ba = _HalfLink(sim, rate, delay_us, f"{name}.ba")
+        self._ab.parent = self
+        self._ba.parent = self
+        self.a: Optional[LinkEndpoint] = None
+        self.b: Optional[LinkEndpoint] = None
+
+    def attach(self, a: LinkEndpoint, b: LinkEndpoint) -> "Link":
+        """Connect the two endpoints; must be called exactly once."""
+        if self.a is not None or self.b is not None:
+            raise RuntimeError(f"{self.name}: endpoints already attached")
+        self.a, self.b = a, b
+        self._ab.endpoint = b
+        self._ba.endpoint = a
+        return self
+
+    def send(self, sender: LinkEndpoint, frame: Frame) -> None:
+        """Queue ``frame`` for transmission away from ``sender``."""
+        if sender is self.a:
+            self._ab.put(frame)
+        elif sender is self.b:
+            self._ba.put(frame)
+        else:
+            raise ValueError(f"{sender!r} is not attached to {self.name}")
+
+    def other(self, endpoint: LinkEndpoint) -> LinkEndpoint:
+        if endpoint is self.a:
+            return self.b
+        if endpoint is self.b:
+            return self.a
+        raise ValueError(f"{endpoint!r} is not attached to {self.name}")
+
+    def set_delay(self, delay_us: float) -> None:
+        """Change the propagation delay (the Longbow web-UI knob)."""
+        if delay_us < 0:
+            raise ValueError("propagation delay must be >= 0")
+        self.delay_us = delay_us
+        self._ab.delay_us = delay_us
+        self._ba.delay_us = delay_us
+
+    def inject_faults(self, rng, loss_rate: float = 0.0,
+                      jitter_us: float = 0.0) -> None:
+        """Enable loss/jitter on both directions (fault injection).
+
+        ``rng`` is a ``random.Random`` (use
+        :class:`repro.sim.rng.RngRegistry` for reproducibility).
+        """
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if jitter_us < 0:
+            raise ValueError("jitter_us must be >= 0")
+        for half in (self._ab, self._ba):
+            half.rng = rng
+            half.loss_rate = loss_rate
+            half.jitter_us = jitter_us
+
+    @property
+    def frames_dropped(self) -> int:
+        return self._ab.frames_dropped + self._ba.frames_dropped
+
+    @property
+    def bytes_carried(self) -> int:
+        return self._ab.bytes_carried + self._ba.bytes_carried
+
+    @property
+    def frames_carried(self) -> int:
+        return self._ab.frames_carried + self._ba.frames_carried

@@ -1,0 +1,90 @@
+"""Compute nodes and their Host Channel Adapters."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..calibration import HardwareProfile
+from ..sim import Simulator
+from .link import Link
+from .packet import Frame
+
+__all__ = ["HCA", "Node"]
+
+
+class HCA:
+    """Host Channel Adapter: terminates one link, dispatches to QPs.
+
+    QPs register themselves and receive frames addressed to their QPN;
+    QPN 0 is reserved (unroutable), QPN 1 receives management datagrams.
+    """
+
+    def __init__(self, sim: Simulator, profile: HardwareProfile,
+                 name: str = "hca"):
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+        self.lid: int = -1  # assigned by the subnet manager
+        self.link: Optional[Link] = None
+        self._qps: Dict[int, Any] = {}
+        #: 64-bit words addressable by remote atomics (addr -> value).
+        self.atomic_mem: Dict[int, int] = {}
+        self._next_qpn = 2
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # -- QP management ---------------------------------------------------
+    def allocate_qpn(self, qp: Any) -> int:
+        qpn = self._next_qpn
+        self._next_qpn += 1
+        self._qps[qpn] = qp
+        return qpn
+
+    def deregister_qp(self, qpn: int) -> None:
+        self._qps.pop(qpn, None)
+
+    def qp(self, qpn: int) -> Any:
+        return self._qps[qpn]
+
+    # -- fabric interface --------------------------------------------------
+    def attach_link(self, link: Link) -> None:
+        if self.link is not None:
+            raise RuntimeError(f"{self.name}: link already attached")
+        self.link = link
+
+    def transmit(self, frame: Frame) -> None:
+        if self.link is None:
+            raise RuntimeError(f"{self.name}: not attached to the fabric")
+        self.frames_sent += 1
+        self.link.send(self, frame)
+
+    def receive_frame(self, frame: Frame, link: Link) -> None:
+        self.frames_received += 1
+        qp = self._qps.get(frame.dst_qpn)
+        if qp is None:
+            # Real HCAs silently drop frames for dead QPs; count them so
+            # tests can assert nothing unexpected was lost.
+            self.frames_dropped = getattr(self, "frames_dropped", 0) + 1
+            return
+        qp.handle_frame(frame)
+
+
+class Node:
+    """A compute node: one HCA plus arbitrary attached software objects."""
+
+    def __init__(self, sim: Simulator, profile: HardwareProfile,
+                 name: str = "node"):
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+        self.hca = HCA(sim, profile, name=f"{name}.hca")
+        #: Free-form registry for software stacks (IPoIB netdev, NFS
+        #: server, MPI process, ...) attached to this node.
+        self.software: Dict[str, Any] = {}
+
+    @property
+    def lid(self) -> int:
+        return self.hca.lid
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} lid={self.lid}>"

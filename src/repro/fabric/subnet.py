@@ -1,0 +1,90 @@
+"""Subnet manager: LID assignment and routing.
+
+Mirrors OpenSM's job at the granularity this model needs: every HCA and
+switch gets a LID, and each switch's forwarding table is filled with the
+next-hop link on a BFS shortest path.  Two-ported pass-through devices
+(the Obsidian Longbows in their "switch mode") are transparent: they are
+graph vertices but need no tables.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from .link import Link
+from .node import HCA
+from .switch import Switch
+
+__all__ = ["SubnetManager"]
+
+
+class SubnetManager:
+    """Assigns LIDs and computes LID-routed forwarding tables."""
+
+    def __init__(self):
+        self._devices: List[object] = []
+        self._links: List[Link] = []
+        self._next_lid = 1
+        self.lid_to_device: Dict[int, object] = {}
+
+    # -- discovery ---------------------------------------------------------
+    def add_device(self, device: object) -> None:
+        if device in self._devices:
+            raise ValueError(f"{device!r} already registered")
+        self._devices.append(device)
+
+    def add_link(self, link: Link) -> None:
+        if link.a is None or link.b is None:
+            raise ValueError(f"{link.name}: endpoints must be attached first")
+        self._links.append(link)
+
+    # -- configuration -------------------------------------------------------
+    def configure(self) -> None:
+        """Assign LIDs and program every switch's forwarding table."""
+        for dev in self._devices:
+            if getattr(dev, "lid", -1) in (-1, None):
+                dev.lid = self._next_lid
+                self._next_lid += 1
+            self.lid_to_device[dev.lid] = dev
+
+        adjacency: Dict[int, List[Link]] = {id(d): [] for d in self._devices}
+        for link in self._links:
+            if id(link.a) not in adjacency or id(link.b) not in adjacency:
+                raise ValueError(
+                    f"{link.name}: endpoint not registered with the SM")
+            adjacency[id(link.a)].append(link)
+            adjacency[id(link.b)].append(link)
+
+        hcas = [d for d in self._devices if isinstance(d, HCA)]
+        switches = [d for d in self._devices if isinstance(d, Switch)]
+        for sw in switches:
+            first_hop = self._bfs_first_hops(sw, adjacency)
+            for hca in hcas:
+                link = first_hop.get(id(hca))
+                if link is not None:
+                    sw.set_route(hca.lid, link)
+
+    def _bfs_first_hops(self, source: Switch,
+                        adjacency: Dict[int, List[Link]]) -> Dict[int, Link]:
+        """For every reachable device, the first link out of ``source``."""
+        first: Dict[int, Link] = {}
+        visited = {id(source)}
+        queue: deque = deque()
+        for link in adjacency[id(source)]:
+            nbr = link.other(source)
+            if id(nbr) not in visited:
+                visited.add(id(nbr))
+                first[id(nbr)] = link
+                queue.append(nbr)
+        while queue:
+            dev = queue.popleft()
+            if isinstance(dev, HCA):
+                continue  # HCAs do not forward
+            for link in adjacency[id(dev)]:
+                nbr = link.other(dev)
+                if id(nbr) not in visited:
+                    visited.add(id(nbr))
+                    first[id(nbr)] = first[id(dev)]
+                    queue.append(nbr)
+        return first

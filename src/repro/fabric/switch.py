@@ -1,0 +1,53 @@
+"""Cut-through IB switch model.
+
+The switch forwards frames by destination LID using a forwarding table
+filled in by the subnet manager.  Forwarding adds a fixed cut-through
+latency; egress serialization and any head-of-line queueing are handled
+by the egress :class:`~repro.fabric.link.Link`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim import Simulator
+from .link import Link
+from .packet import Frame
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """A LID-routed crossbar switch."""
+
+    #: Links hand frames to switches cut-through (see repro.fabric.link).
+    cut_through = True
+
+    def __init__(self, sim: Simulator, latency_us: float, name: str = "sw"):
+        self.sim = sim
+        self.latency_us = latency_us
+        self.name = name
+        self.links: List[Link] = []
+        self.forwarding: Dict[int, Link] = {}
+        self.lid: int = -1  # assigned by the subnet manager
+        self.frames_forwarded = 0
+
+    def add_link(self, link: Link) -> None:
+        self.links.append(link)
+
+    def set_route(self, dst_lid: int, link: Link) -> None:
+        if link not in self.links:
+            raise ValueError(f"{self.name}: route via unattached link")
+        self.forwarding[dst_lid] = link
+
+    def receive_frame(self, frame: Frame, link: Link) -> None:
+        try:
+            egress = self.forwarding[frame.dst_lid]
+        except KeyError:
+            raise RuntimeError(
+                f"{self.name}: no route for LID {frame.dst_lid} "
+                f"(frame {frame!r})") from None
+        self.frames_forwarded += 1
+        done = self.sim.event()
+        done.callbacks.append(lambda _e: egress.send(self, frame))
+        done.succeed(None, delay=self.latency_us)

@@ -1,0 +1,146 @@
+"""Topology builders for the paper's testbeds.
+
+Three configurations appear in the paper:
+
+* **back-to-back** — two nodes cabled directly (Fig. 3's baseline);
+* **single cluster** — nodes behind one switch;
+* **cluster-of-clusters** — two clusters joined by a Longbow pair over a
+  WAN link with configurable delay (Fig. 2, used by every experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..calibration import DEFAULT_PROFILE, HardwareProfile
+from ..sim import Simulator
+from ..wan.longbow import LongbowPair
+from .link import Link
+from .node import Node
+from .subnet import SubnetManager
+from .switch import Switch
+
+__all__ = ["Fabric", "build_back_to_back", "build_cluster",
+           "build_cluster_of_clusters"]
+
+
+@dataclass
+class Fabric:
+    """A configured, routed IB fabric ready to carry traffic."""
+
+    sim: Simulator
+    profile: HardwareProfile
+    nodes: List[Node]
+    switches: List[Switch] = field(default_factory=list)
+    links: List[Link] = field(default_factory=list)
+    wan: Optional[LongbowPair] = None
+    cluster_a: List[Node] = field(default_factory=list)
+    cluster_b: List[Node] = field(default_factory=list)
+    sm: Optional[SubnetManager] = None
+
+    def set_wan_delay(self, delay_us: float) -> None:
+        if self.wan is None:
+            raise RuntimeError("this fabric has no WAN segment")
+        self.wan.set_delay(delay_us)
+
+    def cluster_of(self, node: Node) -> str:
+        """Which side of the WAN a node sits on ('A', 'B' or 'lan')."""
+        if node in self.cluster_a:
+            return "A"
+        if node in self.cluster_b:
+            return "B"
+        return "lan"
+
+
+def build_back_to_back(sim: Simulator,
+                       profile: HardwareProfile = DEFAULT_PROFILE,
+                       ) -> Fabric:
+    """Two nodes joined by a single DDR cable (no switch, no Longbows)."""
+    n0 = Node(sim, profile, name="n0")
+    n1 = Node(sim, profile, name="n1")
+    link = Link(sim, rate=profile.ddr_rate, delay_us=profile.cable_delay_us,
+                name="b2b")
+    link.attach(n0.hca, n1.hca)
+    n0.hca.attach_link(link)
+    n1.hca.attach_link(link)
+    sm = SubnetManager()
+    sm.add_device(n0.hca)
+    sm.add_device(n1.hca)
+    sm.add_link(link)
+    sm.configure()
+    return Fabric(sim, profile, nodes=[n0, n1], links=[link], sm=sm)
+
+
+def _wire_cluster(sim: Simulator, profile: HardwareProfile, n_nodes: int,
+                  name: str, sm: SubnetManager):
+    """Create ``n_nodes`` nodes behind one switch; register with ``sm``."""
+    switch = Switch(sim, latency_us=profile.switch_latency_us,
+                    name=f"{name}.sw")
+    sm.add_device(switch)
+    nodes, links = [], []
+    for i in range(n_nodes):
+        node = Node(sim, profile, name=f"{name}{i}")
+        link = Link(sim, rate=profile.ddr_rate,
+                    delay_us=profile.cable_delay_us,
+                    name=f"{name}{i}.cable")
+        link.attach(node.hca, switch)
+        node.hca.attach_link(link)
+        switch.add_link(link)
+        sm.add_device(node.hca)
+        sm.add_link(link)
+        nodes.append(node)
+        links.append(link)
+    return nodes, switch, links
+
+
+def build_cluster(sim: Simulator, n_nodes: int,
+                  profile: HardwareProfile = DEFAULT_PROFILE,
+                  name: str = "n") -> Fabric:
+    """A single switched cluster (intra-cluster baseline)."""
+    sm = SubnetManager()
+    nodes, switch, links = _wire_cluster(sim, profile, n_nodes, name, sm)
+    sm.configure()
+    return Fabric(sim, profile, nodes=nodes, switches=[switch], links=links,
+                  sm=sm)
+
+
+def build_cluster_of_clusters(sim: Simulator, nodes_a: int, nodes_b: int,
+                              wan_delay_us: float = 0.0,
+                              profile: HardwareProfile = DEFAULT_PROFILE,
+                              ) -> Fabric:
+    """The paper's Fig. 2 testbed: two clusters joined by a Longbow pair.
+
+    Node-to-switch cables run at DDR; the switch-to-Longbow hop and the
+    WAN itself run at SDR (the Longbow's IB port rate), which is what
+    caps WAN traffic at ~1 GB/s in the paper.
+    """
+    sm = SubnetManager()
+    a_nodes, a_switch, a_links = _wire_cluster(sim, profile, nodes_a, "a", sm)
+    b_nodes, b_switch, b_links = _wire_cluster(sim, profile, nodes_b, "b", sm)
+
+    wan = LongbowPair(sim, profile, delay_us=wan_delay_us)
+    link_a = Link(sim, rate=profile.sdr_rate,
+                  delay_us=profile.cable_delay_us, name="a.sw-lb")
+    link_a.attach(a_switch, wan.a)
+    a_switch.add_link(link_a)
+    wan.a.attach_ib(link_a)
+
+    link_b = Link(sim, rate=profile.sdr_rate,
+                  delay_us=profile.cable_delay_us, name="b.sw-lb")
+    link_b.attach(b_switch, wan.b)
+    b_switch.add_link(link_b)
+    wan.b.attach_ib(link_b)
+
+    sm.add_device(wan.a)
+    sm.add_device(wan.b)
+    sm.add_link(link_a)
+    sm.add_link(link_b)
+    sm.add_link(wan.wan_link)
+    sm.configure()
+
+    return Fabric(sim, profile,
+                  nodes=a_nodes + b_nodes,
+                  switches=[a_switch, b_switch],
+                  links=a_links + b_links + [link_a, link_b],
+                  wan=wan, cluster_a=a_nodes, cluster_b=b_nodes, sm=sm)

@@ -1,0 +1,6 @@
+"""IPoIB: IP over InfiniBand (UD and connected/RC modes)."""
+
+from . import netperf
+from .interface import IPoIBInterface, IPoIBNetwork
+
+__all__ = ["IPoIBNetwork", "IPoIBInterface", "netperf"]

@@ -1,0 +1,100 @@
+"""IPoIB throughput benchmarks (the netperf/iperf analogue).
+
+These drive the paper's §3.3 experiments: single-stream bandwidth with a
+given TCP window and IP MTU, and parallel-stream aggregate bandwidth.
+Messages of ``msg_bytes`` (2 MB in the paper) are sent back to back and
+throughput is measured at the receiver over the whole transfer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..fabric.node import Node
+from ..fabric.topology import Fabric
+from ..sim import Simulator
+from ..tcp.socket import TcpStack
+from .interface import IPoIBNetwork
+
+__all__ = ["run_stream_bw", "run_parallel_stream_bw", "make_stacks"]
+
+
+def make_stacks(fabric: Fabric, node_a: Node, node_b: Node, mode: str = "ud",
+                mtu: Optional[int] = None):
+    """Create an IPoIB network + TCP stack on two nodes."""
+    net = IPoIBNetwork(fabric, mode=mode, mtu=mtu)
+    stack_a = TcpStack(net.add_interface(node_a))
+    stack_b = TcpStack(net.add_interface(node_b))
+    return stack_a, stack_b
+
+
+def run_stream_bw(sim: Simulator, fabric: Fabric, node_a: Node, node_b: Node,
+                  total_bytes: int, mode: str = "ud",
+                  mtu: Optional[int] = None,
+                  window: Optional[int] = None,
+                  msg_bytes: int = 2 * 1024 * 1024,
+                  warm_start: bool = True) -> float:
+    """Single TCP stream A->B; returns receiver-observed MB/s.
+
+    ``warm_start=True`` (default) opens the congestion window to the
+    advertised receive window up front, measuring the steady state a
+    long-running transfer converges to (the paper's iperf-style runs);
+    set it False to include the slow-start ramp.
+    """
+    stack_a, stack_b = make_stacks(fabric, node_a, node_b, mode, mtu)
+    return _run(sim, stack_a, stack_b, [total_bytes], window, msg_bytes,
+                warm_start)
+
+
+def run_parallel_stream_bw(sim: Simulator, fabric: Fabric, node_a: Node,
+                           node_b: Node, total_bytes: int, streams: int,
+                           mode: str = "ud", mtu: Optional[int] = None,
+                           window: Optional[int] = None,
+                           msg_bytes: int = 2 * 1024 * 1024,
+                           warm_start: bool = True) -> float:
+    """``streams`` concurrent sockets A->B; aggregate MB/s."""
+    if streams < 1:
+        raise ValueError("streams must be >= 1")
+    stack_a, stack_b = make_stacks(fabric, node_a, node_b, mode, mtu)
+    per_stream = total_bytes // streams
+    return _run(sim, stack_a, stack_b, [per_stream] * streams, window,
+                msg_bytes, warm_start)
+
+
+def _run(sim: Simulator, stack_a: TcpStack, stack_b: TcpStack,
+         stream_bytes: List[int], window: Optional[int],
+         msg_bytes: int, warm_start: bool = True) -> float:
+    port = 5001
+    listener = stack_b.listen(port, window=window)
+    t_done = {}
+
+    def server(n_streams: int):
+        waiters = []
+        for _ in range(n_streams):
+            sock = yield listener.accept()
+            waiters.append(sim.process(_drain(sock)))
+        yield sim.all_of(waiters)
+        t_done["t1"] = sim.now
+
+    def _drain(sock):
+        total = stream_bytes[0]  # all streams equal by construction
+        yield sock.recv_bytes(total)
+
+    def client(nbytes: int):
+        sock = yield stack_a.connect(stack_b.lid, port, window=window)
+        if warm_start:
+            sock.cc.cwnd = float(sock.peer_rwnd)
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(msg_bytes, remaining)
+            sock.send(chunk)
+            remaining -= chunk
+        return sock
+
+    t0 = sim.now
+    done = sim.process(server(len(stream_bytes)), name="netperf.server")
+    for nbytes in stream_bytes:
+        sim.process(client(nbytes), name="netperf.client")
+    sim.run(until=done)
+    total = sum(stream_bytes)
+    return total / (t_done["t1"] - t0)

@@ -1,0 +1,226 @@
+"""OSU-microbenchmark analogues (OMB), used throughout the paper's §3.4.
+
+Implemented to match the originals' measurement loops:
+
+* ``osu_latency`` — ping-pong, average one-way latency;
+* ``osu_bw`` / ``osu_bibw`` — windowed streaming bandwidth with a final
+  ACK, sender-observed;
+* ``osu_mbw_mr`` — multiple pairs streaming concurrently, aggregate
+  message rate (paper Fig. 10);
+* ``osu_bcast`` — the paper's ACK-augmented broadcast latency loop: the
+  root waits for an ACK from the pre-selected process with the greatest
+  ack time before starting the next broadcast (paper §3.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..fabric.topology import Fabric
+from ..sim import Simulator
+from .collectives import bcast
+from .runtime import MPIJob
+from .tuning import DEFAULT_TUNING, MPITuning
+
+__all__ = ["run_osu_latency", "run_osu_bw", "run_osu_bibw",
+           "run_osu_mbw_mr", "run_osu_bcast", "run_osu_allreduce",
+           "run_osu_alltoall", "run_osu_barrier"]
+
+_DATA_TAG = 1
+_ACK_TAG = 2
+
+
+def _two_rank_job(fabric: Fabric, tuning: MPITuning) -> MPIJob:
+    """One rank on each side of the WAN (or the first two LAN nodes)."""
+    return MPIJob(fabric, nprocs=2, ppn=1, placement="cyclic", tuning=tuning)
+
+
+def run_osu_latency(sim: Simulator, fabric: Fabric, size: int,
+                    iters: int = 50,
+                    tuning: MPITuning = DEFAULT_TUNING) -> float:
+    """Average one-way MPI latency in µs between the two clusters."""
+    job = _two_rank_job(fabric, tuning)
+
+    def prog(proc):
+        if proc.rank == 0:
+            t0 = sim.now
+            for _ in range(iters):
+                yield from proc.send(1, size, _DATA_TAG)
+                yield from proc.recv(src=1, tag=_DATA_TAG)
+            return (sim.now - t0) / (2 * iters)
+        for _ in range(iters):
+            yield from proc.recv(src=0, tag=_DATA_TAG)
+            yield from proc.send(0, size, _DATA_TAG)
+
+    return job.run(prog)[0]
+
+
+def run_osu_bw(sim: Simulator, fabric: Fabric, size: int, window: int = 64,
+               iters: int = 8, tuning: MPITuning = DEFAULT_TUNING) -> float:
+    """Unidirectional streaming bandwidth (MB/s), sender-observed."""
+    job = _two_rank_job(fabric, tuning)
+
+    def prog(proc):
+        if proc.rank == 0:
+            t0 = sim.now
+            for _ in range(iters):
+                reqs = [proc.isend(1, size, _DATA_TAG) for _ in range(window)]
+                yield from proc.waitall(reqs)
+            yield from proc.recv(src=1, tag=_ACK_TAG)
+            return size * window * iters / (sim.now - t0)
+        for _ in range(iters):
+            reqs = [proc.irecv(src=0, tag=_DATA_TAG) for _ in range(window)]
+            yield from proc.waitall(reqs)
+        yield from proc.send(0, 1, _ACK_TAG)
+
+    return job.run(prog)[0]
+
+
+def run_osu_bibw(sim: Simulator, fabric: Fabric, size: int, window: int = 64,
+                 iters: int = 8,
+                 tuning: MPITuning = DEFAULT_TUNING) -> float:
+    """Bidirectional streaming bandwidth (MB/s, both directions summed)."""
+    job = _two_rank_job(fabric, tuning)
+
+    def prog(proc):
+        peer = 1 - proc.rank
+        t0 = sim.now
+        for _ in range(iters):
+            rreqs = [proc.irecv(src=peer, tag=_DATA_TAG)
+                     for _ in range(window)]
+            sreqs = [proc.isend(peer, size, _DATA_TAG)
+                     for _ in range(window)]
+            yield from proc.waitall(rreqs + sreqs)
+        # closing handshake so both directions are fully drained
+        yield from proc.sendrecv(peer, 1, tag=_ACK_TAG)
+        return 2 * size * window * iters / (sim.now - t0)
+
+    return max(job.run(prog))
+
+
+def run_osu_mbw_mr(sim: Simulator, fabric: Fabric, pairs: int, size: int,
+                   window: int = 64, iters: int = 8,
+                   tuning: MPITuning = DEFAULT_TUNING):
+    """Multi-pair bandwidth / message rate (paper Fig. 10).
+
+    Rank ``i`` (cluster A) streams to rank ``pairs + i`` (cluster B).
+    Returns ``(aggregate_MBps, aggregate_msg_rate_per_sec)``.
+    """
+    if fabric.wan is None:
+        raise ValueError("mbw_mr is defined for cluster-of-clusters fabrics")
+    if pairs > len(fabric.cluster_a) or pairs > len(fabric.cluster_b):
+        raise ValueError(f"{pairs} pairs need {pairs} nodes per cluster")
+    job = MPIJob(fabric, nprocs=2 * pairs, ppn=1, placement="block",
+                 tuning=tuning)
+
+    def prog(proc):
+        if proc.rank < pairs:  # sender in cluster A
+            peer = pairs + proc.rank
+            t0 = sim.now
+            for _ in range(iters):
+                reqs = [proc.isend(peer, size, _DATA_TAG)
+                        for _ in range(window)]
+                yield from proc.waitall(reqs)
+            yield from proc.recv(src=peer, tag=_ACK_TAG)
+            return (t0, sim.now)
+        peer = proc.rank - pairs
+        for _ in range(iters):
+            reqs = [proc.irecv(src=peer, tag=_DATA_TAG)
+                    for _ in range(window)]
+            yield from proc.waitall(reqs)
+        yield from proc.send(peer, 1, _ACK_TAG)
+        return None
+
+    spans = [r for r in job.run(prog) if r is not None]
+    t0 = min(s[0] for s in spans)
+    t1 = max(s[1] for s in spans)
+    total_msgs = pairs * window * iters
+    mbps = total_msgs * size / (t1 - t0)
+    rate = total_msgs / ((t1 - t0) * 1e-6)
+    return mbps, rate
+
+
+def _collective_latency(sim: Simulator, fabric: Fabric, coll, iters: int,
+                        ppn: int, tuning: MPITuning) -> float:
+    """Generic OSU collective loop: barrier-separated timed iterations."""
+    from .collectives import barrier
+
+    job = MPIJob(fabric, ppn=ppn, placement="block", tuning=tuning)
+
+    def prog(proc):
+        yield from barrier(proc)
+        t0 = sim.now
+        for _ in range(iters):
+            yield from coll(proc)
+        return (sim.now - t0) / iters
+
+    return max(job.run(prog))
+
+
+def run_osu_allreduce(sim: Simulator, fabric: Fabric, size: int,
+                      ppn: int = 1, iters: int = 5,
+                      hierarchical: bool = False,
+                      tuning: MPITuning = DEFAULT_TUNING) -> float:
+    """Average allreduce latency (µs) across the cluster-of-clusters."""
+    from ..core.hierarchical import hierarchical_allreduce
+    from .collectives import allreduce
+    fn = hierarchical_allreduce if hierarchical else allreduce
+
+    def coll(proc):
+        yield from fn(proc, size)
+
+    return _collective_latency(sim, fabric, coll, iters, ppn, tuning)
+
+
+def run_osu_alltoall(sim: Simulator, fabric: Fabric, size: int,
+                     ppn: int = 1, iters: int = 3,
+                     tuning: MPITuning = DEFAULT_TUNING) -> float:
+    """Average alltoall latency (µs); per-peer message of ``size``."""
+    from .collectives import alltoall
+
+    def coll(proc):
+        yield from alltoall(proc, size)
+
+    return _collective_latency(sim, fabric, coll, iters, ppn, tuning)
+
+
+def run_osu_barrier(sim: Simulator, fabric: Fabric, ppn: int = 1,
+                    iters: int = 10, hierarchical: bool = False,
+                    tuning: MPITuning = DEFAULT_TUNING) -> float:
+    """Average barrier latency (µs)."""
+    from ..core.hierarchical import hierarchical_barrier
+    from .collectives import barrier as flat_barrier
+    fn = hierarchical_barrier if hierarchical else flat_barrier
+
+    def coll(proc):
+        yield from fn(proc)
+
+    return _collective_latency(sim, fabric, coll, iters, ppn, tuning)
+
+
+def run_osu_bcast(sim: Simulator, fabric: Fabric, size: int,
+                  ppn: int = 1, iters: int = 10,
+                  algorithm: Optional[str] = None,
+                  tuning: MPITuning = DEFAULT_TUNING) -> float:
+    """Broadcast latency (µs) with the paper's ACK-based loop.
+
+    The root broadcasts, then waits for an ACK from the pre-selected
+    process with the greatest ack time (the last rank, which sits
+    deepest in the remote cluster under block placement).
+    """
+    job = MPIJob(fabric, ppn=ppn, placement="block", tuning=tuning)
+    designated = job.size - 1
+
+    def prog(proc):
+        if proc.rank == 0:
+            t0 = sim.now
+            for _ in range(iters):
+                yield from bcast(proc, size, root=0, algorithm=algorithm)
+                yield from proc.recv(src=designated, tag=_ACK_TAG)
+            return (sim.now - t0) / iters
+        for _ in range(iters):
+            yield from bcast(proc, size, root=0, algorithm=algorithm)
+            if proc.rank == designated:
+                yield from proc.send(0, 1, _ACK_TAG)
+
+    return job.run(prog)[0]

@@ -1,0 +1,398 @@
+"""MPI collective operations.
+
+All collectives are generator functions driven with ``yield from`` inside
+a rank's program.  Every call site must be reached by all participating
+ranks in the same order (the MPI ordering rule); a per-process collective
+sequence number isolates consecutive collectives' tags.
+
+Broadcast comes in the three flavours the paper compares:
+
+* ``binomial`` — the classic log-P tree (MVAPICH2's small-message choice);
+* ``scatter_allgather`` — van de Geijn scatter + ring allgather
+  (MVAPICH2's large-message choice; the ring crosses the WAN link twice
+  per step, which is what makes it collapse over long pipes);
+* ``hierarchical`` — the paper's WAN-aware variant: the payload crosses
+  the WAN **once** to a remote-cluster leader, then each cluster runs a
+  local binomial tree (per [13], MPI-StarT-style).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from .process import MPIProcess
+
+__all__ = ["bcast", "barrier", "allreduce", "reduce", "alltoall",
+           "alltoallv", "allgather", "gather", "scatter", "reduce_scatter",
+           "COLL_TAG_BASE"]
+
+#: Tags at/above this are reserved for collectives.
+COLL_TAG_BASE = 1 << 20
+
+
+def _coll_tag(proc: MPIProcess) -> int:
+    return COLL_TAG_BASE + next(proc._coll_seq)
+
+
+def _pos(ranks: Sequence[int], rank: int) -> int:
+    try:
+        return ranks.index(rank)
+    except ValueError:
+        raise ValueError(f"rank {rank} not in group {list(ranks)}") from None
+
+
+# ---------------------------------------------------------------------------
+# broadcast
+# ---------------------------------------------------------------------------
+
+def bcast(proc: MPIProcess, size: int, root: int = 0,
+          payload: Any = None, ranks: Optional[Sequence[int]] = None,
+          algorithm: Optional[str] = None):
+    """Broadcast ``size`` bytes from ``root`` to every rank in ``ranks``."""
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    algo = algorithm or proc.tuning.bcast_algorithm
+    if algo == "auto":
+        algo = ("binomial" if size <= proc.tuning.bcast_large_threshold
+                or len(ranks) < 4 else "scatter_allgather")
+    tag = _coll_tag(proc)
+    if algo == "binomial":
+        data = yield from _bcast_binomial(proc, ranks, root, size, payload, tag)
+    elif algo == "scatter_allgather":
+        data = yield from _bcast_scatter_allgather(proc, ranks, root, size,
+                                                   payload, tag)
+    elif algo == "scatter_rd_allgather":
+        data = yield from _bcast_scatter_allgather(proc, ranks, root, size,
+                                                   payload, tag,
+                                                   allgather="rd")
+    elif algo == "hierarchical":
+        data = yield from _bcast_hierarchical(proc, ranks, root, size,
+                                              payload, tag)
+    else:
+        raise ValueError(f"unknown bcast algorithm {algo!r}")
+    return data
+
+
+def _bcast_binomial(proc: MPIProcess, ranks: Sequence[int], root: int,
+                    size: int, payload: Any, tag: int):
+    n = len(ranks)
+    me = _pos(ranks, proc.rank)
+    rel = (me - _pos(ranks, root)) % n
+    data = payload if proc.rank == root else None
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            src = ranks[(me - mask) % n]
+            req = yield from proc.recv(src=src, tag=tag)
+            data = req.data
+            break
+        mask <<= 1
+    mask >>= 1
+    sends = []
+    while mask > 0:
+        if rel + mask < n:
+            dst = ranks[(me + mask) % n]
+            sends.append(proc.isend(dst, size, tag, payload=data))
+        mask >>= 1
+    if sends:
+        yield from proc.waitall(sends)
+    return data
+
+
+def _bcast_scatter_allgather(proc: MPIProcess, ranks: Sequence[int],
+                             root: int, size: int, payload: Any, tag: int,
+                             allgather: str = "ring"):
+    """van de Geijn: binomial scatter of 1/n chunks, then an allgather
+    (``ring`` by default; ``rd`` = recursive doubling, power-of-two
+    groups only — the MPICH medium-message choice)."""
+    n = len(ranks)
+    me = _pos(ranks, proc.rank)
+    rel = (me - _pos(ranks, root)) % n
+    chunk = max(1, size // n)
+    # --- binomial scatter: each holder forwards the upper half of its
+    # chunk range down the tree; counts ride the payload ---
+    have = n if proc.rank == root else 0  # chunks currently held
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            src = ranks[(me - mask) % n]
+            req = yield from proc.recv(src=src, tag=tag)
+            have = req.data
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < n and have > mask:
+            dst = ranks[(me + mask) % n]
+            cnt = have - mask
+            yield from proc.send(dst, cnt * chunk, tag, payload=cnt)
+            have = mask
+        mask >>= 1
+    if allgather == "rd" and (n & (n - 1)) == 0:
+        # recursive doubling: log2(n) steps, doubling the block each time
+        cur = 1
+        mask = 1
+        while mask < n:
+            partner = ranks[me ^ mask]
+            yield from proc.sendrecv(partner, cur * chunk, src=partner,
+                                     tag=tag + 1)
+            cur *= 2
+            mask <<= 1
+    else:
+        # ring allgather: n-1 steps of one chunk each
+        right = ranks[(me + 1) % n]
+        left = ranks[(me - 1) % n]
+        for _ in range(n - 1):
+            yield from proc.sendrecv(right, chunk, src=left, tag=tag)
+    return payload if proc.rank == root else ("bcast", size)
+
+
+def _bcast_hierarchical(proc: MPIProcess, ranks: Sequence[int], root: int,
+                        size: int, payload: Any, tag: int):
+    job = proc.job
+    by_cluster = {}
+    for r in ranks:
+        by_cluster.setdefault(job.cluster_of[r], []).append(r)
+    root_cluster = job.cluster_of[root]
+    data = payload if proc.rank == root else None
+    # 1) one WAN crossing per remote cluster, root -> that cluster's leader
+    remote = [c for c in by_cluster if c != root_cluster]
+    if proc.rank == root:
+        sends = [proc.isend(by_cluster[c][0], size, tag, payload=payload)
+                 for c in remote]
+        if sends:
+            yield from proc.waitall(sends)
+    else:
+        mine = job.cluster_of[proc.rank]
+        if mine != root_cluster and proc.rank == by_cluster[mine][0]:
+            req = yield from proc.recv(src=root, tag=tag)
+            data = req.data
+    # 2) local binomial within each cluster
+    mine = job.cluster_of[proc.rank]
+    local = by_cluster[mine]
+    local_root = root if mine == root_cluster else local[0]
+    if len(local) > 1:
+        data = yield from _bcast_binomial(proc, local, local_root, size,
+                                          data, tag + 1)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# barrier / reductions
+# ---------------------------------------------------------------------------
+
+def barrier(proc: MPIProcess, ranks: Optional[Sequence[int]] = None):
+    """Dissemination barrier (log-P rounds of empty messages)."""
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    n = len(ranks)
+    me = _pos(ranks, proc.rank)
+    tag = _coll_tag(proc)
+    mask = 1
+    while mask < n:
+        dst = ranks[(me + mask) % n]
+        src = ranks[(me - mask) % n]
+        yield from proc.sendrecv(dst, 1, src=src, tag=tag + mask)
+        mask <<= 1
+
+
+def allreduce(proc: MPIProcess, size: int,
+              ranks: Optional[Sequence[int]] = None, payload: Any = None):
+    """Recursive-doubling allreduce of a ``size``-byte buffer.
+
+    Non-power-of-two groups fold the remainder into the nearest power of
+    two first (MPICH's approach).
+    """
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    n = len(ranks)
+    me = _pos(ranks, proc.rank)
+    tag = _coll_tag(proc)
+    pof2 = 1
+    while pof2 * 2 <= n:
+        pof2 *= 2
+    rem = n - pof2
+    new_me = me
+    # fold: the first 2*rem ranks pair up (even sends to odd)
+    if me < 2 * rem:
+        if me % 2 == 0:
+            yield from proc.send(ranks[me + 1], size, tag)
+            req = yield from proc.recv(src=ranks[me + 1], tag=tag + 1)
+            _ = req
+            return ("allreduce", size)
+        else:
+            yield from proc.recv(src=ranks[me - 1], tag=tag)
+            new_me = me // 2
+    else:
+        new_me = me - rem
+    # recursive doubling among pof2 survivors
+    survivors = ([ranks[i] for i in range(1, 2 * rem, 2)]
+                 + ranks[2 * rem:])
+    mask = 1
+    while mask < pof2:
+        partner = survivors[new_me ^ mask]
+        yield from proc.sendrecv(partner, size, src=partner, tag=tag + 2)
+        mask <<= 1
+    # unfold: odd survivors send the result back to their even partner
+    if me < 2 * rem and me % 2 == 1:
+        yield from proc.send(ranks[me - 1], size, tag + 1)
+    return ("allreduce", size)
+
+
+def reduce(proc: MPIProcess, size: int, root: int = 0,
+           ranks: Optional[Sequence[int]] = None, payload: Any = None):
+    """Binomial-tree reduction to ``root``."""
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    n = len(ranks)
+    me = _pos(ranks, proc.rank)
+    rel = (me - _pos(ranks, root)) % n
+    tag = _coll_tag(proc)
+    mask = 1
+    while mask < n:
+        if rel & mask == 0:
+            if rel + mask < n:
+                src = ranks[(me + mask) % n]
+                yield from proc.recv(src=src, tag=tag)
+        else:
+            dst = ranks[(me - mask) % n]
+            yield from proc.send(dst, size, tag, payload=payload)
+            break
+        mask <<= 1
+    return ("reduce", size) if proc.rank == root else None
+
+
+# ---------------------------------------------------------------------------
+# all-to-all / allgather
+# ---------------------------------------------------------------------------
+
+def alltoall(proc: MPIProcess, size: int,
+             ranks: Optional[Sequence[int]] = None):
+    """Pairwise-exchange alltoall: ``size`` bytes to every other rank."""
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    yield from alltoallv(proc, lambda src, dst: size, ranks)
+
+
+def alltoallv(proc: MPIProcess, size_fn,
+              ranks: Optional[Sequence[int]] = None,
+              concurrency: Optional[int] = None):
+    """All-to-all-v; ``size_fn(src_rank, dst_rank)`` gives bytes.
+
+    All sends and receives are posted up front and progressed together
+    (how MPI_Alltoallv overlaps transfers); large all-to-alls are thus
+    bandwidth-bound, not handshake-latency-bound — the property that
+    lets IS/FT tolerate WAN delay in the paper's §3.5.  ``concurrency``
+    optionally caps outstanding exchange steps (pairwise fallback = 1).
+    """
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    n = len(ranks)
+    me = _pos(ranks, proc.rank)
+    tag = _coll_tag(proc)
+    batch = concurrency if concurrency is not None else n
+    reqs = []
+    for step in range(1, n):
+        dst = ranks[(me + step) % n]
+        src = ranks[(me - step) % n]
+        s_size = size_fn(proc.rank, dst)
+        r_size = size_fn(src, proc.rank)
+        if s_size > 0:
+            reqs.append(proc.isend(dst, s_size, tag))
+        if r_size > 0:
+            reqs.append(proc.irecv(src=src, tag=tag))
+        if len(reqs) >= 2 * batch:
+            yield from proc.waitall(reqs)
+            reqs = []
+    if reqs:
+        yield from proc.waitall(reqs)
+
+
+def allgather(proc: MPIProcess, size: int,
+              ranks: Optional[Sequence[int]] = None):
+    """Ring allgather: n-1 steps forwarding one ``size``-byte block."""
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    n = len(ranks)
+    me = _pos(ranks, proc.rank)
+    tag = _coll_tag(proc)
+    right = ranks[(me + 1) % n]
+    left = ranks[(me - 1) % n]
+    for _ in range(n - 1):
+        yield from proc.sendrecv(right, size, src=left, tag=tag)
+
+
+def gather(proc: MPIProcess, size: int, root: int = 0,
+           ranks: Optional[Sequence[int]] = None, payload: Any = None):
+    """Binomial gather of one ``size``-byte block per rank to ``root``.
+
+    Interior tree nodes forward their accumulated subtree, so wire
+    volume doubles at each level, as in MPICH.
+    """
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    n = len(ranks)
+    me = _pos(ranks, proc.rank)
+    rel = (me - _pos(ranks, root)) % n
+    tag = _coll_tag(proc)
+    have = 1  # blocks held (own contribution)
+    mask = 1
+    while mask < n:
+        if rel & mask == 0:
+            if rel + mask < n:
+                src = ranks[(me + mask) % n]
+                req = yield from proc.recv(src=src, tag=tag)
+                have += req.data
+        else:
+            dst = ranks[(me - mask) % n]
+            yield from proc.send(dst, have * size, tag, payload=have)
+            return None
+        mask <<= 1
+    return ("gather", have * size) if proc.rank == root else None
+
+
+def scatter(proc: MPIProcess, size: int, root: int = 0,
+            ranks: Optional[Sequence[int]] = None):
+    """Binomial scatter of one ``size``-byte block per rank from ``root``."""
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    n = len(ranks)
+    me = _pos(ranks, proc.rank)
+    rel = (me - _pos(ranks, root)) % n
+    tag = _coll_tag(proc)
+    have = n if proc.rank == root else 0
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            src = ranks[(me - mask) % n]
+            req = yield from proc.recv(src=src, tag=tag)
+            have = req.data
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < n and have > mask:
+            dst = ranks[(me + mask) % n]
+            cnt = have - mask
+            yield from proc.send(dst, cnt * size, tag, payload=cnt)
+            have = mask
+        mask >>= 1
+    return ("scatter", size)
+
+
+def reduce_scatter(proc: MPIProcess, size_per_rank: int,
+                   ranks: Optional[Sequence[int]] = None):
+    """Recursive-halving reduce-scatter (power-of-two groups).
+
+    At step k each rank exchanges half of its remaining range with a
+    partner at distance n/2^k, so wire volume halves every step.
+    Non-power-of-two groups fall back to reduce+scatter.
+    """
+    ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
+    n = len(ranks)
+    if n & (n - 1):
+        yield from reduce(proc, size_per_rank * n, root=ranks[0],
+                          ranks=ranks)
+        yield from scatter(proc, size_per_rank, root=ranks[0], ranks=ranks)
+        return ("reduce_scatter", size_per_rank)
+    me = _pos(ranks, proc.rank)
+    tag = _coll_tag(proc)
+    span = n
+    while span > 1:
+        half = span // 2
+        partner = ranks[me ^ half]
+        yield from proc.sendrecv(partner, half * size_per_rank,
+                                 src=partner, tag=tag + span)
+        span = half
+    return ("reduce_scatter", size_per_rank)

@@ -1,0 +1,101 @@
+"""MPI job launcher: rank placement and collective program execution.
+
+Rank placement matters over WAN: the paper uses a **block** distribution
+(ranks 0..n/2-1 on cluster A, the rest on cluster B) and mentions the
+cyclic alternative; both are supported because the number of WAN
+crossings of every collective depends on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..fabric.node import Node
+from ..fabric.topology import Fabric
+from ..sim import Simulator
+from .process import MPIProcess
+from .tuning import DEFAULT_TUNING, MPITuning
+
+__all__ = ["MPIJob"]
+
+
+class MPIJob:
+    """A set of MPI ranks placed on a fabric."""
+
+    def __init__(self, fabric: Fabric, nprocs: Optional[int] = None,
+                 ppn: int = 1, placement: str = "block",
+                 tuning: MPITuning = DEFAULT_TUNING):
+        if ppn < 1:
+            raise ValueError("ppn must be >= 1")
+        if placement not in ("block", "cyclic"):
+            raise ValueError(f"unknown placement {placement!r}")
+        self.fabric = fabric
+        self.sim: Simulator = fabric.sim
+        self.tuning = tuning
+        self.placement = placement
+        slots = self._build_slots(fabric, ppn, placement)
+        if nprocs is None:
+            nprocs = len(slots)
+        if nprocs > len(slots):
+            raise ValueError(
+                f"{nprocs} ranks but only {len(slots)} slots "
+                f"({ppn} per node x {len(fabric.nodes)} nodes)")
+        self.procs: List[MPIProcess] = [
+            MPIProcess(self, rank, node, tuning)
+            for rank, node in enumerate(slots[:nprocs])]
+        self.cluster_of: List[str] = [
+            fabric.cluster_of(p.node) for p in self.procs]
+
+    @staticmethod
+    def _build_slots(fabric: Fabric, ppn: int, placement: str) -> List[Node]:
+        if fabric.wan is not None:
+            a = [n for n in fabric.cluster_a for _ in range(ppn)]
+            b = [n for n in fabric.cluster_b for _ in range(ppn)]
+        else:
+            a, b = [n for n in fabric.nodes for _ in range(ppn)], []
+        if placement == "block" or not b:
+            return a + b
+        # cyclic: alternate clusters rank by rank
+        out: List[Node] = []
+        ia = ib = 0
+        for i in range(len(a) + len(b)):
+            if (i % 2 == 0 and ia < len(a)) or ib >= len(b):
+                out.append(a[ia])
+                ia += 1
+            else:
+                out.append(b[ib])
+                ib += 1
+        return out
+
+    # -- topology queries -----------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.procs)
+
+    def ranks_in_cluster(self, cluster: str) -> List[int]:
+        return [r for r, c in enumerate(self.cluster_of) if c == cluster]
+
+    def clusters(self) -> List[str]:
+        seen: List[str] = []
+        for c in self.cluster_of:
+            if c not in seen:
+                seen.append(c)
+        return seen
+
+    # -- program execution ------------------------------------------------------
+    def spawn(self, fn: Callable[[MPIProcess], object]):
+        """Start ``fn(proc)`` as a generator on every rank.
+
+        Returns an event that fires when all ranks have returned; its
+        value maps rank -> return value via :meth:`collect`.
+        """
+        self._rank_procs = [
+            self.sim.process(fn(proc), name=f"rank{proc.rank}")
+            for proc in self.procs]
+        return self.sim.all_of(self._rank_procs)
+
+    def run(self, fn: Callable[[MPIProcess], object]) -> List[object]:
+        """Run ``fn`` on every rank to completion; list of return values."""
+        done = self.spawn(fn)
+        self.sim.run(until=done)
+        return [p.value for p in self._rank_procs]

@@ -1,0 +1,43 @@
+"""MPI library tuning parameters (the MVAPICH2 knob surface).
+
+The paper's §3.4 tuning experiment is exactly a change of
+:attr:`MPITuning.eager_threshold` (``VIADEV_RENDEZVOUS_THRESHOLD``), and
+its §3.4 broadcast experiment a change of :attr:`MPITuning.bcast_algorithm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..calibration import KB
+
+__all__ = ["MPITuning", "DEFAULT_TUNING"]
+
+
+@dataclass(frozen=True)
+class MPITuning:
+    """Protocol switches for the simulated MPI library."""
+
+    #: Messages at or below this ride the eager path (copied through
+    #: pre-registered bounce buffers); above it the rendezvous protocol
+    #: (RTS/CTS handshake + zero-copy RDMA write) is used.  MVAPICH2's
+    #: default on the paper's testbed was ~8 KB.
+    eager_threshold: int = 8 * KB
+    #: Broadcast algorithm: "binomial", "scatter_allgather", or
+    #: "hierarchical" (the paper's WAN-aware variant); "auto" picks
+    #: binomial for small and scatter-allgather for large messages, as
+    #: MVAPICH2 does intra-cluster.
+    bcast_algorithm: str = "auto"
+    #: Message size at which "auto" bcast switches to scatter-allgather.
+    bcast_large_threshold: int = 8 * KB
+    #: Per-destination limit on in-flight rendezvous transfers.
+    rndv_depth: int = 16
+    #: Receive descriptors pre-posted per connection.
+    recv_ring: int = 512
+
+    def with_overrides(self, **kwargs) -> "MPITuning":
+        return replace(self, **kwargs)
+
+
+DEFAULT_TUNING = MPITuning()

@@ -1,0 +1,11 @@
+"""NFS over RDMA and over IPoIB (TCP) with an IOzone-style harness."""
+
+from .client import NFSClient
+from .iozone import TRANSPORTS, mount, run_iozone_read
+from .rpc import (NFS_PORT, RdmaRpcClient, RdmaRpcServer, TcpRpcClient,
+                  TcpRpcServer)
+from .server import FileHandle, NFSServer
+
+__all__ = ["NFSServer", "NFSClient", "FileHandle", "NFS_PORT",
+           "TcpRpcServer", "TcpRpcClient", "RdmaRpcServer", "RdmaRpcClient",
+           "mount", "run_iozone_read", "TRANSPORTS"]

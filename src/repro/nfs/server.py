@@ -1,0 +1,85 @@
+"""NFS server: exported files, RPC handlers, service thread pool."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..calibration import HardwareProfile
+from ..fabric.node import Node
+from ..sim import Resource, Simulator
+
+__all__ = ["NFSServer", "FileHandle"]
+
+
+class FileHandle:
+    """An exported file (warm in the server's buffer cache — the IOzone
+    re-read scenario the paper measures; cold-miss disk latency can be
+    injected via ``disk_latency_us``)."""
+
+    def __init__(self, path: str, size: int, disk_latency_us: float = 0.0):
+        self.path = path
+        self.size = size
+        self.disk_latency_us = disk_latency_us
+
+
+class NFSServer:
+    """Transport-agnostic NFS request processor.
+
+    The transport (TCP or RDMA RPC server) calls :meth:`handle` as its
+    handler; it returns ``(resp_data_bytes, result)``.
+    """
+
+    def __init__(self, node: Node, copies_data: bool):
+        """``copies_data``: True for the TCP transport (the server copies
+        file data into the stream — the overhead NFS/RDMA removes)."""
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.profile: HardwareProfile = node.profile
+        self.copies_data = copies_data
+        self.exports: Dict[str, FileHandle] = {}
+        self.threads = Resource(self.sim,
+                                capacity=self.profile.nfs_server_threads)
+        self.ops = 0
+
+    def export(self, path: str, size: int,
+               disk_latency_us: float = 0.0) -> FileHandle:
+        fh = FileHandle(path, size, disk_latency_us)
+        self.exports[path] = fh
+        return fh
+
+    # -- RPC handler (generator) ----------------------------------------------
+    def handle(self, proc: str, args: Tuple):
+        with self.threads.request() as req:
+            yield req
+            yield self.sim.timeout(self.profile.nfs_rpc_server_us)
+            self.ops += 1
+            if proc == "read":
+                path, offset, count = args
+                fh = self._lookup(path)
+                if offset >= fh.size:
+                    return 0, ("eof", 0)
+                count = min(count, fh.size - offset)
+                if fh.disk_latency_us:
+                    yield self.sim.timeout(fh.disk_latency_us)
+                if self.copies_data:
+                    yield self.sim.timeout(
+                        count * self.profile.nfs_tcp_copy_us_per_byte)
+                return count, ("ok", count)
+            if proc == "write":
+                path, offset, count = args
+                fh = self._lookup(path)
+                if self.copies_data:
+                    yield self.sim.timeout(
+                        count * self.profile.nfs_tcp_copy_us_per_byte)
+                fh.size = max(fh.size, offset + count)
+                return 0, ("ok", count)
+            if proc == "getattr":
+                fh = self._lookup(args[0])
+                return 0, ("ok", fh.size)
+            raise ValueError(f"unknown NFS procedure {proc!r}")
+
+    def _lookup(self, path: str) -> FileHandle:
+        try:
+            return self.exports[path]
+        except KeyError:
+            raise KeyError(f"not exported: {path}") from None

@@ -1,0 +1,7 @@
+"""Striped parallel filesystem over RDMA (paper future-work extension)."""
+
+from .striped import (MetadataServer, ObjectServer, PFSClient, StripeLayout,
+                      build_pfs, run_pfs_read)
+
+__all__ = ["StripeLayout", "MetadataServer", "ObjectServer", "PFSClient",
+           "build_pfs", "run_pfs_read"]

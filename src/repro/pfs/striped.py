@@ -1,0 +1,188 @@
+"""A striped parallel filesystem over RDMA (Lustre-flavoured).
+
+The paper's conclusions name parallel filesystems over IB WAN as future
+work (its related work [6] measured Lustre over the UltraScience Net).
+This module builds the minimal honest version of that system on the
+repository's own substrates:
+
+* ``N`` **object storage servers** (OSSes), each an RDMA-RPC NFS-style
+  data server exporting one object per file;
+* a **metadata server** (MDS) mapping a file to its stripe layout;
+* a **client** that fans read requests out across the stripes —
+  which over a long pipe behaves exactly like the paper's parallel
+  streams: every OSS connection contributes its own RC window toward
+  covering the bandwidth-delay product.
+
+Data movement reuses :class:`repro.nfs.rpc.RdmaRpcServer` (4 KB-chunk
+server-driven RDMA writes), so a 1-stripe filesystem reproduces the
+NFS/RDMA WAN collapse and striping shows how far layout parallelism can
+recover it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..calibration import HardwareProfile, MB
+from ..fabric.node import Node
+from ..fabric.topology import Fabric
+from ..nfs.rpc import RdmaRpcClient, RdmaRpcServer
+from ..nfs.server import NFSServer
+from ..sim import Simulator
+
+__all__ = ["StripeLayout", "MetadataServer", "ObjectServer", "PFSClient",
+           "build_pfs", "run_pfs_read"]
+
+DEFAULT_STRIPE = 1 * MB
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Which objects hold a file and how it is striped across them."""
+
+    path: str
+    size: int
+    stripe_size: int
+    oss_indices: Tuple[int, ...]
+
+    def locate(self, offset: int) -> Tuple[int, int]:
+        """Map a file offset to ``(oss_index, object_offset)``."""
+        if not 0 <= offset < self.size:
+            raise ValueError(f"offset {offset} outside file of {self.size}")
+        stripe_no = offset // self.stripe_size
+        oss = self.oss_indices[stripe_no % len(self.oss_indices)]
+        row = stripe_no // len(self.oss_indices)
+        return oss, row * self.stripe_size + offset % self.stripe_size
+
+
+class MetadataServer:
+    """Maps paths to stripe layouts (the MDS; consulted once per open)."""
+
+    def __init__(self, sim: Simulator, n_oss: int):
+        if n_oss < 1:
+            raise ValueError("need at least one OSS")
+        self.sim = sim
+        self.n_oss = n_oss
+        self._layouts: Dict[str, StripeLayout] = {}
+        self.opens = 0
+
+    def create(self, path: str, size: int,
+               stripe_size: int = DEFAULT_STRIPE,
+               stripe_count: int = 0) -> StripeLayout:
+        count = stripe_count or self.n_oss
+        if count > self.n_oss:
+            raise ValueError(f"stripe_count {count} > {self.n_oss} OSSes")
+        layout = StripeLayout(path, size, stripe_size,
+                              tuple(range(count)))
+        self._layouts[path] = layout
+        return layout
+
+    def open(self, path: str) -> StripeLayout:
+        self.opens += 1
+        try:
+            return self._layouts[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+
+class ObjectServer:
+    """One OSS: an RDMA data server exporting per-file objects."""
+
+    def __init__(self, node: Node, index: int):
+        self.node = node
+        self.index = index
+        self.backend = NFSServer(node, copies_data=False)
+        self.rpc = RdmaRpcServer(node, self.backend.handle)
+
+    def ensure_object(self, path: str, size: int) -> None:
+        if path not in self.backend.exports:
+            self.backend.export(path, size)
+        else:
+            self.backend.exports[path].size = max(
+                self.backend.exports[path].size, size)
+
+
+class PFSClient:
+    """Client with one RDMA connection per OSS (its own window each)."""
+
+    def __init__(self, node: Node, mds: MetadataServer,
+                 osses: Sequence[ObjectServer]):
+        self.node = node
+        self.sim = node.sim
+        self.mds = mds
+        self.osses = list(osses)
+        self._conns: List[RdmaRpcClient] = [
+            RdmaRpcClient(node, oss.rpc) for oss in self.osses]
+        self.bytes_read = 0
+
+    def read(self, path: str, offset: int, count: int):
+        """Read ``count`` bytes at ``offset``, fanned across stripes."""
+        layout = self.mds.open(path)
+        count = min(count, layout.size - offset)
+        if count <= 0:
+            return 0
+        # split the request at stripe boundaries, issue all in parallel
+        pieces = []
+        pos = offset
+        while pos < offset + count:
+            oss, obj_off = layout.locate(pos)
+            in_stripe = layout.stripe_size - (pos % layout.stripe_size)
+            n = min(in_stripe, offset + count - pos)
+            pieces.append((oss, obj_off, n))
+            pos += n
+
+        def fetch(oss_idx, obj_off, n):
+            result = yield from self._conns[oss_idx].call(
+                "read", (path, obj_off, n), req_bytes=0)
+            return result[1]
+
+        workers = [self.sim.process(fetch(*p), name="pfs.read")
+                   for p in pieces]
+        results = yield self.sim.all_of(workers)
+        got = sum(results.values())
+        self.bytes_read += got
+        return got
+
+
+def build_pfs(fabric: Fabric, server_nodes: Sequence[Node],
+              client_node: Node) -> Tuple[MetadataServer, PFSClient]:
+    """Stand up an MDS + one OSS per server node + a client."""
+    sim = fabric.sim
+    mds = MetadataServer(sim, n_oss=len(server_nodes))
+    osses = [ObjectServer(node, i) for i, node in enumerate(server_nodes)]
+    client = PFSClient(client_node, mds, osses)
+
+    def _create(path, size, stripe_size=DEFAULT_STRIPE, stripe_count=0):
+        layout = mds.create(path, size, stripe_size, stripe_count)
+        per_oss = -(-size // len(layout.oss_indices))
+        for idx in layout.oss_indices:
+            osses[idx].ensure_object(path, per_oss)
+        return layout
+
+    mds.create_file = _create  # convenience hook for tests/benches
+    return mds, client
+
+
+def run_pfs_read(sim: Simulator, fabric: Fabric,
+                 server_nodes: Sequence[Node], client_node: Node,
+                 file_bytes: int, request_bytes: int = 4 * MB,
+                 stripe_size: int = DEFAULT_STRIPE) -> float:
+    """Sequentially read a striped file; aggregate MB/s."""
+    mds, client = build_pfs(fabric, server_nodes, client_node)
+    mds.create_file("/stripe", file_bytes, stripe_size=stripe_size)
+    span = {}
+
+    def main():
+        t0 = sim.now
+        offset = 0
+        while offset < file_bytes:
+            got = yield from client.read("/stripe", offset,
+                                         min(request_bytes,
+                                             file_bytes - offset))
+            offset += got
+        span["t"] = sim.now - t0
+
+    done = sim.process(main(), name="pfs.main")
+    sim.run(until=done)
+    return file_bytes / span["t"]

@@ -1,0 +1,6 @@
+"""Sockets Direct Protocol: socket semantics over RC, bypassing TCP/IP."""
+
+from .netperf import run_sdp_stream_bw
+from .socket import SdpListener, SdpSocket, SdpStack
+
+__all__ = ["SdpStack", "SdpListener", "SdpSocket", "run_sdp_stream_bw"]

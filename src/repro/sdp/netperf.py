@@ -1,0 +1,39 @@
+"""SDP throughput benchmark (the ttcp-over-SDP measurement of [19])."""
+
+from __future__ import annotations
+
+from ..fabric.node import Node
+from ..fabric.topology import Fabric
+from ..sim import Simulator
+from .socket import SdpStack
+
+__all__ = ["run_sdp_stream_bw"]
+
+
+def run_sdp_stream_bw(sim: Simulator, fabric: Fabric, node_a: Node,
+                      node_b: Node, total_bytes: int,
+                      msg_bytes: int = 2 * 1024 * 1024) -> float:
+    """Single SDP stream A->B; receiver-observed MB/s."""
+    stack_a = SdpStack(node_a, fabric)
+    stack_b = SdpStack(node_b, fabric)
+    listener = stack_b.listen(5002)
+    span = {}
+
+    def server():
+        sock = yield listener.accept()
+        t0 = sim.now
+        yield sock.recv_bytes(total_bytes)
+        span["t"] = sim.now - t0
+
+    def client():
+        sock = yield stack_a.connect(node_b.lid, 5002)
+        remaining = total_bytes
+        while remaining > 0:
+            chunk = min(msg_bytes, remaining)
+            sock.send(chunk)
+            remaining -= chunk
+
+    done = sim.process(server(), name="sdp.server")
+    sim.process(client(), name="sdp.client")
+    sim.run(until=done)
+    return total_bytes / span["t"]

@@ -1,0 +1,420 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate every protocol model in :mod:`repro` runs on.  The
+design follows the classic event-list / process-interaction style (the
+same model SimPy uses): a :class:`Simulator` owns a priority queue of
+:class:`Event` objects ordered by ``(time, priority, sequence)``, and a
+:class:`Process` wraps a Python generator that advances by yielding
+events.  Time is a ``float`` in **microseconds** throughout the project;
+the unit is a convention, nothing in the kernel depends on it.
+
+The kernel is deliberately small and dependency-free: the correctness of
+every figure in the paper reproduction rests on the ordering guarantees
+documented here, which the test-suite pins down:
+
+* events scheduled for the same instant fire in ``(priority, sequence)``
+  order — i.e. FIFO among equal priorities;
+* a process resumes in the same event-loop step its awaited event is
+  processed, before any later-scheduled event;
+* failures propagate into the waiting process as raised exceptions, and
+  un-waited failures surface from :meth:`Simulator.run`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "URGENT",
+    "NORMAL",
+    "SimulationError",
+]
+
+#: Scheduling priority for interrupts and other must-run-first events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupting cause is available as :attr:`cause`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, becomes *triggered* once given a value (or
+    failure) and scheduled, and *processed* after its callbacks have run.
+    Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+        self._scheduled: bool = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the event queue."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful if triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("value of untriggered event is undefined")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0,
+                priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        ``delay`` schedules processing that far in the future (used by
+        :class:`Timeout`); events may only be triggered once.
+        """
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay=delay, priority=priority)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0,
+             priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed with exception ``exc``."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"{exc!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay=delay, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (processed) event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = ("processed" if self.processed
+                 else "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated microseconds from *now*."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.succeed(value, delay=delay)
+
+
+class Process(Event):
+    """A simulation process wrapping a generator.
+
+    The process is itself an event that triggers when the generator
+    returns (value = return value) or raises (failure).  Other processes
+    may therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current instant.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init.succeed(None, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._generator is self.sim._active_gen:
+            raise SimulationError("a process cannot interrupt itself")
+        evt = Event(self.sim)
+        evt.callbacks.append(self._resume_interrupt)
+        evt.fail(Interrupt(cause), priority=URGENT)
+
+    # -- internal ------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:  # raced with normal termination
+            event._defused = True
+            return
+        # Detach from whatever we were waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_proc = self
+        self.sim._active_gen = self._generator
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self._generator.send(event._value)
+                    else:
+                        event._defused = True
+                        target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value, priority=URGENT)
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    self.fail(exc, priority=URGENT)
+                    return
+
+                if not isinstance(target, Event):
+                    exc = TypeError(
+                        f"process {self.name!r} yielded non-event {target!r}")
+                    event = Event(self.sim)
+                    event._ok = False
+                    event._value = exc
+                    continue
+                if target.sim is not self.sim:
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded event from a "
+                        f"different simulator")
+                    event = Event(self.sim)
+                    event._ok = False
+                    event._value = exc
+                    continue
+
+                if target.processed:
+                    # Already done: resume synchronously with its value.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        finally:
+            self.sim._active_proc = None
+            self.sim._active_gen = None
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._count = 0
+        for evt in self._events:
+            if evt.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+        for evt in self._events:
+            if evt.processed:
+                self._check(evt)
+            else:
+                evt.callbacks.append(self._check)
+        if not self._events and not self.triggered:
+            self.succeed({})
+
+    def _matched(self, count: int) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._matched(self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {evt: evt._value
+                for evt in self._events if evt.processed and evt._ok}
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of ``events`` succeeds (fails on first failure)."""
+
+    __slots__ = ()
+
+    def _matched(self, count: int) -> bool:
+        return count >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when all of ``events`` have succeeded."""
+
+    __slots__ = ()
+
+    def _matched(self, count: int) -> bool:
+        return count >= len(self._events)
+
+
+class Simulator:
+    """Event loop: owns simulated time and the pending-event queue."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq = itertools.count()
+        self._active_proc: Optional[Process] = None
+        self._active_gen = None
+        self._event_count = 0
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events processed so far (diagnostic)."""
+        return self._event_count
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        t, _, _, event = heapq.heappop(self._queue)
+        if t < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = t
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run until
+        simulated time reaches it), or an :class:`Event` (run until that
+        event is processed; returns its value / raises its failure).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            if until.processed:
+                if until._ok:
+                    return until._value
+                raise until._value
+            sentinel: list = []
+            until.callbacks.append(lambda e: sentinel.append(e))
+            while self._queue and not sentinel:
+                self.step()
+            if not sentinel:
+                raise SimulationError(
+                    "event queue empty before awaited event triggered")
+            if until._ok:
+                return until._value
+            until._defused = True
+            raise until._value
+        limit = float(until)
+        if limit < self._now:
+            raise ValueError(f"until={limit} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] < limit:
+            self.step()
+        self._now = limit
+        return None

@@ -1,0 +1,114 @@
+"""Measurement helpers: accumulators and time-series recorders.
+
+The benchmark harness never reads protocol internals; it records
+observable quantities (bytes delivered, completion times) through these
+helpers, mirroring how perftest / OMB / IOzone measure the real systems.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+__all__ = ["StatAccumulator", "ThroughputMeter", "TimeSeries",
+           "mbps_from_bytes"]
+
+
+def mbps_from_bytes(nbytes: float, elapsed_us: float) -> float:
+    """Throughput in MillionBytes/sec (the paper's unit) from bytes and µs.
+
+    1 MillionBytes/sec == 1 byte/µs, so this is simply ``nbytes / µs``.
+    """
+    if elapsed_us <= 0:
+        raise ValueError(f"elapsed_us must be positive, got {elapsed_us}")
+    return nbytes / elapsed_us
+
+
+class StatAccumulator:
+    """Streaming min/max/mean/variance (Welford) accumulator."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class ThroughputMeter:
+    """Counts delivered bytes/messages between ``start()`` and ``stop()``."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.bytes = 0
+        self.messages = 0
+        self._t0: Optional[float] = None
+        self._t1: Optional[float] = None
+
+    def start(self) -> None:
+        self._t0 = self.sim.now
+        self.bytes = 0
+        self.messages = 0
+
+    def account(self, nbytes: int) -> None:
+        self.bytes += nbytes
+        self.messages += 1
+
+    def stop(self) -> None:
+        self._t1 = self.sim.now
+
+    @property
+    def elapsed_us(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("meter was never started")
+        t1 = self._t1 if self._t1 is not None else self.sim.now
+        return t1 - self._t0
+
+    @property
+    def mbps(self) -> float:
+        """MillionBytes/sec over the measured interval."""
+        return mbps_from_bytes(self.bytes, self.elapsed_us)
+
+    @property
+    def msg_rate(self) -> float:
+        """Messages per second over the measured interval."""
+        return self.messages / (self.elapsed_us * 1e-6)
+
+
+class TimeSeries:
+    """Records (time, value) samples; used for traces and debugging."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append((self.sim.now, value))
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,178 @@
+"""Waitable resources for simulation processes.
+
+Three primitives cover every queueing need in the protocol models:
+
+* :class:`Store` — a FIFO buffer of items with optional capacity; ``put``
+  blocks when full, ``get`` blocks when empty.  Message queues, NIC rings
+  and socket buffers are all Stores.
+* :class:`PriorityStore` — a Store that yields the smallest item first
+  (items must be orderable); used for out-of-order reassembly.
+* :class:`Resource` — a counted semaphore with FIFO grant order; used for
+  link arbitration and server thread pools.
+
+All operations return :class:`~repro.sim.core.Event` subclasses so that
+processes simply ``yield store.get()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .core import Event, Simulator, SimulationError
+
+__all__ = ["Store", "PriorityStore", "Resource", "StorePut", "StoreGet",
+           "ResourceRequest"]
+
+
+class StorePut(Event):
+    """Pending put; succeeds (value=None) once the item is buffered."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.sim)
+        self.item = item
+        store._put_waiters.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Pending get; succeeds with the retrieved item."""
+
+    __slots__ = ()
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.sim)
+        store._get_waiters.append(self)
+        store._dispatch()
+
+
+class Store:
+    """FIFO item buffer with optional capacity."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    # -- public api -----------------------------------------------------
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if len(self._items) >= self.capacity and not self._get_waiters:
+            return False
+        self.put(item)
+        return True
+
+    @property
+    def items(self) -> List[Any]:
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- storage policy (overridden by PriorityStore) --------------------
+    def _do_put(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _do_get(self) -> Any:
+        return self._items.pop(0)
+
+    # -- matching -------------------------------------------------------
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters and len(self._items) < self.capacity:
+                putter = self._put_waiters.pop(0)
+                self._do_put(putter.item)
+                putter.succeed()
+                progress = True
+            while self._get_waiters and self._items:
+                getter = self._get_waiters.pop(0)
+                getter.succeed(self._do_get())
+                progress = True
+
+
+class PriorityStore(Store):
+    """A Store that always yields its smallest item (heap order)."""
+
+    def _do_put(self, item: Any) -> None:
+        heapq.heappush(self._items, item)
+
+    def _do_get(self) -> Any:
+        return heapq.heappop(self._items)
+
+
+class ResourceRequest(Event):
+    """Pending acquisition of one resource slot.
+
+    Usable as a context manager inside a process::
+
+        with res.request() as req:
+            yield req
+            ... hold the resource ...
+        # released on exit
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._waiters.append(self)
+        resource._dispatch()
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counted semaphore with FIFO grant order."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: List[ResourceRequest] = []
+        self._waiters: List[ResourceRequest] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> ResourceRequest:
+        return ResourceRequest(self)
+
+    def release(self, request: ResourceRequest) -> None:
+        """Release a held (or still-queued) request.  Idempotent."""
+        if request in self._users:
+            self._users.remove(request)
+            self._dispatch()
+        elif request in self._waiters:
+            self._waiters.remove(request)
+
+    def _dispatch(self) -> None:
+        while self._waiters and len(self._users) < self.capacity:
+            req = self._waiters.pop(0)
+            self._users.append(req)
+            req.succeed()

@@ -1,0 +1,8 @@
+"""TCP stream transport over IPoIB."""
+
+from .cc import CongestionControl
+from .segment import ACK, DATA, FIN, SYN, SYNACK, Segment
+from .socket import Listener, Socket, TcpStack
+
+__all__ = ["TcpStack", "Listener", "Socket", "Segment",
+           "CongestionControl", "SYN", "SYNACK", "DATA", "ACK", "FIN"]

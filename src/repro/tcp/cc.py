@@ -1,0 +1,45 @@
+"""TCP congestion control (Reno-style growth).
+
+The simulated fabric is lossless (deep Longbow buffers, no drops), so
+recovery logic never engages in the paper's experiments; what matters is
+the *growth* schedule — slow start then congestion avoidance — because
+it bounds early-transfer throughput, and the cap
+``min(cwnd, peer_rwnd)`` that produces the window-limited WAN curves of
+Fig. 6/7.  Loss reaction (ssthresh halving) is implemented for
+completeness and exercised by fault-injection tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CongestionControl"]
+
+
+class CongestionControl:
+    """Per-connection congestion state, byte-based accounting."""
+
+    def __init__(self, mss: int, init_segments: int = 10,
+                 ssthresh: float = float("inf")):
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.mss = mss
+        self.cwnd = float(init_segments * mss)
+        self.ssthresh = ssthresh
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, acked_bytes: int) -> None:
+        """Grow cwnd for ``acked_bytes`` of newly acknowledged data."""
+        if acked_bytes <= 0:
+            return
+        if self.in_slow_start:
+            self.cwnd += acked_bytes  # exponential: +1 MSS per MSS acked
+        else:
+            # Congestion avoidance: +1 MSS per cwnd of acked data.
+            self.cwnd += self.mss * (acked_bytes / self.cwnd)
+
+    def on_loss(self) -> None:
+        """Multiplicative decrease (fast-recovery style)."""
+        self.ssthresh = max(2 * self.mss, self.cwnd / 2)
+        self.cwnd = self.ssthresh

@@ -1,0 +1,42 @@
+"""TCP segment representation."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["Segment", "SYN", "SYNACK", "DATA", "ACK", "FIN"]
+
+SYN = "syn"
+SYNACK = "synack"
+DATA = "data"
+ACK = "ack"
+FIN = "fin"
+
+
+class Segment:
+    """One TCP segment (header fields only; payload is a byte count).
+
+    ``records`` carries application record boundaries that end inside
+    this segment, as ``(stream_offset, obj)`` pairs — the simulator's
+    stand-in for the actual payload bytes.
+    """
+
+    __slots__ = ("kind", "src_port", "dst_port", "seq", "ack", "length",
+                 "rwnd", "records")
+
+    def __init__(self, kind: str, src_port: int, dst_port: int,
+                 seq: int = 0, ack: int = 0, length: int = 0,
+                 rwnd: int = 0,
+                 records: Optional[List[Tuple[int, Any]]] = None):
+        self.kind = kind
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.length = length
+        self.rwnd = rwnd
+        self.records = records or []
+
+    def __repr__(self) -> str:
+        return (f"<Segment {self.kind} {self.src_port}->{self.dst_port} "
+                f"seq={self.seq} ack={self.ack} len={self.length}>")

@@ -1,0 +1,21 @@
+"""InfiniBand verbs layer: QPs (RC/UD), CQs, MRs, RDMA and perftest."""
+
+from . import perftest
+from .cq import CompletionQueue, MemoryRegion, ProtectionDomain
+from .device import VerbsContext, create_connected_rc_pair, create_ud_pair
+from .ops import (AtomicWR, Opcode, RDMAReadWR, RDMAWriteWR, RecvWR, SendWR,
+                  WCStatus, WorkCompletion, WorkRequest)
+from .qp import QPState, QueuePair
+from .rc import RCQueuePair, connect_rc_pair
+from .srq import SharedReceiveQueue
+from .ud import UDQueuePair
+
+__all__ = [
+    "VerbsContext", "create_connected_rc_pair", "create_ud_pair",
+    "CompletionQueue", "MemoryRegion", "ProtectionDomain",
+    "Opcode", "WCStatus", "WorkRequest", "SendWR", "RecvWR",
+    "RDMAWriteWR", "RDMAReadWR", "AtomicWR", "WorkCompletion",
+    "QPState", "QueuePair", "RCQueuePair", "UDQueuePair",
+    "SharedReceiveQueue",
+    "connect_rc_pair", "perftest",
+]

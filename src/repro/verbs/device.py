@@ -1,0 +1,71 @@
+"""Verbs device context: the ``ibv_open_device`` analogue."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..calibration import HardwareProfile
+from ..fabric.node import Node
+from .cq import CompletionQueue, MemoryRegion, ProtectionDomain
+from .rc import RCQueuePair, connect_rc_pair
+from .srq import SharedReceiveQueue
+from .ud import UDQueuePair
+
+__all__ = ["VerbsContext", "create_connected_rc_pair", "create_ud_pair"]
+
+
+class VerbsContext:
+    """Per-node verbs context: PD, CQ and QP factories."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.sim = node.sim
+        self.profile = node.profile
+        self.pd = ProtectionDomain(name=f"{node.name}.pd")
+
+    def create_cq(self, name: str = "cq") -> CompletionQueue:
+        return CompletionQueue(self.sim, name=f"{self.node.name}.{name}")
+
+    def register_mr(self, length: int) -> MemoryRegion:
+        return MemoryRegion(self.pd, length)
+
+    def create_srq(self) -> SharedReceiveQueue:
+        return SharedReceiveQueue(self.sim)
+
+    def create_rc_qp(self, send_cq: CompletionQueue,
+                     recv_cq: CompletionQueue,
+                     send_window: Optional[int] = None,
+                     srq: Optional[SharedReceiveQueue] = None
+                     ) -> RCQueuePair:
+        return RCQueuePair(self.sim, self.node.hca, send_cq, recv_cq,
+                           self.profile, send_window=send_window, srq=srq)
+
+    def create_ud_qp(self, send_cq: CompletionQueue,
+                     recv_cq: CompletionQueue,
+                     srq: Optional[SharedReceiveQueue] = None
+                     ) -> UDQueuePair:
+        return UDQueuePair(self.sim, self.node.hca, send_cq, recv_cq,
+                           self.profile, srq=srq)
+
+
+def create_connected_rc_pair(node_a: Node, node_b: Node,
+                             send_window: Optional[int] = None):
+    """Convenience: a connected RC QP on each node, each with its own CQs.
+
+    Returns ``(qp_a, qp_b)``.
+    """
+    ctx_a, ctx_b = VerbsContext(node_a), VerbsContext(node_b)
+    qp_a = ctx_a.create_rc_qp(ctx_a.create_cq("scq"), ctx_a.create_cq("rcq"),
+                              send_window=send_window)
+    qp_b = ctx_b.create_rc_qp(ctx_b.create_cq("scq"), ctx_b.create_cq("rcq"),
+                              send_window=send_window)
+    connect_rc_pair(qp_a, qp_b)
+    return qp_a, qp_b
+
+
+def create_ud_pair(node_a: Node, node_b: Node):
+    """A UD QP on each node.  Returns ``(qp_a, qp_b)``."""
+    ctx_a, ctx_b = VerbsContext(node_a), VerbsContext(node_b)
+    qp_a = ctx_a.create_ud_qp(ctx_a.create_cq("scq"), ctx_a.create_cq("rcq"))
+    qp_b = ctx_b.create_ud_qp(ctx_b.create_cq("scq"), ctx_b.create_cq("rcq"))
+    return qp_a, qp_b

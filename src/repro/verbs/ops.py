@@ -1,0 +1,149 @@
+"""Verbs work requests and completions (ibv_post_send / ibv_wc analogues)."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional, Tuple
+
+__all__ = ["Opcode", "WCStatus", "WorkRequest", "SendWR", "RecvWR",
+           "RDMAWriteWR", "RDMAReadWR", "AtomicWR", "WorkCompletion"]
+
+_wr_ids = itertools.count(1)
+
+
+class Opcode(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+    RDMA_WRITE = "rdma_write"
+    RDMA_WRITE_WITH_IMM = "rdma_write_with_imm"
+    RDMA_READ = "rdma_read"
+    ATOMIC_FETCH_ADD = "atomic_fetch_add"
+    ATOMIC_CMP_SWAP = "atomic_cmp_swap"
+
+
+class WCStatus(enum.Enum):
+    SUCCESS = "success"
+    RETRY_EXC_ERR = "retry_exceeded"
+    WR_FLUSH_ERR = "flushed"
+
+
+class WorkRequest:
+    """Base work request."""
+
+    __slots__ = ("wr_id", "size", "payload", "opcode", "priority")
+
+    def __init__(self, size: int, payload: Any = None,
+                 wr_id: Optional[int] = None,
+                 opcode: Opcode = Opcode.SEND,
+                 priority: int = 1):
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        self.wr_id = wr_id if wr_id is not None else next(_wr_ids)
+        self.size = size
+        self.payload = payload
+        self.opcode = opcode
+        #: Link service level: 0 = control/high-priority (jumps queued
+        #: bulk frames, like a dedicated VL), 1 = bulk data.
+        self.priority = priority
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} id={self.wr_id} {self.size}B>"
+
+
+class SendWR(WorkRequest):
+    """Channel-semantics send.  For UD QPs, ``remote`` addresses the
+    destination ``(lid, qpn)`` (the address-handle analogue)."""
+
+    __slots__ = ("remote",)
+
+    def __init__(self, size: int, payload: Any = None,
+                 remote: Optional[Tuple[int, int]] = None,
+                 wr_id: Optional[int] = None, priority: int = 1):
+        super().__init__(size, payload, wr_id, Opcode.SEND,
+                         priority=priority)
+        self.remote = remote
+
+
+class RecvWR(WorkRequest):
+    """Posted receive buffer of a given capacity."""
+
+    __slots__ = ()
+
+    def __init__(self, size: int, wr_id: Optional[int] = None):
+        super().__init__(size, None, wr_id, Opcode.RECV)
+
+
+class RDMAWriteWR(WorkRequest):
+    """Memory-semantics write; optionally with immediate data (which
+    consumes a receive WR at the responder and raises a completion)."""
+
+    __slots__ = ("imm",)
+
+    def __init__(self, size: int, payload: Any = None, imm: Any = None,
+                 wr_id: Optional[int] = None):
+        opcode = Opcode.RDMA_WRITE_WITH_IMM if imm is not None else Opcode.RDMA_WRITE
+        super().__init__(size, payload, wr_id, opcode)
+        self.imm = imm
+
+
+class RDMAReadWR(WorkRequest):
+    """Memory-semantics read of ``size`` bytes from the responder."""
+
+    __slots__ = ()
+
+    def __init__(self, size: int, wr_id: Optional[int] = None):
+        super().__init__(size, None, wr_id, Opcode.RDMA_READ)
+
+
+class AtomicWR(WorkRequest):
+    """64-bit remote atomic (fetch-and-add or compare-and-swap).
+
+    ``addr`` names the remote word; the completion carries the value the
+    word held *before* the operation (IB atomic semantics).
+    """
+
+    __slots__ = ("addr", "add", "compare", "swap")
+
+    def __init__(self, opcode: Opcode, addr: int, add: int = 0,
+                 compare: int = 0, swap: int = 0,
+                 wr_id: Optional[int] = None):
+        if opcode not in (Opcode.ATOMIC_FETCH_ADD, Opcode.ATOMIC_CMP_SWAP):
+            raise ValueError(f"{opcode} is not an atomic opcode")
+        super().__init__(8, None, wr_id, opcode)
+        self.addr = addr
+        self.add = add
+        self.compare = compare
+        self.swap = swap
+
+
+class WorkCompletion:
+    """A CQ entry."""
+
+    __slots__ = ("wr_id", "opcode", "status", "byte_len", "qp_num",
+                 "payload", "imm", "timestamp", "src_qp", "src_lid")
+
+    def __init__(self, wr_id: int, opcode: Opcode, status: WCStatus,
+                 byte_len: int, qp_num: int, timestamp: float,
+                 payload: Any = None, imm: Any = None, src_qp: int = 0,
+                 src_lid: int = 0):
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.status = status
+        self.byte_len = byte_len
+        self.qp_num = qp_num
+        self.payload = payload
+        self.imm = imm
+        self.timestamp = timestamp
+        self.src_qp = src_qp
+        #: LID of the sending HCA (GRH-derived for UD, connection-known
+        #: for RC); lets upper layers demultiplex without global QPNs.
+        self.src_lid = src_lid
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WCStatus.SUCCESS
+
+    def __repr__(self) -> str:
+        return (f"<WC wr={self.wr_id} {self.opcode.value} "
+                f"{self.status.value} {self.byte_len}B qp={self.qp_num}>")

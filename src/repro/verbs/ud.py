@@ -1,0 +1,95 @@
+"""Unreliable Datagram transport.
+
+UD is connectionless and unacknowledged: messages are limited to the IB
+MTU, the sender completes as soon as the datagram is on the wire, and
+datagrams arriving at a QP with no posted receive are silently dropped.
+Because nothing waits for ACKs, UD bandwidth is **independent of WAN
+delay** — the paper's Fig. 4 observation falls out of the model by
+construction (and the test-suite checks it stays that way).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from ..calibration import HardwareProfile
+from ..fabric.node import HCA
+from ..fabric.packet import Frame, wire_size
+from ..sim import Simulator, Store
+from .cq import CompletionQueue
+from .ops import Opcode, SendWR, WCStatus, WorkCompletion
+from .qp import QPState, QueuePair
+
+__all__ = ["UDQueuePair"]
+
+UD_DATA = "ud_data"
+
+
+class UDQueuePair(QueuePair):
+    """Unreliable-datagram queue pair."""
+
+    transport = "ud"
+
+    def __init__(self, sim: Simulator, hca: HCA, send_cq: CompletionQueue,
+                 recv_cq: CompletionQueue, profile: HardwareProfile,
+                 srq=None):
+        super().__init__(sim, hca, send_cq, recv_cq, profile, srq=srq)
+        self.state = QPState.RTS  # UD QPs need no connection
+        self._send_backlog: Store = Store(sim)
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        sim.process(self._send_pump(), name=f"udqp{self.qpn}.send")
+
+    # -- send side -------------------------------------------------------
+    def post_send(self, wr: SendWR) -> None:
+        if wr.remote is None:
+            raise ValueError("UD sends need an address handle: wr.remote")
+        if wr.size > self.profile.ib_mtu:
+            raise ValueError(
+                f"UD message of {wr.size}B exceeds the {self.profile.ib_mtu}B "
+                f"MTU (UD cannot segment)")
+        self._send_backlog.put(wr)
+
+    def send(self, remote: Tuple[int, int], size: int,
+             payload: Any = None) -> SendWR:
+        wr = SendWR(size, payload, remote=remote)
+        self.post_send(wr)
+        return wr
+
+    def _send_pump(self):
+        profile = self.profile
+        while True:
+            wr: SendWR = yield self._send_backlog.get()
+            yield self.sim.timeout(profile.hca_send_overhead_us)
+            dst_lid, dst_qpn = wr.remote
+            frame = Frame(
+                src_lid=self.hca.lid, dst_lid=dst_lid, size=wr.size,
+                wire_bytes=wire_size(wr.size, profile.ib_mtu,
+                                     profile.ud_packet_header),
+                kind=UD_DATA, src_qpn=self.qpn, dst_qpn=dst_qpn,
+                payload=wr)
+            self.bytes_sent += wr.size
+            self.messages_sent += 1
+            self._after(profile.hca_wire_latency_us,
+                        lambda f=frame: self.hca.transmit(f))
+            # Local completion: the datagram left the HCA; nobody waits
+            # for the far end.
+            self.send_cq.push(WorkCompletion(
+                wr.wr_id, Opcode.SEND, WCStatus.SUCCESS, wr.size,
+                self.qpn, self.sim.now))
+
+    # -- receive side -------------------------------------------------------
+    def handle_frame(self, frame: Frame) -> None:
+        if frame.kind != UD_DATA:  # pragma: no cover - defensive
+            raise RuntimeError(f"UD QP {self.qpn} got {frame.kind}")
+        if not self._has_recv():
+            self.recv_dropped += 1
+            return
+        rwr = self._take_recv()
+        wr: SendWR = frame.payload
+        def complete(rwr=rwr, wr=wr, src=frame.src_qpn):
+            self.recv_cq.push(WorkCompletion(
+                rwr.wr_id, Opcode.RECV, WCStatus.SUCCESS, wr.size,
+                self.qpn, self.sim.now, payload=wr.payload, src_qp=src,
+                src_lid=frame.src_lid))
+        self._after(self.profile.hca_recv_overhead_us, complete)

@@ -1,0 +1,8 @@
+"""InfiniBand WAN range extension (Obsidian Longbow XR model)."""
+
+from .delaymap import (TABLE1_ROWS, delay_for_distance_km,
+                       distance_km_for_delay, table1)
+from .longbow import Longbow, LongbowPair
+
+__all__ = ["Longbow", "LongbowPair", "delay_for_distance_km",
+           "distance_km_for_delay", "table1", "TABLE1_ROWS"]

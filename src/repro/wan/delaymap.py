@@ -1,0 +1,44 @@
+"""Distance <-> delay mapping (paper Table 1).
+
+The Obsidian Longbow XR's web interface takes a delay; the paper uses
+5 µs of one-way delay per kilometre of fibre (speed of light in glass),
+i.e. each microsecond of configured delay emulates 200 m of separation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..calibration import US_PER_KM
+
+__all__ = ["delay_for_distance_km", "distance_km_for_delay", "TABLE1_ROWS",
+           "table1"]
+
+
+def delay_for_distance_km(km: float) -> float:
+    """One-way WAN delay in µs emulating ``km`` of fibre."""
+    if km < 0:
+        raise ValueError("distance must be >= 0")
+    return km * US_PER_KM
+
+
+def distance_km_for_delay(delay_us: float) -> float:
+    """Emulated fibre length in km for a one-way delay in µs."""
+    if delay_us < 0:
+        raise ValueError("delay must be >= 0")
+    return delay_us / US_PER_KM
+
+
+#: The cluster separations the paper studies (Table 1).
+TABLE1_ROWS: List[Tuple[float, float]] = [
+    (1.0, 5.0),
+    (2.0, 10.0),
+    (20.0, 100.0),
+    (200.0, 1000.0),
+    (2000.0, 10000.0),
+]
+
+
+def table1() -> List[Tuple[float, float]]:
+    """Regenerate Table 1: (distance km, delay µs) pairs."""
+    return [(km, delay_for_distance_km(km)) for km, _ in TABLE1_ROWS]

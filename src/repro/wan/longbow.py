@@ -1,0 +1,126 @@
+"""Obsidian Longbow XR model.
+
+A Longbow pair extends an IB subnet over a WAN link.  In "basic switch
+mode" each unit appears to the subnet manager as a transparent two-ported
+switch (paper §2.2): everything arriving on the IB port is forwarded to
+the WAN port and vice versa, with
+
+* a fixed store-and-forward latency per unit (the pair adds ~5 µs total),
+* an SDR-rate WAN link whose propagation delay is configurable — the
+  delay-emulation knob the paper drives all its experiments with, and
+* a deep buffer-credit pool: a unit only pushes a frame onto the WAN once
+  the peer has buffer space, and credit is returned when the peer
+  forwards the frame onward.  The pool is sized to cover the
+  bandwidth-delay product of long pipes (Obsidian's headline feature);
+  it can be shrunk to study credit-starved links.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..calibration import HardwareProfile
+from ..fabric.link import Link
+from ..fabric.packet import Frame
+from ..sim import Simulator, Store
+
+__all__ = ["Longbow", "LongbowPair"]
+
+
+class Longbow:
+    """One Longbow unit: IB port + WAN port, pass-through forwarding."""
+
+    #: Longbows forward cut-through like switches (see repro.fabric.link).
+    cut_through = True
+
+    def __init__(self, sim: Simulator, profile: HardwareProfile,
+                 name: str = "longbow"):
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+        self.lid: int = -1  # transparent, but the SM still counts it
+        self.ib_link: Optional[Link] = None
+        self.wan_link: Optional[Link] = None
+        self.peer: Optional["Longbow"] = None
+        #: Remaining buffer bytes at the *peer* we may still occupy.
+        self.credits: int = profile.longbow_buffer_bytes
+        self._credit_waiters: List = []
+        self._to_wan: Store = Store(sim)
+        self.frames_forwarded = 0
+        sim.process(self._wan_pump(), name=f"{name}.pump")
+
+    # -- wiring ----------------------------------------------------------
+    def attach_ib(self, link: Link) -> None:
+        self.ib_link = link
+
+    def attach_wan(self, link: Link, peer: "Longbow") -> None:
+        self.wan_link = link
+        self.peer = peer
+
+    # -- forwarding ---------------------------------------------------------
+    def receive_frame(self, frame: Frame, link: Link) -> None:
+        if link is self.wan_link:
+            # Frame crossed the WAN: hand buffer credit back to the peer
+            # and forward onto the local IB fabric.
+            self.peer._release_credit(frame.wire_bytes)
+            self.frames_forwarded += 1
+            self._forward_after(frame, self.ib_link)
+        elif link is self.ib_link:
+            self._to_wan.put(frame)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"{self.name}: frame from unknown link")
+
+    def _wan_pump(self):
+        pool = self.profile.longbow_buffer_bytes
+        while True:
+            frame: Frame = yield self._to_wan.get()
+            # A frame larger than the whole pool streams through once the
+            # buffer is fully drained (packet-granular hardware never
+            # deadlocks on one big message).
+            needed = min(frame.wire_bytes, pool)
+            while self.credits < needed:
+                waiter = self.sim.event()
+                self._credit_waiters.append(waiter)
+                yield waiter
+            self.credits -= frame.wire_bytes
+            self.frames_forwarded += 1
+            self._forward_after(frame, self.wan_link)
+
+    def _forward_after(self, frame: Frame, link: Link) -> None:
+        done = self.sim.event()
+        done.callbacks.append(lambda _e: link.send(self, frame))
+        done.succeed(None, delay=self.profile.longbow_forward_us)
+
+    def _release_credit(self, nbytes: int) -> None:
+        self.credits += nbytes
+        waiters, self._credit_waiters = self._credit_waiters, []
+        for w in waiters:
+            w.succeed()
+
+
+class LongbowPair:
+    """Two Longbows joined by a WAN link with a configurable delay."""
+
+    def __init__(self, sim: Simulator, profile: HardwareProfile,
+                 delay_us: float = 0.0, name: str = "wan"):
+        self.sim = sim
+        self.profile = profile
+        self.a = Longbow(sim, profile, name=f"{name}.lb_a")
+        self.b = Longbow(sim, profile, name=f"{name}.lb_b")
+        self.wan_link = Link(sim, rate=profile.wan_rate, delay_us=delay_us,
+                             name=f"{name}.link")
+        self.wan_link.attach(self.a, self.b)
+        self.a.attach_wan(self.wan_link, self.b)
+        self.b.attach_wan(self.wan_link, self.a)
+
+    @property
+    def delay_us(self) -> float:
+        return self.wan_link.delay_us
+
+    def set_delay(self, delay_us: float) -> None:
+        """The web-interface knob: one-way added delay in µs."""
+        self.wan_link.set_delay(delay_us)
+
+    @property
+    def bytes_carried(self) -> int:
+        return self.wan_link.bytes_carried

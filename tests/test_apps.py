@@ -1,0 +1,122 @@
+"""Unit tests for the NAS benchmark skeletons and profiles."""
+
+import pytest
+
+from repro.apps import (NAS_BENCHMARKS, message_size_distribution,
+                        nas_profile, run_nas)
+from repro.fabric import build_cluster_of_clusters
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# profiles
+# ---------------------------------------------------------------------------
+
+def test_all_benchmarks_have_profiles():
+    for name in NAS_BENCHMARKS:
+        p = nas_profile(name, 16)
+        assert p.iterations >= 1
+        assert p.compute_us_per_iter > 0
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ValueError):
+        nas_profile("SP", 16)
+
+
+def test_profiles_need_two_ranks():
+    with pytest.raises(ValueError):
+        nas_profile("IS", 1)
+
+
+def test_scale_trims_iterations_not_sizes():
+    full = nas_profile("CG", 16, scale=1.0)
+    scaled = nas_profile("CG", 16, scale=0.1)
+    assert scaled.iterations < full.iterations
+    assert scaled.neighbor_bytes == full.neighbor_bytes
+
+
+def test_is_profile_all_large_messages():
+    p = nas_profile("IS", 64)
+    dist = message_size_distribution(p, 64)
+    assert dist["large"] > 0.95  # paper: IS ~100% large
+
+
+def test_ft_profile_large_dominated():
+    p = nas_profile("FT", 64)
+    dist = message_size_distribution(p, 64)
+    assert dist["large"] > 0.8  # paper: FT ~83% large
+
+
+def test_cg_profile_no_large_messages():
+    p = nas_profile("CG", 64)
+    dist = message_size_distribution(p, 64)
+    assert dist["large"] == 0.0  # paper: all CG messages < 1 MB
+    assert dist["medium"] > 0.5
+
+
+def test_compute_scales_inverse_with_ranks():
+    p16 = nas_profile("FT", 16)
+    p64 = nas_profile("FT", 64)
+    assert p16.compute_us_per_iter == pytest.approx(
+        4 * p64.compute_us_per_iter)
+
+
+# ---------------------------------------------------------------------------
+# skeleton runs
+# ---------------------------------------------------------------------------
+
+def _run(bench, delay, nodes=2, scale=0.05):
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, nodes, nodes,
+                                       wan_delay_us=delay)
+    return run_nas(sim, fabric, bench, ppn=1, scale=scale)
+
+
+def test_nas_result_fields():
+    r = _run("IS", 0.0)
+    assert r.benchmark == "IS"
+    assert r.ranks == 4
+    assert r.runtime_us > 0
+    assert 0.0 <= r.comm_fraction < 1.0
+
+
+def test_cg_needs_square_rank_count():
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 2, wan_delay_us=0)
+    with pytest.raises(ValueError):
+        run_nas(sim, fabric, "CG", ppn=1, scale=0.05)
+
+
+def test_ep_insensitive_to_delay():
+    base = _run("EP", 0.0, scale=0.2).runtime_us
+    far = _run("EP", 10000.0, scale=0.2).runtime_us
+    assert far < 1.05 * base
+
+
+def test_is_tolerates_moderate_delay():
+    """Paper Fig. 12: IS flat out to long separations."""
+    base = _run("IS", 0.0, nodes=4, scale=0.1).runtime_us
+    far = _run("IS", 1000.0, nodes=4, scale=0.1).runtime_us
+    assert far < 1.10 * base
+
+
+def test_cg_degrades_markedly_at_high_delay():
+    """Paper Fig. 12: CG's small/medium messages eat WAN round trips."""
+    base = _run("CG", 0.0, nodes=8, scale=0.015).runtime_us
+    far = _run("CG", 10000.0, nodes=8, scale=0.015).runtime_us
+    assert far > 1.8 * base
+
+
+def test_cg_degrades_more_than_is():
+    is_ratio = (_run("IS", 10000.0, nodes=4, scale=0.1).runtime_us
+                / _run("IS", 0.0, nodes=4, scale=0.1).runtime_us)
+    cg_ratio = (_run("CG", 10000.0, nodes=8, scale=0.015).runtime_us
+                / _run("CG", 0.0, nodes=8, scale=0.015).runtime_us)
+    assert cg_ratio > 1.5 * is_ratio
+
+
+def test_runtime_scales_with_iterations():
+    short = _run("MG", 0.0, scale=0.05).runtime_us
+    longer = _run("MG", 0.0, scale=0.15).runtime_us
+    assert longer > 2 * short

@@ -1,0 +1,272 @@
+"""Tests for remote atomics, the distributed lock manager, fault
+injection (loss/jitter) and the deterministic RNG registry."""
+
+import pytest
+
+from repro.calibration import DEFAULT_PROFILE
+from repro.core import LockClient, LockServer, wan_pair
+from repro.fabric import build_back_to_back, build_cluster_of_clusters
+from repro.sim import RngRegistry, Simulator
+from repro.verbs import Opcode, RecvWR, create_connected_rc_pair
+
+
+# ---------------------------------------------------------------------------
+# atomics
+# ---------------------------------------------------------------------------
+
+def _atomic_pair():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    qa, qb = create_connected_rc_pair(*fabric.nodes)
+    return sim, fabric, qa, qb
+
+
+def test_fetch_add_returns_old_value_and_adds():
+    sim, fabric, qa, qb = _atomic_pair()
+    fabric.nodes[1].hca.atomic_mem[0x10] = 5
+    qa.atomic_fetch_add(0x10, 3)
+
+    def waiter():
+        wc = yield qa.send_cq.wait()
+        return wc
+
+    wc = sim.run(until=sim.process(waiter()))
+    assert wc.opcode is Opcode.ATOMIC_FETCH_ADD
+    assert wc.payload == 5
+    assert fabric.nodes[1].hca.atomic_mem[0x10] == 8
+
+
+def test_cmp_swap_success_and_failure():
+    sim, fabric, qa, qb = _atomic_pair()
+    mem = fabric.nodes[1].hca.atomic_mem
+    mem[0x20] = 7
+    qa.atomic_cmp_swap(0x20, 7, 100)   # matches: swaps
+    qa.atomic_cmp_swap(0x20, 7, 200)   # stale compare: no swap
+
+    def waiter():
+        a = yield qa.send_cq.wait()
+        b = yield qa.send_cq.wait()
+        return (a.payload, b.payload)
+
+    old1, old2 = sim.run(until=sim.process(waiter()))
+    assert (old1, old2) == (7, 100)
+    assert mem[0x20] == 100
+
+
+def test_atomic_on_unset_word_defaults_to_zero():
+    sim, fabric, qa, qb = _atomic_pair()
+    qa.atomic_fetch_add(0x99, 1)
+
+    def waiter():
+        wc = yield qa.send_cq.wait()
+        return wc.payload
+
+    assert sim.run(until=sim.process(waiter())) == 0
+
+
+def test_atomics_serialize_concurrent_increments():
+    """Two clients incrementing concurrently never lose an update."""
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 2, 1, wan_delay_us=10.0)
+    server_node = fabric.cluster_b[0]
+    pairs = [create_connected_rc_pair(n, server_node)
+             for n in fabric.cluster_a]
+
+    def incrementer(qp, n):
+        for _ in range(n):
+            qp.atomic_fetch_add(0x40, 1)
+            yield qp.send_cq.wait()
+
+    procs = [sim.process(incrementer(qa, 20)) for qa, _ in pairs]
+    sim.run(until=sim.all_of(procs))
+    assert server_node.hca.atomic_mem[0x40] == 40
+
+
+def test_atomic_wr_validation():
+    from repro.verbs import AtomicWR
+    with pytest.raises(ValueError):
+        AtomicWR(Opcode.SEND, 0x0)
+
+
+# ---------------------------------------------------------------------------
+# distributed lock manager
+# ---------------------------------------------------------------------------
+
+def test_lock_acquire_release_roundtrip():
+    s = wan_pair(10.0)
+    server = LockServer(s.a)
+    client = LockClient(s.b, server, client_id=1)
+    addr = server.create_lock()
+    out = {}
+
+    def main():
+        yield from client.acquire(addr)
+        out["held_by"] = server.holder(addr)
+        yield from client.release(addr)
+        out["after"] = server.holder(addr)
+
+    s.sim.run(until=s.sim.process(main()))
+    assert out == {"held_by": 1, "after": 0}
+
+
+def test_lock_mutual_exclusion_under_contention():
+    s = wan_pair(50.0)
+    server = LockServer(s.a)
+    addr = server.create_lock()
+    clients = [LockClient(s.b, server, client_id=i + 1)
+               for i in range(3)]
+    critical = []
+
+    def worker(client):
+        for _ in range(3):
+            yield from client.acquire(addr)
+            critical.append(("enter", client.client_id, s.sim.now))
+            yield s.sim.timeout(25.0)
+            critical.append(("exit", client.client_id, s.sim.now))
+            yield from client.release(addr)
+
+    procs = [s.sim.process(worker(c)) for c in clients]
+    s.sim.run(until=s.sim.all_of(procs))
+    # critical sections never overlap
+    depth = 0
+    for kind, _cid, _t in critical:
+        depth += 1 if kind == "enter" else -1
+        assert depth in (0, 1)
+    assert sum(1 for k, *_ in critical if k == "enter") == 9
+
+
+def test_lock_handoff_cost_scales_with_wan_delay():
+    times = []
+    for delay in (10.0, 1000.0):
+        s = wan_pair(delay)
+        server = LockServer(s.a)
+        client = LockClient(s.b, server, client_id=1)
+        addr = server.create_lock()
+        span = {}
+
+        def main():
+            t0 = s.sim.now
+            for _ in range(5):
+                yield from client.acquire(addr)
+                yield from client.release(addr)
+            span["t"] = (s.sim.now - t0) / 5
+
+        s.sim.run(until=s.sim.process(main()))
+        times.append(span["t"])
+    # each acquire+release costs ~2 RTTs; 1000us delay -> ~4000us each
+    assert times[1] > times[0] + 3000.0
+
+
+def test_lock_release_foreign_lock_raises():
+    s = wan_pair(0.0)
+    server = LockServer(s.a)
+    c1 = LockClient(s.b, server, client_id=1)
+    addr = server.create_lock()
+    server.node.hca.atomic_mem[addr] = 2  # someone else holds it
+
+    def main():
+        yield from c1.release(addr)
+
+    with pytest.raises(RuntimeError, match="held by"):
+        s.sim.run(until=s.sim.process(main()))
+
+
+def test_lock_client_id_validation():
+    s = wan_pair(0.0)
+    server = LockServer(s.a)
+    with pytest.raises(ValueError):
+        LockClient(s.b, server, client_id=0)
+
+
+def test_lock_acquire_timeout():
+    s = wan_pair(0.0)
+    server = LockServer(s.a)
+    client = LockClient(s.b, server, client_id=1)
+    addr = server.create_lock()
+    server.node.hca.atomic_mem[addr] = 9  # permanently held
+
+    def main():
+        yield from client.acquire(addr, max_retries=2)
+
+    with pytest.raises(TimeoutError):
+        s.sim.run(until=s.sim.process(main()))
+
+
+# ---------------------------------------------------------------------------
+# fault injection + RNG
+# ---------------------------------------------------------------------------
+
+def test_rng_registry_deterministic_and_independent():
+    r1, r2 = RngRegistry(42), RngRegistry(42)
+    assert r1.stream("a").random() == r2.stream("a").random()
+    ra = RngRegistry(42)
+    rb = RngRegistry(42)
+    _ = rb.stream("other").random()  # extra stream must not perturb "a"
+    assert ra.stream("a").random() == rb.stream("a").random()
+    assert RngRegistry(1).stream("a").random() != \
+        RngRegistry(2).stream("a").random()
+
+
+def test_rng_reseed_clears_streams():
+    reg = RngRegistry(1)
+    v1 = reg.stream("x").random()
+    reg.reseed(1)
+    assert reg.stream("x").random() == v1
+
+
+def test_fault_injection_validation():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    rng = RngRegistry(7).stream("link")
+    with pytest.raises(ValueError):
+        fabric.links[0].inject_faults(rng, loss_rate=1.5)
+    with pytest.raises(ValueError):
+        fabric.links[0].inject_faults(rng, jitter_us=-1.0)
+
+
+def test_rc_survives_lossy_link():
+    """Every message still arrives exactly once over a 5%-loss link."""
+    profile = DEFAULT_PROFILE.with_overrides(rc_retransmit_timeout_us=50.0)
+    sim = Simulator()
+    fabric = build_back_to_back(sim, profile=profile)
+    fabric.links[0].inject_faults(RngRegistry(3).stream("loss"),
+                                  loss_rate=0.05)
+    qa, qb = create_connected_rc_pair(*fabric.nodes)
+    N = 60
+    for _ in range(N):
+        qb.post_recv(RecvWR(1 << 20))
+    for i in range(N):
+        qa.send(2048, payload=i)
+
+    def receiver():
+        got = []
+        for _ in range(N):
+            wc = yield qb.recv_cq.wait()
+            got.append(wc.payload)
+        return got
+
+    got = sim.run(until=sim.process(receiver()))
+    assert got == list(range(N))
+    assert fabric.links[0].frames_dropped > 0  # losses actually happened
+
+
+def test_jitter_does_not_reorder_rc():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    fabric.links[0].inject_faults(RngRegistry(5).stream("jit"),
+                                  jitter_us=50.0)
+    qa, qb = create_connected_rc_pair(*fabric.nodes)
+    N = 40
+    for _ in range(N):
+        qb.post_recv(RecvWR(1 << 20))
+    for i in range(N):
+        qa.send(64, payload=i)
+
+    def receiver():
+        got = []
+        for _ in range(N):
+            wc = yield qb.recv_cq.wait()
+            got.append(wc.payload)
+        return got
+
+    assert sim.run(until=sim.process(receiver())) == list(range(N))

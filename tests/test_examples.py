@@ -1,0 +1,39 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the two fastest also run end to end
+(the rest are exercised by the benchmark suite through the same code
+paths, so re-running them here would only duplicate minutes of work).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL = ["quickstart.py", "mpi_wan_tuning.py", "nfs_over_wan.py",
+       "nas_cluster_of_clusters.py", "parallel_streams.py",
+       "distributed_locking.py"]
+
+
+def test_all_examples_exist():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(ALL).issubset(present)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+@pytest.mark.parametrize("name", ["distributed_locking.py",
+                                  "mpi_wan_tuning.py"])
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

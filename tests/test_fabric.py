@@ -1,0 +1,254 @@
+"""Unit tests for the IB fabric: frames, links, switches, routing."""
+
+import pytest
+
+from repro.calibration import DEFAULT_PROFILE
+from repro.fabric import (Frame, Link, Node, SubnetManager, Switch,
+                          build_back_to_back, build_cluster,
+                          build_cluster_of_clusters, wire_size)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# wire_size
+# ---------------------------------------------------------------------------
+
+def test_wire_size_single_segment():
+    assert wire_size(100, 2048, 30) == 130
+
+
+def test_wire_size_exact_mtu():
+    assert wire_size(2048, 2048, 30) == 2048 + 30
+
+
+def test_wire_size_multiple_segments():
+    assert wire_size(2049, 2048, 30) == 2049 + 2 * 30
+
+
+def test_wire_size_zero_payload_costs_one_header():
+    assert wire_size(0, 2048, 30) == 30
+
+
+def test_wire_size_rejects_negative():
+    with pytest.raises(ValueError):
+        wire_size(-1, 2048, 30)
+    with pytest.raises(ValueError):
+        wire_size(10, 0, 30)
+
+
+def test_frame_rejects_inconsistent_sizes():
+    with pytest.raises(ValueError):
+        Frame(1, 2, size=100, wire_bytes=50)
+
+
+# ---------------------------------------------------------------------------
+# links
+# ---------------------------------------------------------------------------
+
+class _Sink:
+    def __init__(self):
+        self.got = []
+
+    def receive_frame(self, frame, link):
+        self.got.append(frame)
+
+
+def _frame(dst_lid=2, size=1000, wire=1000):
+    return Frame(src_lid=1, dst_lid=dst_lid, size=size, wire_bytes=wire)
+
+
+def test_link_serialization_plus_propagation():
+    sim = Simulator()
+    a, b = _Sink(), _Sink()
+    link = Link(sim, rate=100.0, delay_us=7.0).attach(a, b)
+    link.send(a, _frame(size=1000, wire=1000))
+    sim.run()
+    # 1000B at 100 B/us = 10us serialization + 7us propagation
+    assert sim.now == pytest.approx(17.0)
+    assert len(b.got) == 1 and not a.got
+
+
+def test_link_pipelines_back_to_back_frames():
+    sim = Simulator()
+    a, b = _Sink(), _Sink()
+    link = Link(sim, rate=100.0, delay_us=50.0).attach(a, b)
+    for _ in range(3):
+        link.send(a, _frame(size=1000, wire=1000))
+    sim.run()
+    # serialization is sequential (10us each), propagation overlaps:
+    # last frame arrives at 30 + 50 = 80, NOT 3*(10+50).
+    assert sim.now == pytest.approx(80.0)
+    assert len(b.got) == 3
+
+
+def test_link_full_duplex_directions_independent():
+    sim = Simulator()
+    a, b = _Sink(), _Sink()
+    link = Link(sim, rate=100.0, delay_us=0.0).attach(a, b)
+    link.send(a, _frame())
+    link.send(b, _frame())
+    sim.run()
+    assert sim.now == pytest.approx(10.0)  # both complete concurrently
+    assert len(a.got) == 1 and len(b.got) == 1
+
+
+def test_link_send_from_stranger_raises():
+    sim = Simulator()
+    a, b, c = _Sink(), _Sink(), _Sink()
+    link = Link(sim, rate=100.0).attach(a, b)
+    with pytest.raises(ValueError):
+        link.send(c, _frame())
+
+
+def test_link_double_attach_raises():
+    sim = Simulator()
+    link = Link(sim, rate=1.0).attach(_Sink(), _Sink())
+    with pytest.raises(RuntimeError):
+        link.attach(_Sink(), _Sink())
+
+
+def test_link_set_delay_applies_to_new_frames():
+    sim = Simulator()
+    a, b = _Sink(), _Sink()
+    link = Link(sim, rate=1000.0, delay_us=0.0).attach(a, b)
+    link.set_delay(100.0)
+    link.send(a, _frame(size=0, wire=10))
+    sim.run()
+    assert sim.now == pytest.approx(100.01)
+
+
+def test_link_counts_bytes_and_frames():
+    sim = Simulator()
+    a, b = _Sink(), _Sink()
+    link = Link(sim, rate=100.0).attach(a, b)
+    link.send(a, _frame(wire=1000, size=1000))
+    link.send(b, _frame(wire=500, size=500))
+    sim.run()
+    assert link.bytes_carried == 1500
+    assert link.frames_carried == 2
+
+
+def test_link_rejects_bad_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, rate=0.0)
+    with pytest.raises(ValueError):
+        Link(sim, rate=1.0, delay_us=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# switch routing
+# ---------------------------------------------------------------------------
+
+def test_switch_forwards_by_lid():
+    sim = Simulator()
+    sw = Switch(sim, latency_us=0.5)
+    h1, h2 = _Sink(), _Sink()
+    l1 = Link(sim, rate=100.0).attach(h1, sw)
+    l2 = Link(sim, rate=100.0).attach(sw, h2)
+    sw.add_link(l1)
+    sw.add_link(l2)
+    sw.set_route(7, l2)
+    l1.send(h1, _frame(dst_lid=7, size=100, wire=100))
+    sim.run()
+    assert len(h2.got) == 1
+    # 1us ser + 0.5us switch + 1us ser
+    assert sim.now == pytest.approx(2.5)
+
+
+def test_switch_unknown_lid_raises():
+    sim = Simulator()
+    sw = Switch(sim, latency_us=0.5)
+    h1 = _Sink()
+    l1 = Link(sim, rate=100.0).attach(h1, sw)
+    sw.add_link(l1)
+    l1.send(h1, _frame(dst_lid=99, size=10, wire=10))
+    with pytest.raises(RuntimeError, match="no route"):
+        sim.run()
+
+
+def test_switch_route_via_unattached_link_rejected():
+    sim = Simulator()
+    sw = Switch(sim, latency_us=0.1)
+    stray = Link(sim, rate=1.0).attach(_Sink(), _Sink())
+    with pytest.raises(ValueError):
+        sw.set_route(1, stray)
+
+
+# ---------------------------------------------------------------------------
+# topologies + subnet manager
+# ---------------------------------------------------------------------------
+
+def test_back_to_back_assigns_distinct_lids():
+    sim = Simulator()
+    f = build_back_to_back(sim)
+    lids = [n.lid for n in f.nodes]
+    assert len(set(lids)) == 2 and all(l > 0 for l in lids)
+
+
+def test_cluster_all_pairs_routable():
+    sim = Simulator()
+    f = build_cluster(sim, 4)
+    sw = f.switches[0]
+    for node in f.nodes:
+        assert node.lid in sw.forwarding
+
+
+def test_cluster_of_clusters_structure():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 3, 2, wan_delay_us=10.0)
+    assert len(f.cluster_a) == 3 and len(f.cluster_b) == 2
+    assert f.wan is not None
+    assert f.wan.delay_us == 10.0
+    assert f.cluster_of(f.cluster_a[0]) == "A"
+    assert f.cluster_of(f.cluster_b[1]) == "B"
+
+
+def test_cluster_of_clusters_cross_routes_programmed():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 2, 2)
+    sw_a, sw_b = f.switches
+    for node in f.cluster_b:
+        assert node.lid in sw_a.forwarding  # via the longbow link
+    for node in f.cluster_a:
+        assert node.lid in sw_b.forwarding
+
+
+def test_set_wan_delay_roundtrip():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1)
+    f.set_wan_delay(123.0)
+    assert f.wan.delay_us == 123.0
+
+
+def test_set_wan_delay_on_lan_fabric_raises():
+    sim = Simulator()
+    f = build_back_to_back(sim)
+    with pytest.raises(RuntimeError):
+        f.set_wan_delay(5.0)
+
+
+def test_subnet_manager_rejects_duplicate_device():
+    sim = Simulator()
+    sm = SubnetManager()
+    node = Node(sim, DEFAULT_PROFILE)
+    sm.add_device(node.hca)
+    with pytest.raises(ValueError):
+        sm.add_device(node.hca)
+
+
+def test_subnet_manager_rejects_unattached_link():
+    sm = SubnetManager()
+    with pytest.raises(ValueError):
+        sm.add_link(Link(Simulator(), rate=1.0))
+
+
+def test_hca_drops_frames_for_unknown_qpn():
+    sim = Simulator()
+    f = build_back_to_back(sim)
+    n0, n1 = f.nodes
+    frame = Frame(src_lid=n0.lid, dst_lid=n1.lid, size=10, wire_bytes=10,
+                  dst_qpn=999)
+    n0.hca.transmit(frame)
+    sim.run()
+    assert getattr(n1.hca, "frames_dropped", 0) == 1

@@ -1,0 +1,168 @@
+"""Unit tests for IPoIB interfaces (UD and connected mode)."""
+
+import pytest
+
+from repro.calibration import DEFAULT_PROFILE, MB
+from repro.fabric import build_cluster_of_clusters
+from repro.ipoib import IPoIBNetwork, netperf
+from repro.sim import Simulator
+
+
+def _net(mode="ud", mtu=None, delay=0.0):
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=delay)
+    net = IPoIBNetwork(fabric, mode=mode, mtu=mtu)
+    ia = net.add_interface(fabric.cluster_a[0])
+    ib = net.add_interface(fabric.cluster_b[0])
+    return sim, fabric, net, ia, ib
+
+
+def test_default_mtus():
+    *_, ia, _ = _net("ud")
+    assert ia.mtu == DEFAULT_PROFILE.ipoib_ud_mtu
+    *_, ia, _ = _net("rc")
+    assert ia.mtu == DEFAULT_PROFILE.ipoib_rc_mtu
+
+
+def test_rejects_unknown_mode():
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 1)
+    with pytest.raises(ValueError):
+        IPoIBNetwork(fabric, mode="xrc")
+
+
+def test_ud_mtu_cannot_exceed_ib_datagram():
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 1)
+    with pytest.raises(ValueError):
+        IPoIBNetwork(fabric, mode="ud", mtu=4096)
+
+
+def test_packet_delivery_carries_payload_and_source():
+    sim, fabric, net, ia, ib = _net("ud")
+    got = []
+    ib.receiver = lambda src, n, payload: got.append((src, n, payload))
+    ia.send(ib.node.lid, 1000, payload="hello")
+    sim.run()
+    assert got == [(ia.node.lid, 1000, "hello")]
+
+
+def test_send_above_mtu_rejected():
+    sim, fabric, net, ia, ib = _net("ud")
+    with pytest.raises(ValueError):
+        ia.send(ib.node.lid, 5000)
+
+
+def test_rc_mode_creates_connection_lazily():
+    sim, fabric, net, ia, ib = _net("rc")
+    assert not ia._rc_qps
+    ia.send(ib.node.lid, 30000, payload="big")
+    assert ib.node.lid in ia._rc_qps
+    assert ia.node.lid in ib._rc_qps
+    got = []
+    ib.receiver = lambda src, n, p: got.append((src, n, p))
+    sim.run()
+    assert got == [(ia.node.lid, 30000, "big")]
+
+
+def test_rc_mode_reuses_connection():
+    sim, fabric, net, ia, ib = _net("rc")
+    ia.send(ib.node.lid, 100)
+    qp1 = ia._rc_qps[ib.node.lid]
+    ia.send(ib.node.lid, 100)
+    assert ia._rc_qps[ib.node.lid] is qp1
+
+
+def test_lookup_unknown_lid_raises():
+    sim, fabric, net, ia, ib = _net("ud")
+    with pytest.raises(KeyError):
+        net.lookup(9999)
+
+
+def test_add_interface_idempotent():
+    sim, fabric, net, ia, _ = _net("ud")
+    assert net.add_interface(fabric.cluster_a[0]) is ia
+
+
+def test_packets_counted():
+    sim, fabric, net, ia, ib = _net("ud")
+    ib.receiver = lambda *a: None
+    for _ in range(5):
+        ia.send(ib.node.lid, 500)
+    sim.run()
+    assert ia.packets_sent == 5
+    assert ib.packets_received == 5
+
+
+# ---------------------------------------------------------------------------
+# netperf-level behaviour (paper Fig. 6/7 shapes)
+# ---------------------------------------------------------------------------
+
+def test_ud_peak_far_below_verbs_rates():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=0.0)
+    bw = netperf.run_stream_bw(sim, f, f.cluster_a[0], f.cluster_b[0],
+                               total_bytes=4 * MB, mode="ud")
+    assert 300 < bw < 600  # TCP stack cost dominates at 2K MTU
+
+
+def test_rc_large_mtu_beats_ud():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=0.0)
+    rc = netperf.run_stream_bw(sim, f, f.cluster_a[0], f.cluster_b[0],
+                               total_bytes=4 * MB, mode="rc")
+    sim2 = Simulator()
+    f2 = build_cluster_of_clusters(sim2, 1, 1, wan_delay_us=0.0)
+    ud = netperf.run_stream_bw(sim2, f2, f2.cluster_a[0], f2.cluster_b[0],
+                               total_bytes=4 * MB, mode="ud")
+    assert rc > 1.5 * ud
+
+
+def test_rc_mtu_ordering():
+    """Fig. 7a: larger IP MTU -> higher throughput."""
+    results = []
+    for mtu in (2044, 16384, 65520):
+        sim = Simulator()
+        f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=0.0)
+        results.append(netperf.run_stream_bw(
+            sim, f, f.cluster_a[0], f.cluster_b[0], total_bytes=4 * MB,
+            mode="rc", mtu=mtu))
+    assert results[0] < results[1] < results[2]
+
+
+def test_parallel_streams_help_at_high_delay():
+    """Fig. 6b: streams recover throughput over long pipes."""
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=10000.0)
+    one = netperf.run_parallel_stream_bw(sim, f, f.cluster_a[0],
+                                         f.cluster_b[0], 8 * MB, streams=1,
+                                         mode="ud")
+    sim2 = Simulator()
+    f2 = build_cluster_of_clusters(sim2, 1, 1, wan_delay_us=10000.0)
+    eight = netperf.run_parallel_stream_bw(sim2, f2, f2.cluster_a[0],
+                                           f2.cluster_b[0], 8 * MB,
+                                           streams=8, mode="ud")
+    assert eight > 2 * one
+
+
+def test_parallel_streams_no_gain_at_lan():
+    """At zero delay the stack CPU is the bottleneck, not the window."""
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=0.0)
+    one = netperf.run_parallel_stream_bw(sim, f, f.cluster_a[0],
+                                         f.cluster_b[0], 8 * MB, streams=1,
+                                         mode="ud")
+    sim2 = Simulator()
+    f2 = build_cluster_of_clusters(sim2, 1, 1, wan_delay_us=0.0)
+    eight = netperf.run_parallel_stream_bw(sim2, f2, f2.cluster_a[0],
+                                           f2.cluster_b[0], 8 * MB,
+                                           streams=8, mode="ud")
+    assert eight < 1.25 * one
+
+
+def test_streams_validation():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1)
+    with pytest.raises(ValueError):
+        netperf.run_parallel_stream_bw(sim, f, f.cluster_a[0],
+                                       f.cluster_b[0], 1 * MB, streams=0)

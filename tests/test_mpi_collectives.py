@@ -1,0 +1,247 @@
+"""Unit tests for MPI collectives: correctness and WAN-awareness."""
+
+import pytest
+
+from repro.calibration import KB
+from repro.fabric import build_cluster_of_clusters
+from repro.mpi import MPIJob, MPITuning
+from repro.mpi.collectives import (allgather, allreduce, alltoall, alltoallv,
+                                   barrier, bcast, reduce)
+from repro.sim import Simulator
+
+
+def _job(nodes=(2, 2), ppn=1, delay=0.0, placement="block"):
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, nodes[0], nodes[1],
+                                       wan_delay_us=delay)
+    return sim, MPIJob(fabric, ppn=ppn, placement=placement)
+
+
+# ---------------------------------------------------------------------------
+# broadcast
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("algorithm", ["binomial", "scatter_allgather",
+                                       "scatter_rd_allgather",
+                                       "hierarchical"])
+def test_bcast_delivers_to_all(algorithm):
+    sim, job = _job(nodes=(4, 4))
+
+    def prog(proc):
+        data = yield from bcast(proc, 4 * KB, root=0, payload="the-data",
+                                algorithm=algorithm)
+        return data
+
+    results = job.run(prog)
+    if algorithm in ("binomial", "hierarchical"):
+        assert all(r == "the-data" for r in results)
+    else:  # chunked algorithms return a size marker on non-roots
+        assert results[0] == "the-data"
+        assert all(r is not None for r in results)
+
+
+def test_bcast_nonzero_root():
+    sim, job = _job(nodes=(2, 2))
+
+    def prog(proc):
+        data = yield from bcast(proc, 1 * KB, root=3, payload="from3",
+                                algorithm="binomial")
+        return data
+
+    assert job.run(prog) == ["from3"] * 4
+
+
+def test_bcast_subgroup_only():
+    sim, job = _job(nodes=(2, 2))
+
+    def prog(proc):
+        if proc.rank in (0, 2, 3):
+            data = yield from bcast(proc, 1 * KB, root=0, payload="grp",
+                                    ranks=[0, 2, 3], algorithm="binomial")
+            return data
+        yield proc.sim.timeout(1.0)
+        return "not-in-group"
+
+    assert job.run(prog) == ["grp", "not-in-group", "grp", "grp"]
+
+
+def test_bcast_unknown_algorithm():
+    sim, job = _job()
+
+    def prog(proc):
+        yield from bcast(proc, 1 * KB, algorithm="magic")
+
+    with pytest.raises(ValueError):
+        job.run(prog)
+
+
+def test_hierarchical_bcast_crosses_wan_once():
+    sim, job = _job(nodes=(4, 4), delay=0.0)
+    wan = job.fabric.wan
+
+    def prog(proc):
+        yield from bcast(proc, 64 * KB, root=0, algorithm="hierarchical")
+
+    job.run(prog)
+    data_frames = [1 for _ in range(1)]
+    # exactly one 64K payload crossed (plus control/ACK frames)
+    payload_bytes = wan.bytes_carried
+    assert 64 * KB <= payload_bytes < 2 * 64 * KB
+
+
+def test_flat_large_bcast_crosses_wan_more_than_hierarchical():
+    sizes = {}
+    for algo in ("scatter_allgather", "hierarchical"):
+        sim, job = _job(nodes=(4, 4))
+
+        def prog(proc, algo=algo):
+            yield from bcast(proc, 64 * KB, root=0, algorithm=algo)
+
+        job.run(prog)
+        sizes[algo] = job.fabric.wan.bytes_carried
+    assert sizes["scatter_allgather"] > 2 * sizes["hierarchical"]
+
+
+def test_hierarchical_bcast_faster_at_high_delay():
+    from repro.mpi.benchmarks import run_osu_bcast
+    res = {}
+    for algo in ("auto", "hierarchical"):
+        sim = Simulator()
+        f = build_cluster_of_clusters(sim, 4, 4, wan_delay_us=1000.0)
+        res[algo] = run_osu_bcast(sim, f, 64 * KB, ppn=1, iters=2,
+                                  algorithm=algo)
+    assert res["hierarchical"] < res["auto"]
+
+
+# ---------------------------------------------------------------------------
+# barrier / reductions
+# ---------------------------------------------------------------------------
+
+def test_barrier_synchronizes():
+    sim, job = _job(nodes=(2, 2))
+    after = {}
+
+    def prog(proc):
+        yield from proc.compute(100.0 * (proc.rank + 1))
+        yield from barrier(proc)
+        after[proc.rank] = sim.now
+
+    job.run(prog)
+    # nobody exits the barrier before the slowest rank entered (400us)
+    assert min(after.values()) >= 400.0
+
+
+def test_allreduce_completes_all_ranks():
+    sim, job = _job(nodes=(2, 2))
+
+    def prog(proc):
+        result = yield from allreduce(proc, 8)
+        return result
+
+    assert all(r == ("allreduce", 8) for r in job.run(prog))
+
+
+def test_allreduce_non_power_of_two():
+    sim, job = _job(nodes=(2, 1))  # 3 ranks
+
+    def prog(proc):
+        result = yield from allreduce(proc, 64)
+        return result
+
+    assert all(r == ("allreduce", 64) for r in job.run(prog))
+
+
+def test_reduce_root_gets_result():
+    sim, job = _job(nodes=(2, 2))
+
+    def prog(proc):
+        return (yield from reduce(proc, 1 * KB, root=2))
+
+    results = job.run(prog)
+    assert results[2] == ("reduce", 1 * KB)
+    assert results[0] is None
+
+
+# ---------------------------------------------------------------------------
+# alltoall / allgather
+# ---------------------------------------------------------------------------
+
+def test_alltoall_all_pairs_exchange():
+    sim, job = _job(nodes=(2, 2))
+    counts = {}
+
+    def prog(proc):
+        before = proc.messages_sent
+        yield from alltoall(proc, 4 * KB)
+        counts[proc.rank] = proc.messages_sent - before
+
+    job.run(prog)
+    # each rank sent one data message to each of the 3 peers (eager 4K)
+    assert all(c == 3 for c in counts.values())
+
+
+def test_alltoallv_sizes_by_function():
+    sim, job = _job(nodes=(2, 2))
+
+    def size_fn(src, dst):
+        return 1024 * (src + 1) if src != dst else 0
+
+    def prog(proc):
+        yield from alltoallv(proc, size_fn)
+        return True
+
+    assert all(job.run(prog))
+
+
+def test_alltoall_concurrent_is_delay_tolerant():
+    """Posting everything up front makes alltoall bandwidth-bound."""
+    times = []
+    for delay in (0.0, 1000.0):
+        sim, job = _job(nodes=(2, 2), delay=delay)
+
+        def prog(proc):
+            t0 = sim.now
+            yield from alltoall(proc, 512 * KB)
+            return sim.now - t0
+
+        times.append(max(job.run(prog)))
+    # one RTT of startup cost, not one RTT per peer
+    assert times[1] < times[0] + 3 * 2 * 1000.0
+
+
+def test_allgather_completes():
+    sim, job = _job(nodes=(2, 2))
+
+    def prog(proc):
+        yield from allgather(proc, 8 * KB)
+        return True
+
+    assert all(job.run(prog))
+
+
+def test_collective_on_rank_outside_group_raises():
+    sim, job = _job(nodes=(2, 2))
+
+    def prog(proc):
+        if proc.rank == 0:
+            yield from bcast(proc, 1024, root=1, ranks=[1, 2],
+                             algorithm="binomial")
+        else:
+            yield proc.sim.timeout(1.0)
+
+    with pytest.raises(ValueError):
+        job.run(prog)
+
+
+def test_consecutive_collectives_do_not_crosstalk():
+    sim, job = _job(nodes=(2, 2))
+
+    def prog(proc):
+        a = yield from bcast(proc, 1 * KB, root=0, payload="first",
+                             algorithm="binomial")
+        yield from barrier(proc)
+        b = yield from bcast(proc, 1 * KB, root=1, payload="second",
+                             algorithm="binomial")
+        return (a, b)
+
+    assert job.run(prog) == [("first", "second")] * 4

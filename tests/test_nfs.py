@@ -1,0 +1,207 @@
+"""Unit tests for NFS: RPC transports, server semantics, IOzone harness."""
+
+import pytest
+
+from repro.calibration import DEFAULT_PROFILE, KB, MB
+from repro.fabric import build_cluster, build_cluster_of_clusters
+from repro.nfs import NFSServer, mount, run_iozone_read
+from repro.sim import Simulator
+
+
+def _wan(delay=0.0):
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=delay)
+    return sim, fabric, fabric.cluster_a[0], fabric.cluster_b[0]
+
+
+@pytest.mark.parametrize("transport", ["rdma", "ipoib-rc", "ipoib-ud"])
+def test_read_roundtrip(transport):
+    sim, fabric, srv, cli = _wan()
+    server, factory = mount(fabric, srv, cli, transport)
+    server.export("/f", 1 * MB)
+    out = {}
+
+    def main():
+        client = yield from factory()
+        got = yield from client.read("/f", 0, 256 * KB)
+        out["got"] = got
+
+    sim.run(until=sim.process(main()))
+    assert out["got"] == 256 * KB
+    assert server.ops == 1
+
+
+def test_read_clamps_at_eof():
+    sim, fabric, srv, cli = _wan()
+    server, factory = mount(fabric, srv, cli, "rdma")
+    server.export("/f", 100 * KB)
+    out = {}
+
+    def main():
+        client = yield from factory()
+        out["tail"] = yield from client.read("/f", 90 * KB, 256 * KB)
+        out["past"] = yield from client.read("/f", 200 * KB, 4 * KB)
+
+    sim.run(until=sim.process(main()))
+    assert out["tail"] == 10 * KB
+    assert out["past"] == 0
+
+
+def test_read_unknown_file_raises():
+    sim, fabric, srv, cli = _wan()
+    server, factory = mount(fabric, srv, cli, "rdma")
+    server.export("/f", 1 * KB)
+
+    def main():
+        client = yield from factory()
+        yield from client.read("/missing", 0, 1 * KB)
+
+    with pytest.raises(KeyError):
+        sim.run(until=sim.process(main()))
+
+
+def test_write_extends_file():
+    sim, fabric, srv, cli = _wan()
+    server, factory = mount(fabric, srv, cli, "ipoib-rc")
+    fh = server.export("/f", 0)
+    out = {}
+
+    def main():
+        client = yield from factory()
+        out["wrote"] = yield from client.write("/f", 0, 64 * KB)
+        out["size"] = yield from client.getattr("/f")
+
+    sim.run(until=sim.process(main()))
+    assert out["wrote"] == 64 * KB
+    assert out["size"] == 64 * KB
+    assert fh.size == 64 * KB
+
+
+def test_invalid_counts_rejected():
+    sim, fabric, srv, cli = _wan()
+    server, factory = mount(fabric, srv, cli, "rdma")
+    server.export("/f", 1 * KB)
+
+    def main():
+        client = yield from factory()
+        with pytest.raises(ValueError):
+            client.read("/f", 0, 0).send(None)
+        yield sim.timeout(1.0)
+
+    sim.run(until=sim.process(main()))
+
+
+def test_unknown_transport_rejected():
+    sim, fabric, srv, cli = _wan()
+    with pytest.raises(ValueError):
+        mount(fabric, srv, cli, "smb")
+
+
+def test_rdma_read_moves_data_in_4k_chunks():
+    sim, fabric, srv, cli = _wan()
+    server, factory = mount(fabric, srv, cli, "rdma")
+    server.export("/f", 1 * MB)
+
+    def main():
+        client = yield from factory()
+        yield from client.read("/f", 0, 256 * KB)
+        return client
+
+    client = sim.run(until=sim.process(main()))
+    qp = client.rpc.qp  # client side QP partner received the writes
+    server_qp = fabric.cluster_a[0].hca.qp(qp.remote_qpn)
+    chunks = 256 * KB // DEFAULT_PROFILE.nfs_rdma_chunk
+    # request + 64 RDMA-write chunks + reply at the server side
+    assert server_qp.messages_sent == chunks + 1
+
+
+def test_disk_latency_injection():
+    sim, fabric, srv, cli = _wan()
+    server, factory = mount(fabric, srv, cli, "rdma")
+    server.export("/cold", 1 * MB, disk_latency_us=8000.0)
+    server.export("/warm", 1 * MB)
+    out = {}
+
+    def main():
+        client = yield from factory()
+        t0 = sim.now
+        yield from client.read("/warm", 0, 64 * KB)
+        out["warm"] = sim.now - t0
+        t0 = sim.now
+        yield from client.read("/cold", 0, 64 * KB)
+        out["cold"] = sim.now - t0
+
+    sim.run(until=sim.process(main()))
+    assert out["cold"] > out["warm"] + 7900.0
+
+
+def test_server_thread_pool_limits_concurrency():
+    profile = DEFAULT_PROFILE.with_overrides(nfs_server_threads=1,
+                                             nfs_rpc_server_us=1000.0)
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 1, profile=profile)
+    server, factory = mount(fabric, fabric.cluster_a[0],
+                            fabric.cluster_b[0], "rdma")
+    server.export("/f", 1 * MB)
+    out = {}
+
+    def main():
+        client = yield from factory()
+        t0 = sim.now
+
+        def one():
+            yield from client.read("/f", 0, 4 * KB)
+
+        workers = [sim.process(one()) for _ in range(4)]
+        yield sim.all_of(workers)
+        out["t"] = sim.now - t0
+
+    sim.run(until=sim.process(main()))
+    # 4 RPCs x 1ms service, single thread => >= 4ms wall
+    assert out["t"] >= 4000.0
+
+
+# ---------------------------------------------------------------------------
+# IOzone harness / paper shapes
+# ---------------------------------------------------------------------------
+
+def test_iozone_validates_streams():
+    sim, fabric, srv, cli = _wan()
+    with pytest.raises(ValueError):
+        run_iozone_read(sim, fabric, srv, cli, "rdma", n_streams=0)
+
+
+def test_iozone_lan_rdma_near_calibrated_peak():
+    sim = Simulator()
+    fabric = build_cluster(sim, 2)
+    bw = run_iozone_read(sim, fabric, fabric.nodes[0], fabric.nodes[1],
+                         "rdma", n_streams=4, read_bytes=16 * MB)
+    assert 900 < bw < 1300  # paper LAN ~1.1 GB/s
+
+
+def test_rdma_beats_ipoib_at_low_delay():
+    res = {}
+    for tr in ("rdma", "ipoib-rc", "ipoib-ud"):
+        sim, fabric, srv, cli = _wan(delay=10.0)
+        res[tr] = run_iozone_read(sim, fabric, srv, cli, tr, n_streams=4,
+                                  read_bytes=8 * MB)
+    assert res["rdma"] > res["ipoib-rc"] > res["ipoib-ud"]
+
+
+def test_ipoib_rc_beats_rdma_at_high_delay():
+    """Fig. 13c: the 4K-chunk RDMA transport collapses at 1 ms."""
+    res = {}
+    for tr in ("rdma", "ipoib-rc"):
+        sim, fabric, srv, cli = _wan(delay=1000.0)
+        res[tr] = run_iozone_read(sim, fabric, srv, cli, tr, n_streams=4,
+                                  read_bytes=8 * MB)
+    assert res["ipoib-rc"] > 3 * res["rdma"]
+
+
+def test_rdma_throughput_monotone_down_with_delay():
+    bws = []
+    for d in (0.0, 100.0, 1000.0):
+        sim, fabric, srv, cli = _wan(delay=d)
+        bws.append(run_iozone_read(sim, fabric, srv, cli, "rdma",
+                                   n_streams=2, read_bytes=8 * MB))
+    assert bws[0] > bws[1] > bws[2]

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on kernel and protocol invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration import DEFAULT_PROFILE
+from repro.fabric import build_back_to_back, wire_size
+from repro.sim import PriorityStore, Simulator, StatAccumulator, Store
+from repro.tcp import CongestionControl
+from repro.verbs import RecvWR, create_connected_rc_pair
+from repro.wan import delay_for_distance_km, distance_km_for_delay
+
+_FAST = settings(max_examples=40, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# kernel
+# ---------------------------------------------------------------------------
+
+@_FAST
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                max_size=40))
+def test_events_process_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        t = sim.timeout(d)
+        t.callbacks.append(lambda e: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+
+
+@_FAST
+@given(st.lists(st.integers(), max_size=50))
+def test_store_is_fifo_for_any_sequence(items):
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            got.append((yield store.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == items
+
+
+@_FAST
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1,
+                max_size=50))
+def test_priority_store_yields_sorted(items):
+    sim = Simulator()
+    store = PriorityStore(sim)
+    for item in items:
+        store.put(item)
+    got = []
+
+    def consumer():
+        for _ in items:
+            got.append((yield store.get()))
+
+    sim.process(consumer())
+    sim.run()
+    assert got == sorted(items)
+
+
+@_FAST
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=2, max_size=100))
+def test_stat_accumulator_matches_numpy(xs):
+    import numpy as np
+    acc = StatAccumulator()
+    for x in xs:
+        acc.add(x)
+    assert acc.n == len(xs)
+    assert acc.mean == __import__("pytest").approx(np.mean(xs), abs=1e-6)
+    assert acc.min == min(xs) and acc.max == max(xs)
+    assert acc.variance == __import__("pytest").approx(
+        np.var(xs, ddof=1), rel=1e-6, abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# fabric / wire accounting
+# ---------------------------------------------------------------------------
+
+@_FAST
+@given(st.integers(min_value=0, max_value=1 << 24),
+       st.integers(min_value=256, max_value=65536),
+       st.integers(min_value=0, max_value=128))
+def test_wire_size_bounds(payload, mtu, hdr):
+    w = wire_size(payload, mtu, hdr)
+    assert w >= payload + hdr  # at least one header
+    assert w <= payload + hdr * (payload // mtu + 1)
+
+
+@_FAST
+@given(st.floats(min_value=0.0, max_value=1e5))
+def test_delaymap_roundtrip(km):
+    assert distance_km_for_delay(delay_for_distance_km(km)) == \
+        __import__("pytest").approx(km)
+
+
+# ---------------------------------------------------------------------------
+# RC transport invariants
+# ---------------------------------------------------------------------------
+
+@_FAST
+@given(st.lists(st.integers(min_value=1, max_value=256 * 1024), min_size=1,
+                max_size=20),
+       st.integers(min_value=1, max_value=32))
+def test_rc_delivers_every_message_exactly_once_in_order(sizes, window):
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    qp_a, qp_b = create_connected_rc_pair(*fabric.nodes, send_window=window)
+    for _ in sizes:
+        qp_b.post_recv(RecvWR(1 << 30))
+    for i, size in enumerate(sizes):
+        qp_a.send(size, payload=(i, size))
+
+    def receiver():
+        got = []
+        for _ in sizes:
+            wc = yield qp_b.recv_cq.wait()
+            got.append(wc.payload)
+        return got
+
+    got = sim.run(until=sim.process(receiver()))
+    assert got == [(i, s) for i, s in enumerate(sizes)]
+    sim.run()
+    assert qp_a.inflight == 0  # every send eventually ACKed
+
+
+@_FAST
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=100))
+def test_rc_window_never_exceeded(window, count):
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    qp_a, qp_b = create_connected_rc_pair(*fabric.nodes, send_window=window)
+    max_seen = [0]
+    for _ in range(count):
+        qp_b.post_recv(RecvWR(1 << 30))
+    for _ in range(count):
+        qp_a.send(4096)
+
+    def monitor():
+        while qp_a.messages_sent < min(count, 10 ** 9):
+            max_seen[0] = max(max_seen[0], qp_a.inflight)
+            yield sim.timeout(1.0)
+
+    sim.process(monitor())
+    sim.run(until=100000.0)
+    assert max_seen[0] <= window
+
+
+# ---------------------------------------------------------------------------
+# TCP congestion control
+# ---------------------------------------------------------------------------
+
+@_FAST
+@given(st.lists(st.integers(min_value=1, max_value=1 << 20), max_size=60))
+def test_cwnd_monotone_without_loss(acks):
+    cc = CongestionControl(mss=1448)
+    prev = cc.cwnd
+    for a in acks:
+        cc.on_ack(a)
+        assert cc.cwnd >= prev
+        prev = cc.cwnd
+
+
+@_FAST
+@given(st.integers(min_value=1, max_value=256))
+def test_loss_never_drops_below_two_mss(segments):
+    cc = CongestionControl(mss=1000, init_segments=segments)
+    for _ in range(20):
+        cc.on_loss()
+    assert cc.cwnd >= 2000

@@ -1,0 +1,127 @@
+"""Unit tests for SDP (Sockets Direct Protocol)."""
+
+import pytest
+
+from repro.calibration import DEFAULT_PROFILE, KB, MB
+from repro.fabric import build_cluster_of_clusters
+from repro.ipoib import netperf
+from repro.sdp import SdpStack, run_sdp_stream_bw
+from repro.sim import Simulator
+
+
+def _pair(delay=0.0):
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=delay)
+    sa = SdpStack(fabric.cluster_a[0], fabric)
+    sb = SdpStack(fabric.cluster_b[0], fabric)
+    return sim, fabric, sa, sb
+
+
+def test_connect_and_accept():
+    sim, fabric, sa, sb = _pair()
+    listener = sb.listen(80)
+    out = {}
+
+    def server():
+        out["server"] = yield listener.accept()
+
+    def client():
+        out["client"] = yield sa.connect(sb.node.lid, 80)
+
+    sim.process(server())
+    p = sim.process(client())
+    sim.run(until=p)
+    sim.run(until=sim.now + 100.0)  # let the accept event land
+    assert out["client"].peer_lid == sb.node.lid
+    assert out["server"].peer_lid == sa.node.lid
+
+
+def test_connect_refused_without_listener():
+    sim, fabric, sa, sb = _pair()
+    p = sa.connect(sb.node.lid, 9999)
+    with pytest.raises(ConnectionRefusedError):
+        sim.run(until=p)
+
+
+def test_connect_refused_without_stack():
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 1)
+    sa = SdpStack(fabric.cluster_a[0], fabric)
+    p = sa.connect(fabric.cluster_b[0].lid, 80)
+    with pytest.raises(ConnectionRefusedError):
+        sim.run(until=p)
+
+
+def test_listen_twice_raises():
+    sim, fabric, sa, sb = _pair()
+    sb.listen(80)
+    with pytest.raises(ValueError):
+        sb.listen(80)
+
+
+def test_stream_delivers_bytes_and_records():
+    sim, fabric, sa, sb = _pair()
+    listener = sb.listen(80)
+    got = []
+
+    def server():
+        sock = yield listener.accept()
+        off, rec = yield sock.recv_record()
+        got.append((off, rec))
+        off, rec = yield sock.recv_record()
+        got.append((off, rec))
+
+    def client():
+        sock = yield sa.connect(sb.node.lid, 80)
+        sock.send(100 * KB, record="big")   # chunked on the wire
+        sock.send(512, record="small")
+
+    d = sim.process(server())
+    sim.process(client())
+    sim.run(until=d)
+    assert got == [(100 * KB, "big"), (100 * KB + 512, "small")]
+
+
+def test_send_rejects_nonpositive():
+    sim, fabric, sa, sb = _pair()
+    listener = sb.listen(80)
+    out = {}
+
+    def client():
+        out["sock"] = yield sa.connect(sb.node.lid, 80)
+
+    sim.run(until=sim.process(client()))
+    with pytest.raises(ValueError):
+        out["sock"].send(0)
+
+
+def test_sdp_beats_ipoib_rc_at_lan():
+    """SDP skips the TCP stack cost, so it should win at zero delay."""
+    sim, fabric, *_ = _pair(0.0)
+    sdp = run_sdp_stream_bw(sim, fabric, fabric.cluster_a[0],
+                            fabric.cluster_b[0], 8 * MB)
+    sim2 = Simulator()
+    f2 = build_cluster_of_clusters(sim2, 1, 1, wan_delay_us=0.0)
+    rc = netperf.run_stream_bw(sim2, f2, f2.cluster_a[0], f2.cluster_b[0],
+                               8 * MB, mode="rc")
+    assert sdp > rc
+
+
+def test_sdp_not_immune_to_wan_delay():
+    """SDP rides RC, so its window limits it over long pipes too."""
+    sim, fabric, *_ = _pair(0.0)
+    near = run_sdp_stream_bw(sim, fabric, fabric.cluster_a[0],
+                             fabric.cluster_b[0], 8 * MB)
+    sim2 = Simulator()
+    f2 = build_cluster_of_clusters(sim2, 1, 1, wan_delay_us=10000.0)
+    sa = SdpStack(f2.cluster_a[0], f2)
+    far = run_sdp_stream_bw(sim2, f2, f2.cluster_a[0], f2.cluster_b[0],
+                            8 * MB)
+    assert far < 0.25 * near
+
+
+def test_sdp_near_wire_speed_at_lan():
+    sim, fabric, *_ = _pair(0.0)
+    bw = run_sdp_stream_bw(sim, fabric, fabric.cluster_a[0],
+                           fabric.cluster_b[0], 8 * MB)
+    assert bw > 0.9 * DEFAULT_PROFILE.sdr_rate

@@ -1,0 +1,444 @@
+"""Unit tests for the discrete-event kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import (AllOf, AnyOf, Event, Interrupt, Process,
+                       SimulationError, Simulator)
+
+
+# ---------------------------------------------------------------------------
+# clock & scheduling
+# ---------------------------------------------------------------------------
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_run_until_number_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(100.0)
+    sim.run(until=30.0)
+    assert sim.now == 30.0
+
+
+def test_run_until_number_does_not_process_events_at_boundary():
+    sim = Simulator()
+    fired = []
+    t = sim.timeout(10.0)
+    t.callbacks.append(lambda e: fired.append(sim.now))
+    sim.run(until=10.0)
+    assert fired == []  # boundary events remain pending
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    for delay in (7.0, 3.0, 5.0):
+        t = sim.timeout(delay)
+        t.callbacks.append(lambda e, d=delay: order.append(d))
+    sim.run()
+    assert order == [3.0, 5.0, 7.0]
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        t = sim.timeout(1.0)
+        t.callbacks.append(lambda e, i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Simulator().step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.timeout(42.0)
+    assert sim.peek() == 42.0
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_event_count_increments():
+    sim = Simulator()
+    for _ in range(5):
+        sim.timeout(1.0)
+    sim.run()
+    assert sim.event_count == 5
+
+
+# ---------------------------------------------------------------------------
+# events
+# ---------------------------------------------------------------------------
+
+def test_event_lifecycle():
+    sim = Simulator()
+    e = sim.event()
+    assert not e.triggered and not e.processed
+    e.succeed("v")
+    assert e.triggered and not e.processed
+    sim.run()
+    assert e.processed and e.value == "v"
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        _ = sim.event().value
+
+
+def test_double_trigger_raises():
+    sim = Simulator()
+    e = sim.event()
+    e.succeed()
+    with pytest.raises(SimulationError):
+        e.succeed()
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_unhandled_failure_surfaces_from_run():
+    sim = Simulator()
+    sim.event().fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+# ---------------------------------------------------------------------------
+# processes
+# ---------------------------------------------------------------------------
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(3.0)
+        return 99
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == 99
+    assert sim.now == 3.0
+
+
+def test_process_sequential_timeouts_accumulate():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        for d in (1.0, 2.0, 3.0):
+            yield sim.timeout(d)
+            times.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert times == [1.0, 3.0, 6.0]
+
+
+def test_timeout_carries_value_to_process():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        got.append((yield sim.timeout(1.0, value="hello")))
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_process_join():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(4.0)
+        return "done"
+
+    def parent():
+        result = yield sim.process(child())
+        return (sim.now, result)
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == (4.0, "done")
+
+
+def test_joining_already_finished_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        return 7
+
+    c = sim.process(child())
+
+    def parent():
+        yield sim.timeout(10.0)
+        v = yield c  # c finished long ago
+        return v
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == 7
+    assert sim.now == 10.0
+
+
+def test_process_exception_propagates_to_joiner():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        raise ValueError("child failed")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as e:
+            return f"caught {e}"
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == "caught child failed"
+
+
+def test_unjoined_process_failure_raises_at_run():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise KeyError("oops")
+
+    sim.process(proc())
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_yielding_non_event_fails_the_process():
+    sim = Simulator()
+
+    def proc():
+        yield 42
+
+    p = sim.process(proc())
+    with pytest.raises(TypeError):
+        sim.run(until=p)
+
+
+def test_yielding_foreign_event_fails_the_process():
+    sim1, sim2 = Simulator(), Simulator()
+
+    def proc():
+        yield sim2.timeout(1.0)
+
+    p = sim1.process(proc())
+    with pytest.raises(SimulationError):
+        sim1.run(until=p)
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+    e = sim.event()
+
+    def proc():
+        yield sim.timeout(2.0)
+        e.succeed(123)
+
+    sim.process(proc())
+    assert sim.run(until=e) == 123
+
+
+def test_run_until_never_triggered_event_raises():
+    sim = Simulator()
+    e = sim.event()
+    sim.timeout(1.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=e)
+
+
+# ---------------------------------------------------------------------------
+# interrupts
+# ---------------------------------------------------------------------------
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as i:
+            log.append(("interrupted", i.cause, sim.now))
+
+    def interrupter(target):
+        yield sim.timeout(5.0)
+        target.interrupt("wake up")
+
+    t = sim.process(sleeper())
+    sim.process(interrupter(t))
+    sim.run()
+    assert log == [("interrupted", "wake up", 5.0)]
+
+
+def test_interrupt_detaches_from_waited_event():
+    sim = Simulator()
+    e = sim.event()
+    resumed = []
+
+    def waiter():
+        try:
+            yield e
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        resumed.append(sim.now)
+
+    def interrupter(target):
+        yield sim.timeout(2.0)
+        target.interrupt()
+        e.succeed()  # must NOT resume the waiter twice
+
+    w = sim.process(waiter())
+    sim.process(interrupter(w))
+    sim.run()
+    assert resumed == [3.0]
+
+
+def test_interrupting_dead_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    sim = Simulator()
+
+    def proc():
+        with pytest.raises(SimulationError):
+            sim.active_process.interrupt()
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+
+
+def test_is_alive():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+
+    p = sim.process(proc())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+# ---------------------------------------------------------------------------
+# conditions
+# ---------------------------------------------------------------------------
+
+def test_any_of_returns_on_first():
+    sim = Simulator()
+
+    def proc():
+        t1, t2 = sim.timeout(5.0, "a"), sim.timeout(9.0, "b")
+        result = yield sim.any_of([t1, t2])
+        return (sim.now, list(result.values()))
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == (5.0, ["a"])
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        ts = [sim.timeout(d, d) for d in (2.0, 8.0, 4.0)]
+        result = yield sim.all_of(ts)
+        return (sim.now, sorted(result.values()))
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == (8.0, [2.0, 4.0, 8.0])
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+
+    def proc():
+        yield sim.all_of([])
+        return sim.now
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == 0.0
+
+
+def test_all_of_with_already_processed_events():
+    sim = Simulator()
+
+    def proc():
+        t = sim.timeout(1.0, "x")
+        yield t
+        result = yield sim.all_of([t, sim.timeout(2.0, "y")])
+        return sorted(result.values())
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == ["x", "y"]
+
+
+def test_condition_failure_propagates():
+    sim = Simulator()
+    bad = sim.event()
+
+    def proc():
+        try:
+            yield sim.all_of([sim.timeout(10.0), bad])
+        except RuntimeError as e:
+            return str(e)
+
+    def failer():
+        yield sim.timeout(1.0)
+        bad.fail(RuntimeError("inner"))
+
+    sim.process(failer())
+    p = sim.process(proc())
+    assert sim.run(until=p) == "inner"

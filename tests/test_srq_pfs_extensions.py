@@ -1,0 +1,277 @@
+"""Tests for the extension subsystems: SRQ, parallel FS, NFS readahead,
+extra collectives and the CLI."""
+
+import pytest
+
+from repro.calibration import KB, MB
+from repro.fabric import build_back_to_back, build_cluster_of_clusters
+from repro.sim import Simulator
+from repro.verbs import (RecvWR, SharedReceiveQueue, VerbsContext,
+                         connect_rc_pair)
+
+
+# ---------------------------------------------------------------------------
+# SRQ
+# ---------------------------------------------------------------------------
+
+def _srq_setup():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    a, b = fabric.nodes
+    ctx_a, ctx_b = VerbsContext(a), VerbsContext(b)
+    srq = ctx_b.create_srq()
+    scq_b, rcq_b = ctx_b.create_cq(), ctx_b.create_cq()
+    # two QPs at b sharing one SRQ, one QP at a for each
+    qps_a, qps_b = [], []
+    for _ in range(2):
+        qa = ctx_a.create_rc_qp(ctx_a.create_cq(), ctx_a.create_cq())
+        qb = ctx_b.create_rc_qp(scq_b, rcq_b, srq=srq)
+        connect_rc_pair(qa, qb)
+        qps_a.append(qa)
+        qps_b.append(qb)
+    return sim, srq, qps_a, qps_b, rcq_b
+
+
+def test_srq_serves_multiple_qps():
+    sim, srq, qps_a, qps_b, rcq = _srq_setup()
+    for _ in range(4):
+        srq.post_recv(RecvWR(1 << 20))
+    qps_a[0].send(100, payload="via-qp0")
+    qps_a[1].send(100, payload="via-qp1")
+
+    def receiver():
+        got = set()
+        for _ in range(2):
+            wc = yield rcq.wait()
+            got.add(wc.payload)
+        return got
+
+    assert sim.run(until=sim.process(receiver())) == {"via-qp0", "via-qp1"}
+    assert len(srq) == 2  # two descriptors consumed
+
+
+def test_srq_qp_rejects_direct_post_recv():
+    sim, srq, qps_a, qps_b, rcq = _srq_setup()
+    with pytest.raises(RuntimeError, match="SRQ"):
+        qps_b[0].post_recv(RecvWR(100))
+
+
+def test_srq_empty_pool_buffers_until_replenished():
+    sim, srq, qps_a, qps_b, rcq = _srq_setup()
+    qps_a[0].send(100, payload="early")
+
+    def late():
+        yield sim.timeout(100.0)
+        srq.post_recv(RecvWR(1 << 20))
+        wc = yield rcq.wait()
+        return (wc.payload, sim.now >= 100.0)
+
+    assert sim.run(until=sim.process(late())) == ("early", True)
+
+
+def test_srq_accounting():
+    sim, srq, *_ = _srq_setup()
+    for _ in range(7):
+        srq.post_recv(RecvWR(64))
+    assert srq.posted_total == 7
+    assert len(srq) == 7
+
+
+# ---------------------------------------------------------------------------
+# parallel filesystem
+# ---------------------------------------------------------------------------
+
+def test_stripe_layout_mapping():
+    from repro.pfs import StripeLayout
+    layout = StripeLayout("/f", size=8 * MB, stripe_size=1 * MB,
+                          oss_indices=(0, 1))
+    assert layout.locate(0) == (0, 0)
+    assert layout.locate(1 * MB) == (1, 0)
+    assert layout.locate(2 * MB) == (0, 1 * MB)
+    assert layout.locate(3 * MB + 5) == (1, 1 * MB + 5)
+    with pytest.raises(ValueError):
+        layout.locate(8 * MB)
+
+
+def test_mds_open_unknown_file():
+    from repro.pfs import MetadataServer
+    mds = MetadataServer(Simulator(), n_oss=2)
+    with pytest.raises(FileNotFoundError):
+        mds.open("/nope")
+
+
+def test_mds_stripe_count_validation():
+    from repro.pfs import MetadataServer
+    mds = MetadataServer(Simulator(), n_oss=2)
+    with pytest.raises(ValueError):
+        mds.create("/f", 1 * MB, stripe_count=3)
+    with pytest.raises(ValueError):
+        MetadataServer(Simulator(), n_oss=0)
+
+
+def test_pfs_read_full_file():
+    from repro.pfs import build_pfs
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 2, 1, wan_delay_us=0.0)
+    mds, client = build_pfs(fabric, fabric.cluster_a, fabric.cluster_b[0])
+    mds.create_file("/f", 4 * MB, stripe_size=1 * MB)
+    out = {}
+
+    def main():
+        out["got"] = yield from client.read("/f", 0, 4 * MB)
+
+    sim.run(until=sim.process(main()))
+    assert out["got"] == 4 * MB
+
+
+def test_pfs_striping_recovers_wan_bandwidth():
+    from repro.pfs import run_pfs_read
+    bws = []
+    for n_oss in (1, 4):
+        sim = Simulator()
+        fabric = build_cluster_of_clusters(sim, n_oss, 1,
+                                           wan_delay_us=1000.0)
+        bws.append(run_pfs_read(sim, fabric, fabric.cluster_a,
+                                fabric.cluster_b[0], file_bytes=8 * MB))
+    assert bws[1] > 3 * bws[0]
+
+
+# ---------------------------------------------------------------------------
+# NFS readahead
+# ---------------------------------------------------------------------------
+
+def _nfs_client(delay, transport="rdma"):
+    from repro.nfs import mount
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=delay)
+    server, factory = mount(fabric, fabric.cluster_a[0],
+                            fabric.cluster_b[0], transport)
+    server.export("/f", 64 * MB)
+    return sim, factory
+
+
+def test_readahead_validation():
+    sim, factory = _nfs_client(0.0)
+
+    def main():
+        client = yield from factory()
+        with pytest.raises(ValueError):
+            client.read_file("/f", 1 * MB, 256 * KB, readahead=0).send(None)
+        yield sim.timeout(1.0)
+
+    sim.run(until=sim.process(main()))
+
+
+def test_readahead_reads_everything():
+    sim, factory = _nfs_client(0.0)
+    out = {}
+
+    def main():
+        client = yield from factory()
+        out["got"] = yield from client.read_file("/f", 4 * MB, 256 * KB,
+                                                 readahead=4)
+
+    sim.run(until=sim.process(main()))
+    assert out["got"] == 4 * MB
+
+
+def test_readahead_hides_wan_latency():
+    # use the TCP transport: its per-record cost is RTT-dominated, which
+    # is exactly what readahead pipelines away (the RDMA transport is
+    # chunk-window-bound at this delay, so readahead gains little there)
+    times = {}
+    for ra in (1, 8):
+        sim, factory = _nfs_client(1000.0, transport="ipoib-rc")
+        span = {}
+
+        def main(ra=ra):
+            client = yield from factory()
+            t0 = sim.now
+            yield from client.read_file("/f", 8 * MB, 256 * KB,
+                                        readahead=ra)
+            span["t"] = sim.now - t0
+
+        sim.run(until=sim.process(main()))
+        times[ra] = span["t"]
+    assert times[8] < 0.5 * times[1]
+
+
+# ---------------------------------------------------------------------------
+# extra collectives
+# ---------------------------------------------------------------------------
+
+def _job(nodes=(2, 2)):
+    from repro.mpi import MPIJob
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, *nodes, wan_delay_us=0.0)
+    return sim, MPIJob(fabric, ppn=1)
+
+
+def test_gather_accumulates_at_root():
+    from repro.mpi.collectives import gather
+    sim, job = _job()
+
+    def prog(proc):
+        return (yield from gather(proc, 1 * KB, root=0))
+
+    results = job.run(prog)
+    assert results[0] == ("gather", 4 * KB)
+    assert results[1] is None
+
+
+def test_scatter_reaches_everyone():
+    from repro.mpi.collectives import scatter
+    sim, job = _job()
+
+    def prog(proc):
+        return (yield from scatter(proc, 2 * KB, root=0))
+
+    assert job.run(prog) == [("scatter", 2 * KB)] * 4
+
+
+def test_reduce_scatter_pof2_and_non_pof2():
+    from repro.mpi.collectives import reduce_scatter
+    for nodes in ((2, 2), (2, 1)):
+        sim, job = _job(nodes)
+
+        def prog(proc):
+            return (yield from reduce_scatter(proc, 1 * KB))
+
+        results = job.run(prog)
+        assert all(r == ("reduce_scatter", 1 * KB) for r in results)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_perftest(capsys):
+    from repro.cli import main
+    assert main(["perftest", "bw", "--size", "4096", "--iters", "16"]) == 0
+    assert "MB/s" in capsys.readouterr().out
+
+
+def test_cli_netperf_sdp(capsys):
+    from repro.cli import main
+    assert main(["netperf", "--mode", "sdp", "--bytes",
+                 str(2 * MB)]) == 0
+    assert "SDP" in capsys.readouterr().out
+
+
+def test_cli_iozone(capsys):
+    from repro.cli import main
+    assert main(["iozone", "--transport", "ipoib-ud", "--bytes",
+                 str(2 * MB), "--threads", "2"]) == 0
+    assert "NFS" in capsys.readouterr().out
+
+
+def test_cli_experiments(capsys):
+    from repro.cli import main
+    assert main(["experiments", "table1"]) == 0
+    assert "2000 km" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_command():
+    from repro.cli import main
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,302 @@
+"""Unit tests for the TCP stack and congestion control."""
+
+import pytest
+
+from repro.calibration import DEFAULT_PROFILE, KB, MB
+from repro.fabric import build_back_to_back, build_cluster_of_clusters
+from repro.ipoib.interface import IPoIBNetwork
+from repro.sim import Simulator
+from repro.tcp import CongestionControl, TcpStack
+
+
+def _stacks(delay_us=0.0, mode="ud", mtu=None, nodes=(1, 1)):
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, nodes[0], nodes[1],
+                                       wan_delay_us=delay_us)
+    net = IPoIBNetwork(fabric, mode=mode, mtu=mtu)
+    sa = TcpStack(net.add_interface(fabric.cluster_a[0]))
+    sb = TcpStack(net.add_interface(fabric.cluster_b[0]))
+    return sim, sa, sb
+
+
+# ---------------------------------------------------------------------------
+# congestion control
+# ---------------------------------------------------------------------------
+
+def test_cc_starts_in_slow_start():
+    cc = CongestionControl(mss=1000, init_segments=10)
+    assert cc.cwnd == 10000
+    assert cc.in_slow_start
+
+
+def test_cc_slow_start_doubles_per_window():
+    cc = CongestionControl(mss=1000, init_segments=10)
+    cc.on_ack(10000)  # a full window of ACKs
+    assert cc.cwnd == 20000
+
+
+def test_cc_congestion_avoidance_linear():
+    cc = CongestionControl(mss=1000, init_segments=10, ssthresh=5000)
+    assert not cc.in_slow_start
+    before = cc.cwnd
+    cc.on_ack(int(cc.cwnd))  # one full window
+    assert cc.cwnd == pytest.approx(before + 1000, rel=0.01)
+
+
+def test_cc_loss_halves_window():
+    cc = CongestionControl(mss=1000, init_segments=64)
+    cc.on_loss()
+    assert cc.cwnd == 32000
+    assert cc.ssthresh == 32000
+
+
+def test_cc_rejects_bad_mss():
+    with pytest.raises(ValueError):
+        CongestionControl(mss=0)
+
+
+# ---------------------------------------------------------------------------
+# connection management
+# ---------------------------------------------------------------------------
+
+def test_connect_establishes_both_ends():
+    sim, sa, sb = _stacks()
+    listener = sb.listen(80)
+    out = {}
+
+    def server():
+        sock = yield listener.accept()
+        out["server"] = sock
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80)
+        out["client"] = sock
+
+    sim.process(server())
+    p = sim.process(client())
+    sim.run(until=p)
+    sim.run(until=sim.now + 100)
+    assert out["client"].peer_port == 80
+    assert out["server"].peer_lid == sa.lid
+
+
+def test_listen_twice_on_port_raises():
+    _, _, sb = _stacks()
+    sb.listen(80)
+    with pytest.raises(ValueError):
+        sb.listen(80)
+
+
+def test_connect_to_closed_port_hangs_not_crashes():
+    sim, sa, sb = _stacks()
+    p = sa.connect(sb.lid, 9999)
+    sim.run(until=10000.0)
+    assert not p.processed  # no listener: SYN dropped, connect pending
+
+
+def test_window_negotiated_via_handshake():
+    sim, sa, sb = _stacks()
+    listener = sb.listen(80, window=256 * KB)
+    out = {}
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80, window=128 * KB)
+        out["sock"] = sock
+
+    sim.process(client())
+    sim.run()
+    assert out["sock"].peer_rwnd == 256 * KB
+
+
+# ---------------------------------------------------------------------------
+# data transfer
+# ---------------------------------------------------------------------------
+
+def _transfer(sim, sa, sb, nbytes, window=None):
+    listener = sb.listen(80, window=window)
+    out = {}
+
+    def server():
+        sock = yield listener.accept()
+        yield sock.recv_bytes(nbytes)
+        out["t"] = sim.now
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80, window=window)
+        sock.send(nbytes)
+
+    done = sim.process(server())
+    sim.process(client())
+    sim.run(until=done)
+    return out["t"]
+
+
+def test_bytes_arrive_completely():
+    sim, sa, sb = _stacks()
+    t = _transfer(sim, sa, sb, 1 * MB)
+    assert t > 0
+
+
+def test_segmentation_respects_mss():
+    sim, sa, sb = _stacks()
+    listener = sb.listen(80)
+    done = {}
+
+    def server():
+        sock = yield listener.accept()
+        yield sock.recv_bytes(100 * KB)
+        done["rcv"] = sock.rcv_next
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80)
+        sock.send(100 * KB)
+        done["sock"] = sock
+
+    d = sim.process(server())
+    sim.process(client())
+    sim.run(until=d)
+    sock = done["sock"]
+    assert done["rcv"] == 100 * KB
+    # MSS for IPoIB-UD: 2044 - 40 = 2004 bytes
+    assert sock.segments_sent >= (100 * KB) // 2004
+
+
+def test_larger_window_faster_over_delay():
+    t_small = _transfer(*_stacks(delay_us=1000.0), 2 * MB, window=64 * KB)
+    t_big = _transfer(*_stacks(delay_us=1000.0), 2 * MB, window=1 * MB)
+    assert t_big < t_small / 3
+
+
+def test_window_limits_inflight():
+    sim, sa, sb = _stacks(delay_us=5000.0)
+    listener = sb.listen(80, window=64 * KB)
+    out = {}
+
+    def server():
+        sock = yield listener.accept()
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80, window=64 * KB)
+        sock.cc.cwnd = 10 * MB  # not cc-limited
+        sock.send(4 * MB)
+        out["sock"] = sock
+
+    sim.process(server())
+    sim.process(client())
+    sim.run(until=30000.0)  # mid-flight (handshake 10ms, transfer ~600ms)
+    assert 0 < out["sock"].inflight <= 64 * KB
+
+
+def test_records_preserve_boundaries_and_order():
+    sim, sa, sb = _stacks()
+    listener = sb.listen(80)
+    got = []
+
+    def server():
+        sock = yield listener.accept()
+        for _ in range(3):
+            off, obj = yield sock.recv_record()
+            got.append((off, obj))
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80)
+        sock.send(10 * KB, record="first")
+        sock.send(5 * KB, record="second")
+        sock.send(1, record="third")
+
+    d = sim.process(server())
+    sim.process(client())
+    sim.run(until=d)
+    assert [g[1] for g in got] == ["first", "second", "third"]
+    assert got[0][0] == 10 * KB
+    assert got[1][0] == 15 * KB
+    assert got[2][0] == 15 * KB + 1
+
+
+def test_bidirectional_traffic_on_one_socket():
+    sim, sa, sb = _stacks()
+    listener = sb.listen(80)
+    out = {}
+
+    def server():
+        sock = yield listener.accept()
+        yield sock.recv_bytes(64 * KB)
+        sock.send(32 * KB)
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80)
+        sock.send(64 * KB)
+        yield sock.recv_bytes(32 * KB)
+        out["done"] = sim.now
+
+    sim.process(server())
+    p = sim.process(client())
+    sim.run(until=p)
+    assert out["done"] > 0
+
+
+def test_close_propagates_fin():
+    sim, sa, sb = _stacks()
+    listener = sb.listen(80)
+    out = {}
+
+    def server():
+        sock = yield listener.accept()
+        out["server_sock"] = sock
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80)
+        sock.close()
+        out["client_sock"] = sock
+
+    sim.process(server())
+    sim.process(client())
+    sim.run(until=sim.now + 10000)
+    assert out["client_sock"]._closed
+    assert out["server_sock"]._closed
+
+
+def test_send_on_closed_socket_raises():
+    sim, sa, sb = _stacks()
+    listener = sb.listen(80)
+    out = {}
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80)
+        sock.close()
+        out["sock"] = sock
+
+    sim.process(client())
+    sim.run(until=sim.now + 10000)
+    with pytest.raises(RuntimeError):
+        out["sock"].send(10)
+
+
+def test_send_rejects_nonpositive():
+    sim, sa, sb = _stacks()
+    listener = sb.listen(80)
+    out = {}
+
+    def client():
+        out["sock"] = yield sa.connect(sb.lid, 80)
+
+    sim.process(client())
+    sim.run(until=sim.now + 10000)
+    with pytest.raises(ValueError):
+        out["sock"].send(0)
+
+
+def test_slow_start_limits_early_throughput():
+    """Without warm start, a short transfer over a long pipe is slower."""
+    from repro.ipoib import netperf
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=1000.0)
+    cold = netperf.run_stream_bw(sim, f, f.cluster_a[0], f.cluster_b[0],
+                                 total_bytes=2 * MB, mode="ud",
+                                 warm_start=False)
+    sim2 = Simulator()
+    f2 = build_cluster_of_clusters(sim2, 1, 1, wan_delay_us=1000.0)
+    warm = netperf.run_stream_bw(sim2, f2, f2.cluster_a[0],
+                                 f2.cluster_b[0], total_bytes=2 * MB,
+                                 mode="ud", warm_start=True)
+    assert cold < warm

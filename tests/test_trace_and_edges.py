@@ -1,0 +1,263 @@
+"""Frame tracing tests plus edge-case coverage across layers."""
+
+import pytest
+
+from repro.calibration import DEFAULT_PROFILE, KB, MB
+from repro.core import wan_pair
+from repro.fabric import FrameTracer, build_back_to_back, \
+    build_cluster_of_clusters
+from repro.mpi import ANY_TAG, MPIJob
+from repro.sim import Simulator
+from repro.verbs import RecvWR, create_connected_rc_pair, perftest
+
+
+# ---------------------------------------------------------------------------
+# tracer
+# ---------------------------------------------------------------------------
+
+def test_tracer_records_deliveries():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    tracer = FrameTracer()
+    tracer.attach(fabric.nodes[1].hca)
+    qa, qb = create_connected_rc_pair(*fabric.nodes)
+    qb.post_recv(RecvWR(1 << 20))
+    qa.send(5000)
+    sim.run(until=2000.0)
+    assert tracer.count("rc_data") == 1
+    assert tracer.bytes_seen("rc_data") == 5000
+    rec = tracer.records[0]
+    assert rec.src_lid == fabric.nodes[0].lid
+    assert rec.wire_bytes > rec.size  # headers accounted
+
+
+def test_tracer_predicate_filters():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    tracer = FrameTracer(predicate=lambda f: f.kind == "rc_ack")
+    tracer.attach(fabric.nodes[0].hca)
+    qa, qb = create_connected_rc_pair(*fabric.nodes)
+    qb.post_recv(RecvWR(1 << 20))
+    qa.send(100)
+    sim.run(until=1000.0)
+    assert tracer.count() == tracer.count("rc_ack") == 1
+
+
+def test_tracer_measures_wan_crossings_of_collective():
+    from repro.mpi.collectives import bcast
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 2, 2, wan_delay_us=0.0)
+    tracer = FrameTracer(predicate=lambda f: f.kind == "rc_write")
+    tracer.attach(fabric.wan.b)
+    job = MPIJob(fabric, ppn=1, placement="block")
+
+    def prog(proc):
+        yield from bcast(proc, 64 * KB, root=0, algorithm="hierarchical")
+
+    job.run(prog)
+    # exactly one rendezvous payload crossed toward cluster B
+    assert tracer.count() == 1
+    assert tracer.bytes_seen() == 64 * KB
+
+
+def test_tracer_detach_restores():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    hca = fabric.nodes[1].hca
+    tracer = FrameTracer()
+    tracer.attach(hca)
+    assert "receive_frame" in hca.__dict__  # tap installed
+    tracer.detach_all()
+    assert "receive_frame" not in hca.__dict__  # class method restored
+
+
+def test_tracer_limit_drops_excess():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    tracer = FrameTracer(limit=2)
+    tracer.attach(fabric.nodes[1].hca)
+    qa, qb = create_connected_rc_pair(*fabric.nodes)
+    for _ in range(5):
+        qb.post_recv(RecvWR(1 << 20))
+    for _ in range(5):
+        qa.send(100)
+    sim.run(until=1000.0)
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+
+
+def test_tracer_time_window_query():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    tracer = FrameTracer()
+    tracer.attach(fabric.nodes[1].hca)
+    qa, qb = create_connected_rc_pair(*fabric.nodes)
+    qb.post_recv(RecvWR(1 << 20))
+    qa.send(100)
+    sim.run(until=1000.0)
+    t = tracer.records[0].time_us
+    assert tracer.between(t, t + 1)
+    assert not tracer.between(t + 1, t + 2)
+
+
+# ---------------------------------------------------------------------------
+# verbs edges
+# ---------------------------------------------------------------------------
+
+def test_ud_bidirectional_bandwidth():
+    s = wan_pair(0.0)
+    bibw = perftest.run_bidir_bw(s.sim, s.a, s.b, 2048, iters=100,
+                                 transport="ud")
+    assert bibw > 1.8 * DEFAULT_PROFILE.sdr_rate * 0.9
+
+
+def test_rc_zero_byte_send():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    qa, qb = create_connected_rc_pair(*fabric.nodes)
+    qb.post_recv(RecvWR(0))
+    qa.send(0, payload="empty")
+
+    def receiver():
+        wc = yield qb.recv_cq.wait()
+        return (wc.byte_len, wc.payload)
+
+    assert sim.run(until=sim.process(receiver())) == (0, "empty")
+
+
+def test_write_latency_less_than_send_latency():
+    s = wan_pair(0.0)
+    send = perftest.run_send_lat(s.sim, s.a, s.b, 2, iters=30)
+    s = wan_pair(0.0)
+    write = perftest.run_write_lat(s.sim, s.a, s.b, 2, iters=30)
+    assert write < send  # RDMA bypasses the recv WQE
+
+
+def test_qp_close_deregisters():
+    sim = Simulator()
+    fabric = build_back_to_back(sim)
+    qa, qb = create_connected_rc_pair(*fabric.nodes)
+    qpn = qb.qpn
+    qb.close()
+    assert fabric.nodes[1].hca._qps.get(qpn) is None
+
+
+# ---------------------------------------------------------------------------
+# MPI edges
+# ---------------------------------------------------------------------------
+
+def test_rendezvous_matches_any_tag():
+    s = wan_pair(0.0)
+    job = MPIJob(s.fabric, nprocs=2, ppn=1, placement="cyclic")
+
+    def prog(proc):
+        if proc.rank == 0:
+            yield from proc.send(1, 1 * MB, tag=42, payload="wild")
+        else:
+            req = yield from proc.recv(src=0, tag=ANY_TAG)
+            return (req.tag, req.data)
+
+    assert job.run(prog)[1] == (42, "wild")
+
+
+def test_two_rendezvous_same_tag_complete_in_order():
+    s = wan_pair(0.0)
+    job = MPIJob(s.fabric, nprocs=2, ppn=1, placement="cyclic")
+
+    def prog(proc):
+        if proc.rank == 0:
+            a = proc.isend(1, 1 * MB, tag=1, payload="first")
+            b = proc.isend(1, 1 * MB, tag=1, payload="second")
+            yield from proc.waitall([a, b])
+        else:
+            r1 = yield from proc.recv(src=0, tag=1)
+            r2 = yield from proc.recv(src=0, tag=1)
+            return (r1.data, r2.data)
+
+    assert job.run(prog)[1] == ("first", "second")
+
+
+def test_eager_and_rendezvous_interleave_per_pair_order():
+    s = wan_pair(0.0)
+    job = MPIJob(s.fabric, nprocs=2, ppn=1, placement="cyclic")
+
+    def prog(proc):
+        if proc.rank == 0:
+            proc.isend(1, 64, tag=1, payload="small1")
+            proc.isend(1, 1 * MB, tag=2, payload="big")
+            proc.isend(1, 64, tag=3, payload="small2")
+            yield from proc.recv(src=1, tag=9)
+        else:
+            got = []
+            for tag in (1, 2, 3):
+                req = yield from proc.recv(src=0, tag=tag)
+                got.append(req.data)
+            yield from proc.send(0, 1, tag=9)
+            return got
+
+    assert job.run(prog)[1] == ["small1", "big", "small2"]
+
+
+def test_mpi_many_small_jobs_on_lan_fabric():
+    """MPIJob works on a plain LAN fabric (no WAN segment)."""
+    from repro.fabric import build_cluster
+    sim = Simulator()
+    fabric = build_cluster(sim, 4)
+    job = MPIJob(fabric, ppn=1)
+    assert job.size == 4
+    assert job.clusters() == ["lan"]
+
+    def prog(proc):
+        if proc.rank == 0:
+            yield from proc.send(1, 128)
+        elif proc.rank == 1:
+            yield from proc.recv(src=0)
+        else:
+            yield proc.sim.timeout(1.0)
+
+    job.run(prog)
+
+
+# ---------------------------------------------------------------------------
+# NFS / TCP edges
+# ---------------------------------------------------------------------------
+
+def test_nfs_write_over_rdma_transport():
+    from repro.nfs import mount
+    s = wan_pair(10.0)
+    server, factory = mount(s.fabric, s.a, s.b, "rdma")
+    server.export("/w", 0)
+    out = {}
+
+    def main():
+        client = yield from factory()
+        out["n"] = yield from client.write("/w", 0, 128 * KB)
+
+    s.sim.run(until=s.sim.process(main()))
+    assert out["n"] == 128 * KB
+
+
+def test_tcp_record_spanning_many_segments():
+    from repro.ipoib.interface import IPoIBNetwork
+    from repro.tcp import TcpStack
+    sim = Simulator()
+    fabric = build_cluster_of_clusters(sim, 1, 1)
+    net = IPoIBNetwork(fabric, mode="ud")
+    sa = TcpStack(net.add_interface(fabric.cluster_a[0]))
+    sb = TcpStack(net.add_interface(fabric.cluster_b[0]))
+    listener = sb.listen(80)
+    out = {}
+
+    def server():
+        sock = yield listener.accept()
+        off, obj = yield sock.recv_record()
+        out["r"] = (off, obj)
+
+    def client():
+        sock = yield sa.connect(sb.lid, 80)
+        sock.send(500 * KB, record="huge")  # ~256 UD segments
+
+    d = sim.process(server())
+    sim.process(client())
+    sim.run(until=d)
+    assert out["r"] == (500 * KB, "huge")

@@ -1,0 +1,125 @@
+"""Unit tests for the Obsidian Longbow model and the delay map."""
+
+import pytest
+
+from repro.calibration import DEFAULT_PROFILE, MB
+from repro.fabric import build_cluster_of_clusters
+from repro.sim import Simulator
+from repro.verbs import perftest
+from repro.wan import (TABLE1_ROWS, delay_for_distance_km,
+                       distance_km_for_delay, table1)
+
+
+# ---------------------------------------------------------------------------
+# delay map (paper Table 1)
+# ---------------------------------------------------------------------------
+
+def test_delay_per_km_is_five_microseconds():
+    assert delay_for_distance_km(1) == 5.0
+
+
+def test_delay_distance_roundtrip():
+    for km in (0.5, 1, 20, 200, 2000):
+        assert distance_km_for_delay(delay_for_distance_km(km)) == pytest.approx(km)
+
+
+def test_table1_matches_paper_rows():
+    assert table1() == TABLE1_ROWS
+    assert (2000.0, 10000.0) in table1()
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        delay_for_distance_km(-1)
+    with pytest.raises(ValueError):
+        distance_km_for_delay(-1)
+
+
+# ---------------------------------------------------------------------------
+# Longbow behaviour
+# ---------------------------------------------------------------------------
+
+def _lat(sim, fabric, size=2, iters=10):
+    return perftest.run_send_lat(sim, fabric.cluster_a[0],
+                                 fabric.cluster_b[0], size, iters=iters)
+
+
+def test_longbow_pair_adds_roughly_five_microseconds():
+    from repro.fabric import build_back_to_back
+    sim = Simulator()
+    b2b = _direct_lat = perftest.run_send_lat(
+        sim, *build_back_to_back(sim).nodes, size=2, iters=10)
+    sim2 = Simulator()
+    f = build_cluster_of_clusters(sim2, 1, 1, wan_delay_us=0.0)
+    through = _lat(sim2, f)
+    added = through - b2b
+    assert 4.0 < added < 8.0  # "about 5 us" in the paper
+
+
+def test_wan_delay_adds_to_latency_one_way():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=0.0)
+    base = _lat(sim, f)
+    sim2 = Simulator()
+    f2 = build_cluster_of_clusters(sim2, 1, 1, wan_delay_us=1000.0)
+    assert _lat(sim2, f2) == pytest.approx(base + 1000.0, rel=0.01)
+
+
+def test_wan_delay_knob_is_dynamic():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=0.0)
+    l0 = _lat(sim, f)
+    f.set_wan_delay(500.0)
+    l1 = _lat(sim, f)
+    assert l1 == pytest.approx(l0 + 500.0, rel=0.01)
+
+
+def test_wan_rate_caps_throughput_at_sdr():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=0.0)
+    bw = perftest.run_send_bw(sim, f.cluster_a[0], f.cluster_b[0],
+                              size=1 * MB, iters=24)
+    assert bw < DEFAULT_PROFILE.sdr_rate  # never beats SDR wire speed
+    assert bw > 0.9 * DEFAULT_PROFILE.sdr_rate
+
+
+def test_longbow_credits_throttle_when_tiny():
+    """With a starved credit pool the WAN cannot pipeline large windows."""
+    profile = DEFAULT_PROFILE.with_overrides(longbow_buffer_bytes=64 * 1024)
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=1000.0,
+                                  profile=profile)
+    starved = perftest.run_send_bw(sim, f.cluster_a[0], f.cluster_b[0],
+                                   size=256 * 1024, iters=24)
+    sim2 = Simulator()
+    f2 = build_cluster_of_clusters(sim2, 1, 1, wan_delay_us=1000.0)
+    deep = perftest.run_send_bw(sim2, f2.cluster_a[0], f2.cluster_b[0],
+                                size=256 * 1024, iters=24)
+    assert starved < 0.35 * deep
+
+
+def test_longbow_credits_conserved():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=50.0)
+    perftest.run_send_bw(sim, f.cluster_a[0], f.cluster_b[0],
+                         size=64 * 1024, iters=32)
+    sim.run()
+    pool = DEFAULT_PROFILE.longbow_buffer_bytes
+    assert f.wan.a.credits == pool
+    assert f.wan.b.credits == pool
+
+
+def test_longbow_forwards_both_directions():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1, wan_delay_us=10.0)
+    perftest.run_send_lat(sim, f.cluster_a[0], f.cluster_b[0], 2, iters=5)
+    assert f.wan.a.frames_forwarded > 0
+    assert f.wan.b.frames_forwarded > 0
+
+
+def test_wan_carries_bytes_counter():
+    sim = Simulator()
+    f = build_cluster_of_clusters(sim, 1, 1)
+    perftest.run_send_bw(sim, f.cluster_a[0], f.cluster_b[0],
+                         size=4096, iters=16)
+    assert f.wan.bytes_carried >= 16 * 4096
