@@ -112,12 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    metrics_help = "collect metrics and print a summary table after the run"
+
     p = sub.add_parser("perftest", help="verbs microbenchmarks")
     p.add_argument("test", choices=["lat", "bw", "bibw", "write_bw"])
     p.add_argument("--size", type=int, default=65536)
     p.add_argument("--iters", type=int, default=48)
     p.add_argument("--transport", choices=["rc", "ud"], default="rc")
     p.add_argument("--delay-us", type=float, default=0.0)
+    p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.set_defaults(fn=_cmd_perftest)
 
     p = sub.add_parser("netperf", help="socket throughput (IPoIB / SDP)")
@@ -127,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--streams", type=int, default=1)
     p.add_argument("--bytes", type=int, default=8 * MB)
     p.add_argument("--delay-us", type=float, default=0.0)
+    p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.set_defaults(fn=_cmd_netperf)
 
     p = sub.add_parser("iozone", help="NFS read throughput")
@@ -135,11 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--bytes", type=int, default=8 * MB)
     p.add_argument("--delay-us", type=float, default=0.0)
+    p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.set_defaults(fn=_cmd_iozone)
 
     p = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p.add_argument("ids", nargs="*")
     p.add_argument("--full", action="store_true")
+    p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.set_defaults(fn=_cmd_experiments)
 
     return parser
@@ -147,6 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "metrics", False):
+        from .obs import MetricsRegistry, format_summary, use_registry
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            status = args.fn(args)
+        print()
+        print(format_summary(registry))
+        return status
     return args.fn(args)
 
 

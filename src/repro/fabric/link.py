@@ -65,15 +65,28 @@ class _HalfLink:
         self.parent: Optional["Link"] = None
         self.bytes_carried = 0
         self.frames_carried = 0
+        m = getattr(sim, "metrics", None)
+        if m is not None:
+            self._m_bytes = m.counter("link", "bytes", link=name)
+            self._m_frames = m.counter("link", "frames", link=name)
+            self._m_busy_us = m.counter("link", "busy_us", link=name)
+            self._m_qdelay = m.histogram("link", "queue_delay_us", link=name)
+        else:
+            self._m_bytes = self._m_frames = None
+            self._m_busy_us = self._m_qdelay = None
         sim.process(self._pump(), name=f"link:{name}")
 
     def put(self, frame: Frame) -> None:
-        self.queue.put((frame.priority, next(self._seq), frame))
+        self.queue.put((frame.priority, next(self._seq), frame,
+                        self.sim.now))
 
     def _pump(self):
         while True:
-            _prio, _seq, frame = yield self.queue.get()
+            _prio, _seq, frame, enqueued_at = yield self.queue.get()
             ser = frame.wire_bytes / self.rate
+            if self._m_qdelay is not None:
+                self._m_qdelay.observe(self.sim.now - enqueued_at)
+                self._m_busy_us.inc(ser)
             if self.loss_rate and self.rng is not None \
                     and self.rng.random() < self.loss_rate:
                 yield self.sim.timeout(ser)  # the wire was still busy
@@ -96,6 +109,9 @@ class _HalfLink:
                 self._schedule_delivery(frame, self.delay_us + extra)
             self.bytes_carried += frame.wire_bytes
             self.frames_carried += 1
+            if self._m_bytes is not None:
+                self._m_bytes.inc(frame.wire_bytes)
+                self._m_frames.inc()
 
     def _schedule_delivery(self, frame: Frame, delay: float) -> None:
         # Jitter must never reorder frames (RC assumes FIFO wires):

@@ -18,6 +18,8 @@ Broadcast comes in the three flavours the paper compares:
 
 from __future__ import annotations
 
+import functools
+
 from typing import Any, List, Optional, Sequence
 
 from .process import MPIProcess
@@ -41,10 +43,31 @@ def _pos(ranks: Sequence[int], rank: int) -> int:
         raise ValueError(f"rank {rank} not in group {list(ranks)}") from None
 
 
+def _timed(fn):
+    """Record per-rank phase duration of a collective into the metrics
+    histogram ``mpi.collective_us{op=<name>}`` (no-op when the rank's
+    simulator has no registry attached)."""
+    op = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(proc: MPIProcess, *args, **kwargs):
+        m = getattr(proc.sim, "metrics", None)
+        if m is None:
+            result = yield from fn(proc, *args, **kwargs)
+            return result
+        t0 = proc.sim.now
+        result = yield from fn(proc, *args, **kwargs)
+        m.histogram("mpi", "collective_us", op=op).observe(proc.sim.now - t0)
+        return result
+
+    return wrapper
+
+
 # ---------------------------------------------------------------------------
 # broadcast
 # ---------------------------------------------------------------------------
 
+@_timed
 def bcast(proc: MPIProcess, size: int, root: int = 0,
           payload: Any = None, ranks: Optional[Sequence[int]] = None,
           algorithm: Optional[str] = None):
@@ -180,6 +203,7 @@ def _bcast_hierarchical(proc: MPIProcess, ranks: Sequence[int], root: int,
 # barrier / reductions
 # ---------------------------------------------------------------------------
 
+@_timed
 def barrier(proc: MPIProcess, ranks: Optional[Sequence[int]] = None):
     """Dissemination barrier (log-P rounds of empty messages)."""
     ranks = list(ranks) if ranks is not None else list(range(proc.job.size))
@@ -194,6 +218,7 @@ def barrier(proc: MPIProcess, ranks: Optional[Sequence[int]] = None):
         mask <<= 1
 
 
+@_timed
 def allreduce(proc: MPIProcess, size: int,
               ranks: Optional[Sequence[int]] = None, payload: Any = None):
     """Recursive-doubling allreduce of a ``size``-byte buffer.
@@ -236,6 +261,7 @@ def allreduce(proc: MPIProcess, size: int,
     return ("allreduce", size)
 
 
+@_timed
 def reduce(proc: MPIProcess, size: int, root: int = 0,
            ranks: Optional[Sequence[int]] = None, payload: Any = None):
     """Binomial-tree reduction to ``root``."""
@@ -262,6 +288,7 @@ def reduce(proc: MPIProcess, size: int, root: int = 0,
 # all-to-all / allgather
 # ---------------------------------------------------------------------------
 
+@_timed
 def alltoall(proc: MPIProcess, size: int,
              ranks: Optional[Sequence[int]] = None):
     """Pairwise-exchange alltoall: ``size`` bytes to every other rank."""
@@ -269,6 +296,7 @@ def alltoall(proc: MPIProcess, size: int,
     yield from alltoallv(proc, lambda src, dst: size, ranks)
 
 
+@_timed
 def alltoallv(proc: MPIProcess, size_fn,
               ranks: Optional[Sequence[int]] = None,
               concurrency: Optional[int] = None):
@@ -302,6 +330,7 @@ def alltoallv(proc: MPIProcess, size_fn,
         yield from proc.waitall(reqs)
 
 
+@_timed
 def allgather(proc: MPIProcess, size: int,
               ranks: Optional[Sequence[int]] = None):
     """Ring allgather: n-1 steps forwarding one ``size``-byte block."""
@@ -315,6 +344,7 @@ def allgather(proc: MPIProcess, size: int,
         yield from proc.sendrecv(right, size, src=left, tag=tag)
 
 
+@_timed
 def gather(proc: MPIProcess, size: int, root: int = 0,
            ranks: Optional[Sequence[int]] = None, payload: Any = None):
     """Binomial gather of one ``size``-byte block per rank to ``root``.
@@ -343,6 +373,7 @@ def gather(proc: MPIProcess, size: int, root: int = 0,
     return ("gather", have * size) if proc.rank == root else None
 
 
+@_timed
 def scatter(proc: MPIProcess, size: int, root: int = 0,
             ranks: Optional[Sequence[int]] = None):
     """Binomial scatter of one ``size``-byte block per rank from ``root``."""
@@ -371,6 +402,7 @@ def scatter(proc: MPIProcess, size: int, root: int = 0,
     return ("scatter", size)
 
 
+@_timed
 def reduce_scatter(proc: MPIProcess, size_per_rank: int,
                    ranks: Optional[Sequence[int]] = None):
     """Recursive-halving reduce-scatter (power-of-two groups).

@@ -117,6 +117,13 @@ class MPIProcess:
         # counters
         self.messages_sent = 0
         self.bytes_sent = 0
+        m = getattr(self.sim, "metrics", None)
+        if m is not None:
+            self._m_eager = m.counter("mpi", "eager_msgs")
+            self._m_rndv = m.counter("mpi", "rndv_msgs")
+            self._m_bytes = m.counter("mpi", "bytes_sent")
+        else:
+            self._m_eager = self._m_rndv = self._m_bytes = None
         self.sim.process(self._tx_pump(), name=f"mpi{rank}.tx")
         self.sim.process(self._rx_dispatch(), name=f"mpi{rank}.rx")
         self.sim.process(self._tx_complete(), name=f"mpi{rank}.txc")
@@ -150,10 +157,16 @@ class MPIProcess:
         req = MPIRequest(self.sim, "send")
         req.dst, req.tag, req.size = dst, tag, size
         if size < self.tuning.eager_threshold:
+            if self._m_eager is not None:
+                self._m_eager.inc()
             self._tx.put(("eager", dst, size, tag, payload, req))
         else:
+            if self._m_rndv is not None:
+                self._m_rndv.inc()
             self._rndv_sends[req.req_id] = (dst, size, payload, req)
             self._tx.put(("rts", dst, size, tag, None, req))
+        if self._m_bytes is not None:
+            self._m_bytes.inc(size)
         return req
 
     def irecv(self, src: Optional[int] = ANY_SOURCE,

@@ -96,6 +96,10 @@ class MPIJob:
 
     def run(self, fn: Callable[[MPIProcess], object]) -> List[object]:
         """Run ``fn`` on every rank to completion; list of return values."""
+        t0 = self.sim.now
         done = self.spawn(fn)
         self.sim.run(until=done)
+        m = getattr(self.sim, "metrics", None)
+        if m is not None:
+            m.histogram("mpi", "job_us").observe(self.sim.now - t0)
         return [p.value for p in self._rank_procs]

@@ -40,6 +40,14 @@ class NFSServer:
         self.threads = Resource(self.sim,
                                 capacity=self.profile.nfs_server_threads)
         self.ops = 0
+        self._rpc_active = 0
+        m = getattr(self.sim, "metrics", None)
+        if m is not None:
+            self._m_inflight = m.gauge("nfs", "rpc_inflight")
+            self._m_ops = m.counter("nfs", "ops")
+            self._m_read_bytes = m.counter("nfs", "read_bytes")
+        else:
+            self._m_inflight = self._m_ops = self._m_read_bytes = None
 
     def export(self, path: str, size: int,
                disk_latency_us: float = 0.0) -> FileHandle:
@@ -49,34 +57,46 @@ class NFSServer:
 
     # -- RPC handler (generator) ----------------------------------------------
     def handle(self, proc: str, args: Tuple):
-        with self.threads.request() as req:
-            yield req
-            yield self.sim.timeout(self.profile.nfs_rpc_server_us)
-            self.ops += 1
-            if proc == "read":
-                path, offset, count = args
-                fh = self._lookup(path)
-                if offset >= fh.size:
-                    return 0, ("eof", 0)
-                count = min(count, fh.size - offset)
-                if fh.disk_latency_us:
-                    yield self.sim.timeout(fh.disk_latency_us)
-                if self.copies_data:
-                    yield self.sim.timeout(
-                        count * self.profile.nfs_tcp_copy_us_per_byte)
-                return count, ("ok", count)
-            if proc == "write":
-                path, offset, count = args
-                fh = self._lookup(path)
-                if self.copies_data:
-                    yield self.sim.timeout(
-                        count * self.profile.nfs_tcp_copy_us_per_byte)
-                fh.size = max(fh.size, offset + count)
-                return 0, ("ok", count)
-            if proc == "getattr":
-                fh = self._lookup(args[0])
-                return 0, ("ok", fh.size)
-            raise ValueError(f"unknown NFS procedure {proc!r}")
+        self._rpc_active += 1
+        if self._m_inflight is not None:
+            self._m_inflight.set(self._rpc_active)
+        try:
+            with self.threads.request() as req:
+                yield req
+                yield self.sim.timeout(self.profile.nfs_rpc_server_us)
+                self.ops += 1
+                if self._m_ops is not None:
+                    self._m_ops.inc()
+                if proc == "read":
+                    path, offset, count = args
+                    fh = self._lookup(path)
+                    if offset >= fh.size:
+                        return 0, ("eof", 0)
+                    count = min(count, fh.size - offset)
+                    if fh.disk_latency_us:
+                        yield self.sim.timeout(fh.disk_latency_us)
+                    if self.copies_data:
+                        yield self.sim.timeout(
+                            count * self.profile.nfs_tcp_copy_us_per_byte)
+                    if self._m_read_bytes is not None:
+                        self._m_read_bytes.inc(count)
+                    return count, ("ok", count)
+                if proc == "write":
+                    path, offset, count = args
+                    fh = self._lookup(path)
+                    if self.copies_data:
+                        yield self.sim.timeout(
+                            count * self.profile.nfs_tcp_copy_us_per_byte)
+                    fh.size = max(fh.size, offset + count)
+                    return 0, ("ok", count)
+                if proc == "getattr":
+                    fh = self._lookup(args[0])
+                    return 0, ("ok", fh.size)
+                raise ValueError(f"unknown NFS procedure {proc!r}")
+        finally:
+            self._rpc_active -= 1
+            if self._m_inflight is not None:
+                self._m_inflight.set(self._rpc_active)
 
     def _lookup(self, path: str) -> FileHandle:
         try:

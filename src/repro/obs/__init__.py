@@ -1,0 +1,33 @@
+"""repro.obs — simulation-wide metrics and tracing.
+
+A zero-dependency observability substrate: counters, gauges and
+deterministic log2-bucket histograms collected into a
+:class:`MetricsRegistry`, with instrumentation hooks threaded through
+the event kernel, links, the RC/UD verbs transports, TCP, MPI and NFS.
+
+The layer is off by default and free when detached — components cache
+metric handles (or ``None``) at construction and hot paths guard on a
+single ``is not None`` test.  Attach a registry before building the
+objects you want observed::
+
+    from repro.obs import MetricsRegistry, use_registry, format_summary
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        scenario = wan_pair(1000.0)          # Simulator adopts `reg`
+        perftest.run_send_bw(scenario.sim, scenario.a, scenario.b, 65536)
+    print(format_summary(reg))
+
+Snapshots (:func:`to_json`) of a deterministic run are byte-for-byte
+reproducible; the golden-trace test-suite pins them.
+"""
+
+from .export import format_summary, to_json, to_json_lines
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      get_default_registry, set_default_registry,
+                      use_registry)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "get_default_registry", "set_default_registry", "use_registry",
+    "to_json", "to_json_lines", "format_summary",
+]

@@ -1,0 +1,66 @@
+"""Structured exporters for a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Three renderings of the same canonical snapshot
+(:meth:`MetricsRegistry.to_dict`):
+
+* :func:`to_json` — one sorted-key JSON document (what the golden-trace
+  tests pin byte-for-byte);
+* :func:`to_json_lines` — one JSON object per metric per line, for
+  streaming consumers;
+* :func:`format_summary` — the human table the CLI ``--metrics`` flag
+  prints.
+
+All three are deterministic: keys are sorted, floats use Python's
+round-trippable ``repr`` via :mod:`json`, and nothing depends on wall
+time or iteration order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .metrics import MetricsRegistry, key_str
+
+__all__ = ["to_json", "to_json_lines", "format_summary"]
+
+
+def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The canonical snapshot as a single sorted-key JSON document."""
+    return json.dumps(registry.to_dict(), indent=indent, sort_keys=True)
+
+
+def to_json_lines(registry: MetricsRegistry) -> str:
+    """The snapshot as JSON-lines: one compact object per metric."""
+    return "\n".join(
+        json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        for entry in registry.to_dict()["metrics"])
+
+
+def _value_cell(metric) -> str:
+    if metric.kind == "counter":
+        return f"{metric.value:g}"
+    if metric.kind == "gauge":
+        return (f"last={metric.value:g} min={metric.min:g} "
+                f"max={metric.max:g}" if metric.samples
+                else "no samples")
+    # histogram
+    if not metric.n:
+        return "no samples"
+    return (f"n={metric.n} mean={metric.mean:g} "
+            f"min={metric.min:g} max={metric.max:g}")
+
+
+def format_summary(registry: MetricsRegistry) -> str:
+    """A fixed-width summary table of every metric in the registry."""
+    if not len(registry):
+        return "metrics: none recorded"
+    rows: List[tuple] = [(key_str(m.key), m.kind, _value_cell(m))
+                         for m in registry]
+    name_w = max(len("metric"), max(len(r[0]) for r in rows))
+    kind_w = max(len("type"), max(len(r[1]) for r in rows))
+    lines = [f"{'metric':<{name_w}}  {'type':<{kind_w}}  value",
+             f"{'-' * name_w}  {'-' * kind_w}  {'-' * 5}"]
+    lines += [f"{name:<{name_w}}  {kind:<{kind_w}}  {cell}"
+              for name, kind, cell in rows]
+    return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Metrics primitives and the registry that holds them.
+
+Zero-dependency counterparts of the usual telemetry trio:
+
+* :class:`Counter`   — a monotonically non-decreasing total;
+* :class:`Gauge`     — a last-value sample with min/max watermarks;
+* :class:`Histogram` — fixed log2 buckets (bucket ``k`` holds values
+  ``v`` with ``int(v)`` in ``[2**(k-1), 2**k - 1]``; bucket 0 holds
+  ``v < 1``), so the bucket layout never depends on the data.
+
+Metrics live in a :class:`MetricsRegistry`, keyed by
+``(component, name, labels)``; asking twice for the same key returns the
+same object, which is how independently-constructed components (every
+RC QP, say) aggregate into one series.
+
+Everything here is deterministic: values derive purely from simulation
+events, buckets are fixed, and serialization (see
+:mod:`repro.obs.export`) sorts every key — so a registry snapshot of a
+deterministic run is itself byte-for-byte reproducible, and the
+test-suite pins snapshots as golden files.
+
+Attachment contract (the no-op-when-detached rule)
+--------------------------------------------------
+The instrumented components never require a registry.  Each one reads
+``sim.metrics`` **once, at construction**, and caches either real metric
+handles or ``None``; hot paths guard on ``if handle is not None``, so a
+detached run costs one attribute test per event and allocates nothing.
+Attach a registry either explicitly (``Simulator(metrics=reg)`` /
+``sim.attach_metrics(reg)``) or process-wide with
+:func:`use_registry` / :func:`set_default_registry` **before** building
+the fabric and protocol objects whose activity you want to observe.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricKey",
+    "get_default_registry",
+    "set_default_registry",
+    "use_registry",
+]
+
+#: ``(component, name, ((label, value), ...))`` — labels sorted by key.
+MetricKey = Tuple[str, str, Tuple[Tuple[str, str], ...]]
+
+
+def _make_key(component: str, name: str, labels: Dict[str, Any]) -> MetricKey:
+    return (component, name,
+            tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def key_str(key: MetricKey) -> str:
+    """Human-readable ``component.name{k=v,...}`` form of a metric key."""
+    component, name, labels = key
+    if not labels:
+        return f"{component}.{name}"
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{component}.{name}{{{inner}}}"
+
+
+class Counter:
+    """A total that only ever grows (float increments allowed)."""
+
+    kind = "counter"
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: MetricKey):
+        self.key = key
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {key_str(self.key)}: "
+                             f"negative increment {amount}")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A sampled instantaneous value with min/max watermarks."""
+
+    kind = "gauge"
+    __slots__ = ("key", "value", "min", "max", "samples")
+
+    def __init__(self, key: MetricKey):
+        self.key = key
+        self.value: float = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.set(self.value - amount)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value, "min": self.min, "max": self.max,
+                "samples": self.samples}
+
+
+class Histogram:
+    """Fixed log2-bucket histogram of non-negative values."""
+
+    kind = "histogram"
+    __slots__ = ("key", "counts", "n", "sum", "min", "max")
+
+    def __init__(self, key: MetricKey):
+        self.key = key
+        #: bucket index -> count; index ``int(v).bit_length()``.
+        self.counts: Dict[int, int] = {}
+        self.n = 0
+        self.sum: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        return int(value).bit_length()
+
+    @staticmethod
+    def bucket_upper_bound(index: int) -> float:
+        """Exclusive upper bound of bucket ``index`` (``2**index``)."""
+        return float(2 ** index)
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {key_str(self.key)}: "
+                             f"negative observation {value}")
+        idx = int(value).bit_length()
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.n += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.n if self.n else 0.0
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` rows, bound-ascending."""
+        total = 0
+        rows = []
+        for idx in sorted(self.counts):
+            total += self.counts[idx]
+            rows.append((self.bucket_upper_bound(idx), total))
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"n": self.n, "sum": self.sum, "min": self.min,
+                "max": self.max,
+                "buckets": {str(i): self.counts[i]
+                            for i in sorted(self.counts)}}
+
+
+class MetricsRegistry:
+    """All metrics of one observed run, keyed by (component, name, labels).
+
+    The factory methods (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) create on first use and return the existing
+    object afterwards; requesting an existing key as a different metric
+    type is an error.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[MetricKey, Any] = {}
+
+    def _get(self, cls, component: str, name: str,
+             labels: Dict[str, Any]):
+        key = _make_key(component, name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"{key_str(key)} is a {metric.kind}, not a {cls.kind}")
+        return metric
+
+    def counter(self, component: str, name: str, **labels) -> Counter:
+        return self._get(Counter, component, name, labels)
+
+    def gauge(self, component: str, name: str, **labels) -> Gauge:
+        return self._get(Gauge, component, name, labels)
+
+    def histogram(self, component: str, name: str, **labels) -> Histogram:
+        return self._get(Histogram, component, name, labels)
+
+    # -- queries --------------------------------------------------------
+    def get(self, component: str, name: str, **labels):
+        """The metric at a key, or ``None`` if nothing recorded there."""
+        return self._metrics.get(_make_key(component, name, labels))
+
+    def find(self, component: Optional[str] = None,
+             name: Optional[str] = None) -> List[Any]:
+        """All metrics matching ``component`` and/or ``name``, key-sorted."""
+        return [m for k, m in sorted(self._metrics.items())
+                if (component is None or k[0] == component)
+                and (name is None or k[1] == name)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Any]:
+        for _key, metric in sorted(self._metrics.items()):
+            yield metric
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical snapshot: a key-sorted list of metric entries."""
+        entries = []
+        for (component, name, labels), metric in sorted(
+                self._metrics.items()):
+            entry = {"component": component, "name": name,
+                     "labels": dict(labels), "type": metric.kind}
+            entry.update(metric.to_dict())
+            entries.append(entry)
+        return {"metrics": entries}
+
+
+# ---------------------------------------------------------------------------
+# process-wide default registry (what `--metrics` and tests use)
+# ---------------------------------------------------------------------------
+
+_default_registry: Optional[MetricsRegistry] = None
+
+
+def get_default_registry() -> Optional[MetricsRegistry]:
+    """The registry new :class:`~repro.sim.Simulator` objects adopt."""
+    return _default_registry
+
+
+def set_default_registry(
+        registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install ``registry`` as the process default; returns the previous."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Scope ``registry`` as the default: every Simulator built inside
+    the ``with`` block is observed; the previous default is restored on
+    exit."""
+    previous = set_default_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_default_registry(previous)
+
+
+# The simulation kernel stays import-free: it exposes a provider slot
+# that we fill when (and only when) the obs layer is imported.
+from ..sim import core as _sim_core  # noqa: E402  (deliberate late import)
+
+_sim_core.default_metrics_provider = get_default_registry

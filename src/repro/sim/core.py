@@ -46,6 +46,12 @@ NORMAL = 1
 
 _PENDING = object()
 
+#: Filled in by :mod:`repro.obs.metrics` when the observability layer is
+#: imported: a zero-arg callable returning the process-wide default
+#: ``MetricsRegistry`` (or ``None``).  The kernel itself never imports
+#: the obs layer, so simulations that never touch metrics pay nothing.
+default_metrics_provider: Optional[Callable[[], Any]] = None
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
@@ -163,7 +169,7 @@ class Process(Event):
     may therefore ``yield proc`` to join it.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_m_resumes")
 
     def __init__(self, sim: "Simulator",
                  generator: Generator[Event, Any, Any],
@@ -174,6 +180,9 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        self._m_resumes = (
+            sim.metrics.counter("sim", "process_resumes", process=self.name)
+            if sim.metrics is not None else None)
         # Kick off at the current instant.
         init = Event(sim)
         init.callbacks.append(self._resume)
@@ -208,6 +217,8 @@ class Process(Event):
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
+        if self._m_resumes is not None:
+            self._m_resumes.inc()
         self.sim._active_proc = self
         self.sim._active_gen = self._generator
         try:
@@ -317,13 +328,32 @@ class AllOf(_Condition):
 class Simulator:
     """Event loop: owns simulated time and the pending-event queue."""
 
-    def __init__(self):
+    def __init__(self, metrics: Any = None):
         self._now: float = 0.0
         self._queue: list = []
         self._seq = itertools.count()
         self._active_proc: Optional[Process] = None
         self._active_gen = None
         self._event_count = 0
+        #: Optional ``repro.obs.MetricsRegistry`` observing this run.
+        self.metrics: Any = None
+        self._m_events = None
+        self._m_qdepth = None
+        if metrics is None and default_metrics_provider is not None:
+            metrics = default_metrics_provider()
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Observe this simulator with ``registry``.
+
+        Must be called before the components whose activity should be
+        recorded are constructed — instrumented objects cache their
+        metric handles (or ``None``) at ``__init__`` time.
+        """
+        self.metrics = registry
+        self._m_events = registry.counter("sim", "events_processed")
+        self._m_qdepth = registry.gauge("sim", "queue_depth")
 
     # -- clock ----------------------------------------------------------
     @property
@@ -378,6 +408,9 @@ class Simulator:
             raise SimulationError("event scheduled in the past")
         self._now = t
         self._event_count += 1
+        if self._m_events is not None:
+            self._m_events.inc()
+            self._m_qdepth.set(len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)

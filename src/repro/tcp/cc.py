@@ -24,6 +24,9 @@ class CongestionControl:
         self.mss = mss
         self.cwnd = float(init_segments * mss)
         self.ssthresh = ssthresh
+        #: Optional ``repro.obs`` histogram sampling cwnd after every
+        #: update (set by the owning socket when metrics are attached).
+        self.cwnd_hist = None
 
     @property
     def in_slow_start(self) -> bool:
@@ -38,8 +41,12 @@ class CongestionControl:
         else:
             # Congestion avoidance: +1 MSS per cwnd of acked data.
             self.cwnd += self.mss * (acked_bytes / self.cwnd)
+        if self.cwnd_hist is not None:
+            self.cwnd_hist.observe(self.cwnd)
 
     def on_loss(self) -> None:
         """Multiplicative decrease (fast-recovery style)."""
         self.ssthresh = max(2 * self.mss, self.cwnd / 2)
         self.cwnd = self.ssthresh
+        if self.cwnd_hist is not None:
+            self.cwnd_hist.observe(self.cwnd)

@@ -175,6 +175,14 @@ class Socket:
         self._closed = False
         self.segments_sent = 0
         self.bytes_acked_in = 0
+        m = getattr(self.sim, "metrics", None)
+        if m is not None:
+            self.cc.cwnd_hist = m.histogram("tcp", "cwnd_bytes")
+            self._m_segments = m.counter("tcp", "segments_sent")
+            self._m_acked = m.counter("tcp", "bytes_acked")
+            self._m_wl_us = m.counter("tcp", "window_limited_us")
+        else:
+            self._m_segments = self._m_acked = self._m_wl_us = None
         self.sim.process(self._tx_pump(), name=f"sock:{local_port}")
 
     # -- application interface ----------------------------------------------
@@ -236,8 +244,16 @@ class Socket:
             unsent = self.snd_total - self.snd_next
             window = self.send_window - self.inflight
             if unsent <= 0 or window <= 0:
+                # Data waiting but no window open: the connection is
+                # window-limited (the Fig. 6/7 WAN regime); account the
+                # stalled time.
+                limited = (self._m_wl_us is not None
+                           and unsent > 0 and window <= 0)
+                stalled_at = self.sim.now
                 self._tx_wakeup = self.sim.event()
                 yield self._tx_wakeup
+                if limited:
+                    self._m_wl_us.inc(self.sim.now - stalled_at)
                 continue
             seg_len = int(min(self.mss, unsent, window))
             with self.stack.cpu.request() as req:
@@ -255,6 +271,8 @@ class Socket:
                 self.peer_lid, seg_len + profile.tcp_header_bytes, seg)
             self.snd_next = end
             self.segments_sent += 1
+            if self._m_segments is not None:
+                self._m_segments.inc()
 
     # -- receiver / ACK processing ------------------------------------------
     def _on_segment(self, seg: Segment) -> None:
@@ -272,6 +290,8 @@ class Socket:
             newly = seg.ack - self.snd_una
             self.snd_una = seg.ack
             self.bytes_acked_in += newly
+            if self._m_acked is not None:
+                self._m_acked.inc(newly)
             self.cc.on_ack(newly)
             self._kick()
         if seg.rwnd:

@@ -70,6 +70,20 @@ class RCQueuePair(QueuePair):
         # stats
         self.bytes_sent = 0
         self.messages_sent = 0
+        self._inflight_bytes = 0
+        m = getattr(sim, "metrics", None)
+        if m is not None:
+            self._m_stall_events = m.counter("rc", "window_stall_events")
+            self._m_stall_us = m.counter("rc", "window_stall_us")
+            self._m_retx = m.counter("rc", "retransmits")
+            self._m_wqe = m.counter("rc", "wqe_completions")
+            self._m_bytes = m.counter("rc", "bytes_sent")
+            self._m_inflight_msgs = m.gauge("rc", "inflight_msgs")
+            self._m_inflight_bytes = m.gauge("rc", "inflight_bytes")
+        else:
+            self._m_stall_events = self._m_stall_us = self._m_retx = None
+            self._m_wqe = self._m_bytes = None
+            self._m_inflight_msgs = self._m_inflight_bytes = None
         sim.process(self._send_pump(), name=f"rcqp{self.qpn}.send")
         self._timer_kick = Store(sim)
         sim.process(self._retransmit_timer(), name=f"rcqp{self.qpn}.rtx")
@@ -131,12 +145,18 @@ class RCQueuePair(QueuePair):
             if self.state is QPState.ERROR:
                 self._flush(wr)
                 continue
+            stalled_at = None
             while len(self._unacked) >= self.send_window:
+                if stalled_at is None and self._m_stall_events is not None:
+                    stalled_at = self.sim.now
+                    self._m_stall_events.inc()
                 if self._window_free.processed or self._window_free.triggered:
                     self._window_free = self.sim.event()
                 yield self._window_free
                 if self.state is QPState.ERROR:
                     break
+            if stalled_at is not None:
+                self._m_stall_us.inc(self.sim.now - stalled_at)
             if self.state is QPState.ERROR:
                 self._flush(wr)
                 continue
@@ -145,6 +165,10 @@ class RCQueuePair(QueuePair):
             self._next_psn += 1
             entry = _TxEntry(wr, psn, self.sim.now)
             self._unacked[psn] = entry
+            self._inflight_bytes += wr.size
+            if self._m_inflight_msgs is not None:
+                self._m_inflight_msgs.set(len(self._unacked))
+                self._m_inflight_bytes.set(self._inflight_bytes)
             self._transmit(entry)
             if len(self._unacked) == 1:
                 self._timer_kick.put(None)  # wake the retransmit timer
@@ -169,6 +193,8 @@ class RCQueuePair(QueuePair):
             payload=(entry.psn, wr), priority=wr.priority)
         self.bytes_sent += size
         self.messages_sent += 1
+        if self._m_bytes is not None:
+            self._m_bytes.inc(size)
         self._after(self.profile.hca_wire_latency_us,
                     lambda: self.hca.transmit(frame))
 
@@ -292,7 +318,7 @@ class RCQueuePair(QueuePair):
 
     def _complete_through(self, psn: int, skip_reads: bool = False,
                           atomic_result=None) -> None:
-        completed = False
+        completed = 0
         while self._unacked:
             first_psn, entry = next(iter(self._unacked.items()))
             if first_psn > psn:
@@ -301,14 +327,20 @@ class RCQueuePair(QueuePair):
                 # Responses (not bare ACKs) complete reads/atomics.
                 break
             del self._unacked[first_psn]
+            self._inflight_bytes -= entry.wr.size
             payload = (atomic_result if first_psn == psn
                        and entry.wr.opcode in self._RESPONSE_OPS else None)
             self.send_cq.push(WorkCompletion(
                 entry.wr.wr_id, entry.wr.opcode, WCStatus.SUCCESS,
                 entry.wr.size, self.qpn, self.sim.now, payload=payload))
-            completed = True
-        if completed and not self._window_free.triggered:
-            self._window_free.succeed()
+            completed += 1
+        if completed:
+            if self._m_wqe is not None:
+                self._m_wqe.inc(completed)
+                self._m_inflight_msgs.set(len(self._unacked))
+                self._m_inflight_bytes.set(self._inflight_bytes)
+            if not self._window_free.triggered:
+                self._window_free.succeed()
 
     # -- reliability ------------------------------------------------------
     def _retransmit_timer(self):
@@ -334,6 +366,8 @@ class RCQueuePair(QueuePair):
                 return
             # Go-back-N: resend every unacked message in order.
             self.retransmissions += len(self._unacked)
+            if self._m_retx is not None:
+                self._m_retx.inc(len(self._unacked))
             for e in self._unacked.values():
                 e.sent_at = self.sim.now
                 self._transmit(e)
@@ -345,6 +379,10 @@ class RCQueuePair(QueuePair):
                 entry.wr.wr_id, entry.wr.opcode, WCStatus.RETRY_EXC_ERR,
                 entry.wr.size, self.qpn, self.sim.now))
         self._unacked.clear()
+        self._inflight_bytes = 0
+        if self._m_inflight_msgs is not None:
+            self._m_inflight_msgs.set(0)
+            self._m_inflight_bytes.set(0)
         if not self._window_free.triggered:
             self._window_free.succeed()
 

@@ -38,6 +38,15 @@ class UDQueuePair(QueuePair):
         self._send_backlog: Store = Store(sim)
         self.bytes_sent = 0
         self.messages_sent = 0
+        m = getattr(sim, "metrics", None)
+        if m is not None:
+            self._m_msgs = m.counter("ud", "messages")
+            self._m_bytes = m.counter("ud", "bytes_sent")
+            self._m_wqe = m.counter("ud", "wqe_completions")
+            self._m_dropped = m.counter("ud", "recv_dropped")
+        else:
+            self._m_msgs = self._m_bytes = None
+            self._m_wqe = self._m_dropped = None
         sim.process(self._send_pump(), name=f"udqp{self.qpn}.send")
 
     # -- send side -------------------------------------------------------
@@ -70,6 +79,10 @@ class UDQueuePair(QueuePair):
                 payload=wr)
             self.bytes_sent += wr.size
             self.messages_sent += 1
+            if self._m_msgs is not None:
+                self._m_msgs.inc()
+                self._m_bytes.inc(wr.size)
+                self._m_wqe.inc()
             self._after(profile.hca_wire_latency_us,
                         lambda f=frame: self.hca.transmit(f))
             # Local completion: the datagram left the HCA; nobody waits
@@ -84,6 +97,8 @@ class UDQueuePair(QueuePair):
             raise RuntimeError(f"UD QP {self.qpn} got {frame.kind}")
         if not self._has_recv():
             self.recv_dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc()
             return
         rwr = self._take_recv()
         wr: SendWR = frame.payload

@@ -1,0 +1,111 @@
+"""Golden-trace regression tests for the metrics layer.
+
+Each case runs a fixed `wan_pair` workload at one of the paper's
+Table-1 delays with a metrics registry attached, serializes the full
+registry snapshot to canonical JSON, and asserts **byte-exact** equality
+against ``tests/golden/<case>.json``.  Any change to protocol behaviour
+— an extra event, a shifted ACK, a different number of in-flight
+messages — shows up as a snapshot diff, so a perf PR cannot silently
+alter semantics.
+
+Regenerate the golden files after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/test_golden_trace.py --regen
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.calibration import MB
+from repro.core import wan_pair
+from repro.core.scenario import PAPER_DELAYS_US
+from repro.obs import MetricsRegistry, to_json, use_registry
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+RC_BW_SIZE = 65536
+UD_BW_SIZE = 2048  # one IB MTU: the largest legal UD datagram
+ITERS = 32
+
+
+def _run_rc_bw(delay_us: float) -> MetricsRegistry:
+    from repro.verbs import perftest
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        s = wan_pair(delay_us)
+        perftest.run_send_bw(s.sim, s.a, s.b, RC_BW_SIZE, iters=ITERS,
+                             transport="rc")
+    return registry
+
+
+def _run_ud_bw(delay_us: float) -> MetricsRegistry:
+    from repro.verbs import perftest
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        s = wan_pair(delay_us)
+        perftest.run_send_bw(s.sim, s.a, s.b, UD_BW_SIZE, iters=ITERS,
+                             transport="ud")
+    return registry
+
+
+def _run_ipoib_rc(delay_us: float) -> MetricsRegistry:
+    from repro.ipoib import netperf
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        s = wan_pair(delay_us)
+        netperf.run_stream_bw(s.sim, s.fabric, s.a, s.b, 1 * MB, mode="rc")
+    return registry
+
+
+WORKLOADS = {
+    "rc_bw": _run_rc_bw,
+    "ud_bw": _run_ud_bw,
+    "ipoib_rc": _run_ipoib_rc,
+}
+
+CASES = [(work, delay) for work in sorted(WORKLOADS)
+         for delay in PAPER_DELAYS_US]
+
+
+def _case_name(work: str, delay_us: float) -> str:
+    return f"{work}_d{int(delay_us)}"
+
+
+def _snapshot(work: str, delay_us: float) -> str:
+    return to_json(WORKLOADS[work](delay_us)) + "\n"
+
+
+@pytest.mark.parametrize(
+    "work,delay_us", CASES,
+    ids=[_case_name(w, d) for w, d in CASES])
+def test_golden_snapshot(work, delay_us):
+    path = GOLDEN_DIR / f"{_case_name(work, delay_us)}.json"
+    assert path.exists(), (
+        f"missing golden file {path.name}; regenerate with "
+        f"`PYTHONPATH=src python tests/test_golden_trace.py --regen`")
+    assert _snapshot(work, delay_us) == path.read_text(), (
+        f"metrics snapshot for {_case_name(work, delay_us)} diverged from "
+        f"{path.name}: protocol behaviour changed (regenerate the golden "
+        f"files only if the change is intentional)")
+
+
+def test_snapshots_are_deterministic():
+    """The same workload snapshotted twice is byte-identical."""
+    assert _snapshot("rc_bw", 1000.0) == _snapshot("rc_bw", 1000.0)
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for work, delay in CASES:
+        path = GOLDEN_DIR / f"{_case_name(work, delay)}.json"
+        path.write_text(_snapshot(work, delay))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -1,0 +1,131 @@
+"""Invariant tests: the paper's §4 findings, asserted through metrics.
+
+Rather than re-measuring bandwidth curves, these tests read the
+quantities the paper *reasons* from directly out of the metrics layer:
+
+* UD is unacknowledged, so nothing about a UD transfer (counters,
+  completions, even per-link byte counts) depends on the WAN delay —
+  the Fig. 4 flat line, by construction;
+* RC in-flight data is capped by the ACK window; under a 10000 us WAN
+  delay the sender fills the window, stalls, and in-flight never exceeds
+  it — the Fig. 5 collapse mechanism;
+* the MPI engine flips from eager to rendezvous exactly at the
+  configured threshold — the knob the Fig. 9 tuning experiment turns.
+"""
+
+import pytest
+
+from repro.calibration import DEFAULT_PROFILE
+from repro.core import wan_pair
+from repro.core.scenario import PAPER_DELAYS_US
+from repro.mpi import MPIJob
+from repro.obs import MetricsRegistry, to_json_lines, use_registry
+from repro.verbs import perftest
+
+UD_SIZE = 2048
+RC_SIZE = 65536
+ITERS = 32
+
+
+def _component_lines(registry, component):
+    # queue_delay_us is excluded: its values are ~1e-13 float residue of
+    # subtracting large (delay-dependent) timestamps, not real queueing.
+    return "\n".join(line for line in to_json_lines(registry).splitlines()
+                     if f'"component":"{component}"' in line
+                     and "queue_delay_us" not in line)
+
+
+# ---------------------------------------------------------------------------
+# UD: delay-independence (paper Fig. 4)
+# ---------------------------------------------------------------------------
+
+def test_ud_metrics_identical_across_all_delays():
+    snapshots = {}
+    bws = {}
+    for delay in PAPER_DELAYS_US:
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            s = wan_pair(delay)
+            bws[delay] = perftest.run_send_bw(s.sim, s.a, s.b, UD_SIZE,
+                                              iters=ITERS, transport="ud")
+            s.sim.run()  # drain trailing deliveries before snapshotting
+        assert reg.get("ud", "messages").value == ITERS
+        assert reg.get("ud", "recv_dropped").value == 0
+        snapshots[delay] = (_component_lines(reg, "ud"),
+                            _component_lines(reg, "link"))
+    base = snapshots[0.0]
+    for delay in PAPER_DELAYS_US[1:]:
+        # Neither the UD transport counters nor the per-link byte/frame
+        # accounting change with delay: only event *times* shift.
+        assert snapshots[delay] == base, f"UD activity changed at {delay}us"
+        assert bws[delay] == pytest.approx(bws[0.0], rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# RC: the ACK window caps in-flight data (paper Fig. 5 / §4.1)
+# ---------------------------------------------------------------------------
+
+def test_rc_inflight_capped_at_ack_window_under_wan_delay():
+    window = DEFAULT_PROFILE.rc_send_window
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        s = wan_pair(10000.0)
+        perftest.run_send_bw(s.sim, s.a, s.b, RC_SIZE, iters=3 * window,
+                             transport="rc")
+    msgs = reg.get("rc", "inflight_msgs")
+    nbytes = reg.get("rc", "inflight_bytes")
+    # Capped: in-flight never exceeds the window ...
+    assert msgs.max <= window
+    assert nbytes.max <= window * RC_SIZE
+    # ... and under a 10 ms pipe the sender actually hits the cap and
+    # stalls waiting for ACKs (the bandwidth-collapse mechanism).
+    assert msgs.max == window
+    assert reg.get("rc", "window_stall_events").value > 0
+    assert reg.get("rc", "window_stall_us").value > 0
+
+
+def test_rc_never_stalls_without_wan_delay_at_this_depth():
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        s = wan_pair(0.0)
+        perftest.run_send_bw(s.sim, s.a, s.b, RC_SIZE, iters=8,
+                             transport="rc")
+    # 8 messages < 16-deep window: the window never closes on a short
+    # pipe, so no stall metric is recorded.
+    assert reg.get("rc", "window_stall_events").value == 0
+    assert reg.get("rc", "inflight_msgs").max < DEFAULT_PROFILE.rc_send_window
+
+
+# ---------------------------------------------------------------------------
+# MPI: eager -> rendezvous flip at the configured threshold (Fig. 9)
+# ---------------------------------------------------------------------------
+
+def _run_pingpong(size):
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        s = wan_pair(10.0)
+        job = MPIJob(s.fabric)
+
+        def program(proc):
+            if proc.rank == 0:
+                yield from proc.send(1, size)
+            else:
+                yield from proc.recv(src=0)
+
+        job.run(program)
+    return reg
+
+
+def test_eager_rendezvous_flip_at_threshold():
+    threshold = MPIJob(wan_pair(10.0).fabric).tuning.eager_threshold
+    below = _run_pingpong(threshold - 1)
+    at = _run_pingpong(threshold)
+
+    assert below.get("mpi", "eager_msgs").value == 1
+    assert below.get("mpi", "rndv_msgs").value == 0
+
+    assert at.get("mpi", "rndv_msgs").value == 1
+    assert at.get("mpi", "eager_msgs").value == 0
+
+    assert below.get("mpi", "bytes_sent").value == threshold - 1
+    assert at.get("mpi", "bytes_sent").value == threshold

@@ -1,0 +1,213 @@
+"""Property-based tests for the `repro.obs` metrics primitives.
+
+Randomized inputs come from seeded :class:`repro.sim.rng.RngRegistry`
+streams (no hypothesis dependency), so every run exercises the same
+cases.  Pinned properties:
+
+* histogram bucket counts conserve the number of observations, the
+  cumulative distribution is monotone, and every observation lands in
+  the bucket whose bounds cover it;
+* counters never decrease (negative increments are rejected);
+* gauges track min/max watermarks correctly;
+* registry keys are independent of label keyword order;
+* serialization is deterministic for identical operation sequences.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (Counter, Gauge, Histogram, MetricsRegistry,
+                       to_json, to_json_lines)
+from repro.obs.metrics import key_str
+from repro.sim.rng import RngRegistry
+
+RNG = RngRegistry(master_seed=0x0B5)
+
+N_TRIALS = 20
+N_SAMPLES = 200
+
+
+def _values(rng, n=N_SAMPLES):
+    kind = rng.random()
+    if kind < 0.4:
+        return [rng.uniform(0.0, 1e6) for _ in range(n)]
+    if kind < 0.8:
+        return [float(rng.randrange(0, 1 << 30)) for _ in range(n)]
+    return [rng.expovariate(1e-3) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# histogram
+# ---------------------------------------------------------------------------
+
+def test_histogram_count_conservation():
+    rng = RNG.stream("hist.conserve")
+    for _ in range(N_TRIALS):
+        h = MetricsRegistry().histogram("t", "h")
+        values = _values(rng)
+        for v in values:
+            h.observe(v)
+        assert sum(h.counts.values()) == h.n == len(values)
+        assert h.sum == pytest.approx(sum(values))
+        assert h.min == min(values)
+        assert h.max == max(values)
+
+
+def test_histogram_cumulative_monotone():
+    rng = RNG.stream("hist.monotone")
+    for _ in range(N_TRIALS):
+        h = MetricsRegistry().histogram("t", "h")
+        for v in _values(rng):
+            h.observe(v)
+        rows = h.cumulative()
+        bounds = [b for b, _ in rows]
+        counts = [c for _, c in rows]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)  # cumulative never decreases
+        assert counts[-1] == h.n
+
+
+def test_histogram_buckets_cover_observations():
+    rng = RNG.stream("hist.cover")
+    for v in _values(rng, 500):
+        idx = Histogram.bucket_index(v)
+        upper = Histogram.bucket_upper_bound(idx)
+        lower = 0.0 if idx == 0 else Histogram.bucket_upper_bound(idx - 1)
+        # log2 buckets over int(v): [2**(idx-1), 2**idx).
+        assert lower <= int(v) < upper
+
+
+def test_histogram_rejects_negative():
+    h = MetricsRegistry().histogram("t", "h")
+    with pytest.raises(ValueError):
+        h.observe(-1.0)
+
+
+def test_histogram_empty_snapshot():
+    h = MetricsRegistry().histogram("t", "h")
+    assert h.to_dict() == {"n": 0, "sum": 0.0, "min": None, "max": None,
+                           "buckets": {}}
+    assert h.mean == 0.0
+
+
+# ---------------------------------------------------------------------------
+# counter
+# ---------------------------------------------------------------------------
+
+def test_counter_never_decreases():
+    rng = RNG.stream("counter.monotone")
+    c = MetricsRegistry().counter("t", "c")
+    last = c.value
+    for _ in range(N_SAMPLES):
+        c.inc(rng.uniform(0.0, 100.0))
+        assert c.value >= last
+        last = c.value
+
+
+def test_counter_rejects_negative_increment():
+    c = MetricsRegistry().counter("t", "c")
+    c.inc(5)
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 5
+
+
+# ---------------------------------------------------------------------------
+# gauge
+# ---------------------------------------------------------------------------
+
+def test_gauge_watermarks():
+    rng = RNG.stream("gauge.watermarks")
+    for _ in range(N_TRIALS):
+        g = MetricsRegistry().gauge("t", "g")
+        values = [rng.uniform(-1e6, 1e6) for _ in range(N_SAMPLES)]
+        for v in values:
+            g.set(v)
+        assert g.value == values[-1]
+        assert g.min == min(values)
+        assert g.max == max(values)
+        assert g.samples == len(values)
+
+
+def test_gauge_inc_dec():
+    g = MetricsRegistry().gauge("t", "g")
+    g.inc(10)
+    g.dec(4)
+    assert g.value == 6
+    assert g.max == 10
+    assert g.samples == 2
+
+
+# ---------------------------------------------------------------------------
+# registry keying
+# ---------------------------------------------------------------------------
+
+def test_label_keyword_order_is_irrelevant():
+    reg = MetricsRegistry()
+    a = reg.counter("rc", "bytes", qp="3", node="a0")
+    b = reg.counter("rc", "bytes", node="a0", qp="3")
+    assert a is b
+    assert len(reg) == 1
+
+
+def test_same_key_same_object_different_labels_different():
+    reg = MetricsRegistry()
+    assert reg.counter("x", "n") is reg.counter("x", "n")
+    assert reg.counter("x", "n") is not reg.counter("x", "n", k="1")
+    assert len(reg) == 2
+
+
+def test_type_collision_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x", "n")
+    with pytest.raises(TypeError):
+        reg.gauge("x", "n")
+
+
+def test_key_str_formats_labels_sorted():
+    reg = MetricsRegistry()
+    m = reg.counter("link", "bytes", b="2", a="1")
+    assert key_str(m.key) == "link.bytes{a=1,b=2}"
+    assert key_str(reg.counter("sim", "events").key) == "sim.events"
+
+
+def test_registry_get_and_find():
+    reg = MetricsRegistry()
+    c = reg.counter("rc", "bytes")
+    reg.gauge("rc", "inflight")
+    reg.counter("ud", "bytes")
+    assert reg.get("rc", "bytes") is c
+    assert reg.get("rc", "missing") is None
+    assert len(reg.find(component="rc")) == 2
+    assert len(reg.find(name="bytes")) == 2
+
+
+# ---------------------------------------------------------------------------
+# serialization determinism
+# ---------------------------------------------------------------------------
+
+def _populate(reg, rng):
+    for i in range(50):
+        reg.counter("c", f"n{i % 5}", k=str(i % 3)).inc(rng.uniform(0, 10))
+        reg.gauge("g", "v").set(rng.uniform(-5, 5))
+        reg.histogram("h", "d").observe(rng.uniform(0, 1e4))
+
+
+def test_identical_op_sequences_serialize_identically():
+    rng_a = RngRegistry(7).stream("ops")
+    rng_b = RngRegistry(7).stream("ops")
+    reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+    _populate(reg_a, rng_a)
+    _populate(reg_b, rng_b)
+    assert to_json(reg_a) == to_json(reg_b)
+    assert to_json_lines(reg_a) == to_json_lines(reg_b)
+
+
+def test_json_lines_round_trip():
+    reg = MetricsRegistry()
+    _populate(reg, RNG.stream("jsonl"))
+    lines = to_json_lines(reg).splitlines()
+    assert len(lines) == len(reg)
+    parsed = [json.loads(line) for line in lines]
+    assert parsed == reg.to_dict()["metrics"]
