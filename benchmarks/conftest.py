@@ -7,17 +7,40 @@ printed (run with ``-s`` to see them) and attached to the benchmark's
 ``extra_info`` so ``--benchmark-json`` captures the data, not just the
 timing.
 
+Regenerations go through the shared on-disk result cache
+(``.repro-cache/`` at the repo root, see :mod:`repro.exp.cache`), so
+re-running the suite against unchanged experiment code is nearly
+instant and still asserts every table shape.  Set
+``REPRO_BENCH_CACHE=0`` to force cold (true-timing) runs, or delete
+``.repro-cache/``.
+
 Set ``REPRO_BENCH_FULL=1`` to run the full (paper-sized) sweeps instead
 of the quick ones.
 """
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.core.experiments import run_experiment
+from repro.exp import ResultCache
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+CACHE = (None if os.environ.get("REPRO_BENCH_CACHE", "1") == "0" else
+         ResultCache(Path(__file__).resolve().parent.parent /
+                     ".repro-cache"))
+
+
+def _regen_once(exp_id: str):
+    if CACHE is None:
+        return run_experiment(exp_id, quick=not FULL)
+    cached = CACHE.load(exp_id, quick=not FULL)
+    if cached is not None:
+        return cached
+    result = run_experiment(exp_id, quick=not FULL)
+    CACHE.save(exp_id, not FULL, result)
+    return result
 
 
 @pytest.fixture
@@ -26,14 +49,15 @@ def regen(benchmark):
 
     def _run(exp_id: str):
         result = benchmark.pedantic(
-            lambda: run_experiment(exp_id, quick=not FULL),
-            rounds=1, iterations=1)
+            lambda: _regen_once(exp_id), rounds=1, iterations=1)
         print()
         print(result.to_text())
         benchmark.extra_info["exp_id"] = exp_id
         benchmark.extra_info["columns"] = result.columns
         benchmark.extra_info["rows"] = [
             [str(v) for v in row] for row in result.rows]
+        if CACHE is not None:
+            benchmark.extra_info["cache"] = "hit" if CACHE.hits else "miss"
         return result
 
     return _run

@@ -1,0 +1,44 @@
+"""Engine benchmark: cold parallel sweep vs serial, plus warm cache.
+
+Times a cold ``--jobs N`` sweep of the verbs-bandwidth figures against
+the same sweep run serially, and a warm-cache replay.  On a
+multi-core box the parallel run's wall clock lands well below the
+serial one (the cells are embarrassingly parallel); both timings and
+the speedup land in ``extra_info`` via ``--benchmark-json``.  The
+byte-identity of the two result sets is asserted unconditionally.
+"""
+
+import os
+import time
+
+from repro.core.experiments import run_all
+from repro.exp import ResultCache, run_experiments
+
+IDS = ["fig04a", "fig04b", "fig05a", "fig05b"]
+JOBS = max(2, os.cpu_count() or 1)
+
+
+def test_parallel_engine_speedup(benchmark, tmp_path):
+    t0 = time.perf_counter()
+    serial = run_all(quick=True, ids=IDS)
+    serial_s = time.perf_counter() - t0
+
+    cache = ResultCache(tmp_path / "cache")
+    parallel = benchmark.pedantic(
+        lambda: run_experiments(IDS, quick=True, jobs=JOBS, cache=cache),
+        rounds=1, iterations=1)
+
+    for a, b in zip(serial, parallel):
+        assert a.to_json() == b.to_json()
+
+    t0 = time.perf_counter()
+    warm = run_experiments(IDS, quick=True, jobs=JOBS, cache=cache)
+    warm_s = time.perf_counter() - t0
+    assert cache.hits == len(IDS), "warm replay must be all cache hits"
+    assert [r.to_json() for r in warm] == [r.to_json() for r in serial]
+
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["warm_cache_s"] = round(warm_s, 4)
+    if JOBS > 1 and (os.cpu_count() or 1) > 1:
+        benchmark.extra_info["note"] = "parallel wall clock in the timing"

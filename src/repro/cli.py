@@ -16,6 +16,13 @@ Examples::
     python -m repro.cli netperf --mode rc --mtu 65520 --streams 4
     python -m repro.cli iozone --transport ipoib-rc --delay-us 1000
     python -m repro.cli experiments fig05a fig13c
+    python -m repro.cli experiments --jobs 4 --cache --out results.jsonl
+
+``experiments`` runs on the parallel engine (:mod:`repro.exp`):
+``--jobs N`` fans experiments and sweep rows out to worker processes
+(byte-identical output to a serial run), ``--cache`` reuses unchanged
+results from ``.repro-cache/``, and ``--out`` writes the JSON-lines
+store that tables are rendered from.
 """
 
 from __future__ import annotations
@@ -99,11 +106,32 @@ def _cmd_iozone(args) -> int:
 
 
 def _cmd_experiments(args) -> int:
-    from .core.experiments import run_all
-    for result in run_all(quick=not args.full, ids=args.ids):
+    from .core.registry import UnknownExperimentError
+    from .exp import ResultCache, run_experiments, write_jsonl
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    try:
+        results = run_experiments(ids=args.ids, quick=not args.full,
+                                  jobs=args.jobs, cache=cache)
+    except UnknownExperimentError as exc:
+        print(f"repro experiments: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        write_jsonl(args.out, results)
+    for result in results:
         print(result.to_text())
         print()
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"in {cache.root}", file=sys.stderr)
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p.add_argument("ids", nargs="*")
     p.add_argument("--full", action="store_true")
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="worker processes (default: all CPUs); output is "
+                        "byte-identical to --jobs 1")
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="reuse results from the on-disk cache when the "
+                        "experiment source/version is unchanged")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="cache directory (default: %(default)s)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write results as JSON-lines to PATH")
     p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.set_defaults(fn=_cmd_experiments)
 

@@ -1,22 +1,30 @@
-"""Experiment registry: one entry per paper table/figure plus ablations.
+"""Experiment definitions: one entry per paper table/figure plus ablations.
 
-Each experiment is a function ``fn(quick: bool) -> ExperimentResult``.
+Each experiment is registered with :func:`repro.core.registry.experiment`
+and produces an :class:`~repro.core.registry.ExperimentResult`.
 ``quick=True`` (the default used by the pytest-benchmark suite) trims
 iteration counts and sweep points; ``quick=False`` runs the full sweeps
 used to fill EXPERIMENTS.md.  Message *sizes* are never trimmed — sizes
 are what determine WAN behaviour.
+
+The big sweeps additionally declare a :class:`~repro.core.registry.CellPlan`:
+each table row (a size, window, MTU or stream count swept across the
+delay axis) is computed by a standalone cell function that builds its
+own fresh scenario.  The serial runner and the parallel engine
+(:mod:`repro.exp`) both go through the same cell functions, which is
+why ``--jobs N`` output is byte-identical to a serial run.
 
 Run everything from the command line::
 
     python -m repro.core.experiments            # quick sweeps
     python -m repro.core.experiments --full     # full sweeps
     python -m repro.core.experiments fig05a fig13b
+    python -m repro.core.experiments --jobs 4   # parallel engine
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import List
 
 from ..calibration import DEFAULT_PROFILE, KB, MB
 from ..apps.nas import run_nas
@@ -30,70 +38,15 @@ from ..wan.delaymap import table1
 from . import scenario
 from .adaptive import auto_tune, probe_path, recommend_tuning
 from .optimizations import coalesced_message_rate
+from .registry import (CELL_PLANS, EXPERIMENTS, CellPlan, ExperimentResult,
+                       UnknownExperimentError, experiment, run_all,
+                       run_experiment)
 from .scenario import back_to_back, lan, wan_clusters, wan_pair
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment",
-           "run_all"]
+__all__ = ["ExperimentResult", "EXPERIMENTS", "CELL_PLANS",
+           "run_experiment", "run_all"]
 
 DELAYS = (0.0, 10.0, 100.0, 1000.0, 10000.0)
-
-
-@dataclass
-class ExperimentResult:
-    """A regenerated table/figure: labelled columns and data rows."""
-
-    exp_id: str
-    title: str
-    columns: List[str]
-    rows: List[Tuple]
-    notes: str = ""
-
-    def to_text(self) -> str:
-        widths = [max(len(str(c)), *(len(_fmt(r[i])) for r in self.rows))
-                  for i, c in enumerate(self.columns)]
-        lines = [f"== {self.exp_id}: {self.title} =="]
-        lines.append("  ".join(str(c).ljust(w)
-                               for c, w in zip(self.columns, widths)))
-        for row in self.rows:
-            lines.append("  ".join(_fmt(v).ljust(w)
-                                   for v, w in zip(row, widths)))
-        if self.notes:
-            lines.append(f"note: {self.notes}")
-        return "\n".join(lines)
-
-    def column(self, name: str) -> List:
-        i = self.columns.index(name)
-        return [r[i] for r in self.rows]
-
-
-def _fmt(v) -> str:
-    if isinstance(v, float):
-        return f"{v:.1f}" if abs(v) >= 10 else f"{v:.2f}"
-    return str(v)
-
-
-EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {}
-
-
-def experiment(exp_id: str, title: str):
-    def wrap(fn):
-        def runner(quick: bool = True) -> ExperimentResult:
-            cols, rows, notes = fn(quick)
-            return ExperimentResult(exp_id, title, cols, rows, notes)
-        runner.exp_id = exp_id
-        runner.title = title
-        EXPERIMENTS[exp_id] = runner
-        return runner
-    return wrap
-
-
-def run_experiment(exp_id: str, quick: bool = True) -> ExperimentResult:
-    return EXPERIMENTS[exp_id](quick)
-
-
-def run_all(quick: bool = True, ids: Sequence[str] = ()) -> List[ExperimentResult]:
-    keys = list(ids) if ids else list(EXPERIMENTS)
-    return [run_experiment(k, quick) for k in keys]
 
 
 def _delay_cols(delays) -> List[str]:
@@ -134,51 +87,76 @@ def _fig03(quick):
 # Fig. 4 / Fig. 5 — verbs bandwidth
 # ---------------------------------------------------------------------------
 
-def _verbs_bw_rows(sizes, delays, transport, bidir, iters_of):
-    rows = []
-    for size in sizes:
-        row = [size]
-        for d in delays:
-            s = wan_pair(d)
-            fn = perftest.run_bidir_bw if bidir else perftest.run_send_bw
-            row.append(fn(s.sim, s.a, s.b, size, iters=iters_of(size),
-                          transport=transport))
-        rows.append(tuple(row))
-    return rows
-
-
 def _bw_iters(size):
     return 96 if size <= 4 * KB else (48 if size <= 256 * KB else 16)
 
 
-@experiment("fig04a", "Verbs UD bandwidth (MB/s) vs size and delay")
-def _fig04a(quick):
-    sizes = [2, 512, 2048] if quick else [2, 64, 256, 512, 1024, 2048]
-    rows = _verbs_bw_rows(sizes, DELAYS, "ud", False, _bw_iters)
+def _verbs_bw_row(size, transport, bidir):
+    row = [size]
+    for d in DELAYS:
+        s = wan_pair(d)
+        fn = perftest.run_bidir_bw if bidir else perftest.run_send_bw
+        row.append(fn(s.sim, s.a, s.b, size, iters=_bw_iters(size),
+                      transport=transport))
+    return tuple(row)
+
+
+def _fig04a_sizes(quick):
+    return [2, 512, 2048] if quick else [2, 64, 256, 512, 1024, 2048]
+
+
+def _fig04a_cell(quick, i):
+    return _verbs_bw_row(_fig04a_sizes(quick)[i], "ud", False)
+
+
+@experiment("fig04a", "Verbs UD bandwidth (MB/s) vs size and delay",
+            cells=CellPlan(_fig04a_sizes, _fig04a_cell))
+def _fig04a(quick, rows):
     return ["size"] + _delay_cols(DELAYS), rows, \
         "UD bandwidth is delay-independent (no ACKs)"
 
 
-@experiment("fig04b", "Verbs UD bidirectional bandwidth (MB/s)")
-def _fig04b(quick):
-    sizes = [2048] if quick else [2, 512, 1024, 2048]
-    rows = _verbs_bw_rows(sizes, DELAYS, "ud", True, _bw_iters)
+def _fig04b_sizes(quick):
+    return [2048] if quick else [2, 512, 1024, 2048]
+
+
+def _fig04b_cell(quick, i):
+    return _verbs_bw_row(_fig04b_sizes(quick)[i], "ud", True)
+
+
+@experiment("fig04b", "Verbs UD bidirectional bandwidth (MB/s)",
+            cells=CellPlan(_fig04b_sizes, _fig04b_cell))
+def _fig04b(quick, rows):
     return ["size"] + _delay_cols(DELAYS), rows, ""
 
 
-@experiment("fig05a", "Verbs RC bandwidth (MB/s) vs size and delay")
-def _fig05a(quick):
-    sizes = ([2 * KB, 64 * KB, 256 * KB, 4 * MB] if quick else
-             [2, 256, 2 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB])
-    rows = _verbs_bw_rows(sizes, DELAYS, "rc", False, _bw_iters)
+def _fig05a_sizes(quick):
+    return ([2 * KB, 64 * KB, 256 * KB, 4 * MB] if quick else
+            [2, 256, 2 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB])
+
+
+def _fig05a_cell(quick, i):
+    return _verbs_bw_row(_fig05a_sizes(quick)[i], "rc", False)
+
+
+@experiment("fig05a", "Verbs RC bandwidth (MB/s) vs size and delay",
+            cells=CellPlan(_fig05a_sizes, _fig05a_cell))
+def _fig05a(quick, rows):
     return ["size"] + _delay_cols(DELAYS), rows, \
         "RC window limits small/medium messages over long pipes"
 
 
-@experiment("fig05b", "Verbs RC bidirectional bandwidth (MB/s)")
-def _fig05b(quick):
-    sizes = [64 * KB, 4 * MB] if quick else [2 * KB, 64 * KB, 1 * MB, 4 * MB]
-    rows = _verbs_bw_rows(sizes, DELAYS, "rc", True, _bw_iters)
+def _fig05b_sizes(quick):
+    return [64 * KB, 4 * MB] if quick else [2 * KB, 64 * KB, 1 * MB, 4 * MB]
+
+
+def _fig05b_cell(quick, i):
+    return _verbs_bw_row(_fig05b_sizes(quick)[i], "rc", True)
+
+
+@experiment("fig05b", "Verbs RC bidirectional bandwidth (MB/s)",
+            cells=CellPlan(_fig05b_sizes, _fig05b_cell))
+def _fig05b(quick, rows):
     return ["size"] + _delay_cols(DELAYS), rows, ""
 
 
@@ -186,112 +164,148 @@ def _fig05b(quick):
 # Fig. 6 / Fig. 7 — IPoIB
 # ---------------------------------------------------------------------------
 
-@experiment("fig06a", "IPoIB-UD single-stream throughput (MB/s) vs TCP window")
-def _fig06a(quick):
-    windows = [64 * KB, 256 * KB, 512 * KB, None]  # None = default
-    delays = DELAYS if not quick else (0.0, 100.0, 1000.0, 10000.0)
+def _ipoib_delays(quick):
+    return (0.0, 100.0, 1000.0, 10000.0) if quick else DELAYS
+
+
+def _fig06a_windows(quick):
+    return [64 * KB, 256 * KB, 512 * KB, None]  # None = default
+
+
+def _fig06a_cell(quick, i):
+    w = _fig06a_windows(quick)[i]
     total = 4 * MB if quick else 16 * MB
-    rows = []
-    for w in windows:
-        label = "default" if w is None else f"{w // KB}K"
-        row = [label]
-        for d in delays:
-            s = wan_pair(d)
-            row.append(netperf.run_stream_bw(
-                s.sim, s.fabric, s.a, s.b, total_bytes=total, mode="ud",
-                window=w))
-        rows.append(tuple(row))
-    return ["window"] + _delay_cols(delays), rows, \
+    label = "default" if w is None else f"{w // KB}K"
+    row = [label]
+    for d in _ipoib_delays(quick):
+        s = wan_pair(d)
+        row.append(netperf.run_stream_bw(
+            s.sim, s.fabric, s.a, s.b, total_bytes=total, mode="ud",
+            window=w))
+    return tuple(row)
+
+
+@experiment("fig06a", "IPoIB-UD single-stream throughput (MB/s) vs TCP window",
+            cells=CellPlan(_fig06a_windows, _fig06a_cell))
+def _fig06a(quick, rows):
+    return ["window"] + _delay_cols(_ipoib_delays(quick)), rows, \
         "larger windows sustain longer pipes; all degrade eventually"
 
 
-@experiment("fig06b", "IPoIB-UD parallel-stream throughput (MB/s)")
-def _fig06b(quick):
-    streams = (1, 2, 4, 8) if quick else (1, 2, 4, 6, 8)
-    delays = (0.0, 1000.0, 10000.0) if quick else DELAYS
+def _fig06b_streams(quick):
+    return (1, 2, 4, 8) if quick else (1, 2, 4, 6, 8)
+
+
+def _fig06b_delays(quick):
+    return (0.0, 1000.0, 10000.0) if quick else DELAYS
+
+
+def _fig06b_cell(quick, i):
+    n = _fig06b_streams(quick)[i]
     total = 8 * MB if quick else 16 * MB
-    rows = []
-    for n in streams:
-        row = [n]
-        for d in delays:
-            s = wan_pair(d)
-            row.append(netperf.run_parallel_stream_bw(
-                s.sim, s.fabric, s.a, s.b, total_bytes=total, streams=n,
-                mode="ud"))
-        rows.append(tuple(row))
-    return ["streams"] + _delay_cols(delays), rows, \
+    row = [n]
+    for d in _fig06b_delays(quick):
+        s = wan_pair(d)
+        row.append(netperf.run_parallel_stream_bw(
+            s.sim, s.fabric, s.a, s.b, total_bytes=total, streams=n,
+            mode="ud"))
+    return tuple(row)
+
+
+@experiment("fig06b", "IPoIB-UD parallel-stream throughput (MB/s)",
+            cells=CellPlan(_fig06b_streams, _fig06b_cell))
+def _fig06b(quick, rows):
+    return ["streams"] + _delay_cols(_fig06b_delays(quick)), rows, \
         "parallel streams recover throughput on high-delay links"
 
 
-@experiment("fig07a", "IPoIB-RC single-stream throughput (MB/s) vs IP MTU")
-def _fig07a(quick):
-    mtus = [2044, 16384, 65520]
-    delays = DELAYS if not quick else (0.0, 100.0, 1000.0, 10000.0)
+def _fig07a_mtus(quick):
+    return [2044, 16384, 65520]
+
+
+def _fig07a_cell(quick, i):
+    mtu = _fig07a_mtus(quick)[i]
     total = 8 * MB if quick else 16 * MB
-    rows = []
-    for mtu in mtus:
-        row = [f"{(mtu + 4) // 1024}K MTU"]
-        for d in delays:
-            s = wan_pair(d)
-            row.append(netperf.run_stream_bw(
-                s.sim, s.fabric, s.a, s.b, total_bytes=total, mode="rc",
-                mtu=mtu))
-        rows.append(tuple(row))
-    return ["mtu"] + _delay_cols(delays), rows, \
+    row = [f"{(mtu + 4) // 1024}K MTU"]
+    for d in _ipoib_delays(quick):
+        s = wan_pair(d)
+        row.append(netperf.run_stream_bw(
+            s.sim, s.fabric, s.a, s.b, total_bytes=total, mode="rc",
+            mtu=mtu))
+    return tuple(row)
+
+
+@experiment("fig07a", "IPoIB-RC single-stream throughput (MB/s) vs IP MTU",
+            cells=CellPlan(_fig07a_mtus, _fig07a_cell))
+def _fig07a(quick, rows):
+    return ["mtu"] + _delay_cols(_ipoib_delays(quick)), rows, \
         "64K MTU amortizes per-packet cost; collapses at >=1ms delays"
 
 
-@experiment("fig07b", "IPoIB-RC parallel-stream throughput (MB/s)")
-def _fig07b(quick):
-    streams = (1, 2, 4, 8) if quick else (1, 2, 4, 6, 8)
-    delays = (0.0, 1000.0, 10000.0) if quick else DELAYS
+def _fig07b_cell(quick, i):
+    n = _fig06b_streams(quick)[i]
     total = 8 * MB if quick else 16 * MB
-    rows = []
-    for n in streams:
-        row = [n]
-        for d in delays:
-            s = wan_pair(d)
-            row.append(netperf.run_parallel_stream_bw(
-                s.sim, s.fabric, s.a, s.b, total_bytes=total, streams=n,
-                mode="rc"))
-        rows.append(tuple(row))
-    return ["streams"] + _delay_cols(delays), rows, ""
+    row = [n]
+    for d in _fig06b_delays(quick):
+        s = wan_pair(d)
+        row.append(netperf.run_parallel_stream_bw(
+            s.sim, s.fabric, s.a, s.b, total_bytes=total, streams=n,
+            mode="rc"))
+    return tuple(row)
+
+
+@experiment("fig07b", "IPoIB-RC parallel-stream throughput (MB/s)",
+            cells=CellPlan(_fig06b_streams, _fig07b_cell))
+def _fig07b(quick, rows):
+    return ["streams"] + _delay_cols(_fig06b_delays(quick)), rows, ""
 
 
 # ---------------------------------------------------------------------------
 # Fig. 8 / 9 / 10 / 11 — MPI
 # ---------------------------------------------------------------------------
 
-@experiment("fig08a", "MPI bandwidth (MB/s) vs size and delay (MVAPICH2-like)")
-def _fig08a(quick):
-    sizes = ([2 * KB, 8 * KB, 64 * KB, 256 * KB, 4 * MB] if quick else
-             [2, 256, 2 * KB, 8 * KB, 16 * KB, 64 * KB, 256 * KB,
-              1 * MB, 4 * MB])
-    rows = []
-    for size in sizes:
-        row = [size]
-        for d in DELAYS:
-            s = wan_pair(d)
-            iters = 4 if size >= MB else 6
-            row.append(run_osu_bw(s.sim, s.fabric, size, window=64,
-                                  iters=iters))
-        rows.append(tuple(row))
+def _fig08a_sizes(quick):
+    return ([2 * KB, 8 * KB, 64 * KB, 256 * KB, 4 * MB] if quick else
+            [2, 256, 2 * KB, 8 * KB, 16 * KB, 64 * KB, 256 * KB,
+             1 * MB, 4 * MB])
+
+
+def _fig08a_cell(quick, i):
+    size = _fig08a_sizes(quick)[i]
+    row = [size]
+    for d in DELAYS:
+        s = wan_pair(d)
+        iters = 4 if size >= MB else 6
+        row.append(run_osu_bw(s.sim, s.fabric, size, window=64,
+                              iters=iters))
+    return tuple(row)
+
+
+@experiment("fig08a", "MPI bandwidth (MB/s) vs size and delay (MVAPICH2-like)",
+            cells=CellPlan(_fig08a_sizes, _fig08a_cell))
+def _fig08a(quick, rows):
     return ["size"] + _delay_cols(DELAYS), rows, \
         "rendezvous handshake penalizes medium sizes under delay"
 
 
-@experiment("fig08b", "MPI bidirectional bandwidth (MB/s)")
-def _fig08b(quick):
-    sizes = [64 * KB, 4 * MB] if quick else [2 * KB, 64 * KB, 1 * MB, 4 * MB]
-    rows = []
-    for size in sizes:
-        row = [size]
-        for d in DELAYS:
-            s = wan_pair(d)
-            iters = 3 if size >= MB else 6
-            row.append(run_osu_bibw(s.sim, s.fabric, size, window=32,
-                                    iters=iters))
-        rows.append(tuple(row))
+def _fig08b_sizes(quick):
+    return [64 * KB, 4 * MB] if quick else [2 * KB, 64 * KB, 1 * MB, 4 * MB]
+
+
+def _fig08b_cell(quick, i):
+    size = _fig08b_sizes(quick)[i]
+    row = [size]
+    for d in DELAYS:
+        s = wan_pair(d)
+        iters = 3 if size >= MB else 6
+        row.append(run_osu_bibw(s.sim, s.fabric, size, window=32,
+                                iters=iters))
+    return tuple(row)
+
+
+@experiment("fig08b", "MPI bidirectional bandwidth (MB/s)",
+            cells=CellPlan(_fig08b_sizes, _fig08b_cell))
+def _fig08b(quick, rows):
     return ["size"] + _delay_cols(DELAYS), rows, ""
 
 
@@ -328,44 +342,56 @@ def _fig09b(quick):
     return ["size", "thresh-8K", "thresh-64K", "improvement_%"], rows, ""
 
 
-@experiment("fig10", "Multi-pair aggregate message rate (msg/s)")
-def _fig10(quick):
+def _fig10_params(quick):
     delays = (10.0, 1000.0, 10000.0)
-    pairs_list = (4, 8, 16)
     sizes = [1, 1 * KB, 8 * KB] if quick else [1, 256, 1 * KB, 4 * KB,
                                                8 * KB, 32 * KB]
+    return [(d, size) for d in delays for size in sizes]
+
+
+def _fig10_cell(quick, i):
+    d, size = _fig10_params(quick)[i]
     iters = 3 if quick else 6
-    rows = []
-    for d in delays:
-        for size in sizes:
-            row = [f"{int(d)}us", size]
-            for pairs in pairs_list:
-                s = wan_clusters(pairs, pairs, d)
-                _, rate = run_osu_mbw_mr(s.sim, s.fabric, pairs, size,
-                                         window=32, iters=iters)
-                row.append(rate)
-            rows.append(tuple(row))
+    row = [f"{int(d)}us", size]
+    for pairs in (4, 8, 16):
+        s = wan_clusters(pairs, pairs, d)
+        _, rate = run_osu_mbw_mr(s.sim, s.fabric, pairs, size,
+                                 window=32, iters=iters)
+        row.append(rate)
+    return tuple(row)
+
+
+@experiment("fig10", "Multi-pair aggregate message rate (msg/s)",
+            cells=CellPlan(_fig10_params, _fig10_cell))
+def _fig10(quick, rows):
     return ["delay", "size", "4 pairs", "8 pairs", "16 pairs"], rows, \
         "message rate scales with pairs; more streams fill long pipes"
 
 
-@experiment("fig11", "Broadcast latency (us): default vs hierarchical")
-def _fig11(quick):
+def _fig11_params(quick):
     delays = (10.0, 100.0, 1000.0)
-    nodes = 8 if quick else 32            # per cluster, 2 ranks per node
     sizes = ([4 * KB, 32 * KB, 128 * KB] if quick else
              [4 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB])
+    return [(d, size) for d in delays for size in sizes]
+
+
+def _fig11_cell(quick, i):
+    d, size = _fig11_params(quick)[i]
+    nodes = 8 if quick else 32            # per cluster, 2 ranks per node
     iters = 3 if quick else 10
-    rows = []
-    for d in delays:
-        for size in sizes:
-            s = wan_clusters(nodes, nodes, d)
-            orig = run_osu_bcast(s.sim, s.fabric, size, ppn=2, iters=iters)
-            s = wan_clusters(nodes, nodes, d)
-            hier = run_osu_bcast(s.sim, s.fabric, size, ppn=2, iters=iters,
-                                 algorithm="hierarchical")
-            rows.append((f"{int(d)}us", size, orig, hier,
-                         100.0 * (orig - hier) / orig))
+    s = wan_clusters(nodes, nodes, d)
+    orig = run_osu_bcast(s.sim, s.fabric, size, ppn=2, iters=iters)
+    s = wan_clusters(nodes, nodes, d)
+    hier = run_osu_bcast(s.sim, s.fabric, size, ppn=2, iters=iters,
+                         algorithm="hierarchical")
+    return (f"{int(d)}us", size, orig, hier,
+            100.0 * (orig - hier) / orig)
+
+
+@experiment("fig11", "Broadcast latency (us): default vs hierarchical",
+            cells=CellPlan(_fig11_params, _fig11_cell))
+def _fig11(quick, rows):
+    nodes = 8 if quick else 32
     return ["delay", "size", "original_us", "hierarchical_us",
             "improvement_%"], rows, \
         f"{4 * nodes} ranks, block placement, ACK-based OSU loop"
@@ -375,50 +401,62 @@ def _fig11(quick):
 # Fig. 12 — NAS
 # ---------------------------------------------------------------------------
 
-@experiment("fig12", "NAS class-B runtime vs WAN delay (normalized)")
-def _fig12(quick):
-    delays = (0.0, 100.0, 1000.0, 10000.0)
+def _fig12_benches(quick):
     if quick:
-        nodes, benches = 8, (("IS", 0.2), ("FT", 0.05), ("CG", 0.027))
-    else:
-        nodes, benches = 16, (("IS", 0.4), ("FT", 0.1), ("CG", 0.067),
-                              ("MG", 0.25), ("EP", 1.0))
-    rows = []
-    for bench, bscale in benches:
-        base = None
-        row = [bench]
-        for d in delays:
-            s = wan_clusters(nodes, nodes, d)
-            r = run_nas(s.sim, s.fabric, bench, ppn=1, scale=bscale)
-            if base is None:
-                base = r.runtime_us
-            row.append(r.runtime_us / base)
-        rows.append(tuple(row))
-    return ["benchmark"] + _delay_cols(delays), rows, \
-        (f"{2 * nodes} ranks; slowdown relative to 0-delay; IS/FT "
-         f"tolerate delay, CG degrades (paper Fig. 12)")
+        return (("IS", 0.2), ("FT", 0.05), ("CG", 0.027))
+    return (("IS", 0.4), ("FT", 0.1), ("CG", 0.067), ("MG", 0.25),
+            ("EP", 1.0))
+
+
+def _fig12_cell(quick, i):
+    bench, bscale = _fig12_benches(quick)[i]
+    nodes = 8 if quick else 16
+    base = None
+    row = [bench]
+    for d in (0.0, 100.0, 1000.0, 10000.0):
+        s = wan_clusters(nodes, nodes, d)
+        r = run_nas(s.sim, s.fabric, bench, ppn=1, scale=bscale)
+        if base is None:
+            base = r.runtime_us
+        row.append(r.runtime_us / base)
+    return tuple(row)
+
+
+@experiment("fig12", "NAS class-B runtime vs WAN delay (normalized)",
+            cells=CellPlan(_fig12_benches, _fig12_cell))
+def _fig12(quick, rows):
+    nodes = 8 if quick else 16
+    return ["benchmark"] + _delay_cols((0.0, 100.0, 1000.0, 10000.0)), \
+        rows, (f"{2 * nodes} ranks; slowdown relative to 0-delay; IS/FT "
+               f"tolerate delay, CG degrades (paper Fig. 12)")
 
 
 # ---------------------------------------------------------------------------
 # Fig. 13 — NFS
 # ---------------------------------------------------------------------------
 
-@experiment("fig13a", "NFS/RDMA read throughput (MB/s) vs client streams")
-def _fig13a(quick):
-    streams = (1, 2, 4, 8)
+def _fig13a_streams(quick):
+    return (1, 2, 4, 8)
+
+
+def _fig13a_cell(quick, i):
+    n = _fig13a_streams(quick)[i]
     read = 8 * MB if quick else 64 * MB
-    rows = []
-    for n in streams:
-        row = [n]
-        s = lan(2)
-        row.append(run_iozone_read(s.sim, s.fabric, s.fabric.nodes[0],
-                                   s.fabric.nodes[1], "rdma", n_streams=n,
-                                   read_bytes=read))
-        for d in (0.0, 10.0, 100.0, 1000.0):
-            s = wan_pair(d)
-            row.append(run_iozone_read(s.sim, s.fabric, s.a, s.b, "rdma",
-                                       n_streams=n, read_bytes=read))
-        rows.append(tuple(row))
+    row = [n]
+    s = lan(2)
+    row.append(run_iozone_read(s.sim, s.fabric, s.fabric.nodes[0],
+                               s.fabric.nodes[1], "rdma", n_streams=n,
+                               read_bytes=read))
+    for d in (0.0, 10.0, 100.0, 1000.0):
+        s = wan_pair(d)
+        row.append(run_iozone_read(s.sim, s.fabric, s.a, s.b, "rdma",
+                                   n_streams=n, read_bytes=read))
+    return tuple(row)
+
+
+@experiment("fig13a", "NFS/RDMA read throughput (MB/s) vs client streams",
+            cells=CellPlan(_fig13a_streams, _fig13a_cell))
+def _fig13a(quick, rows):
     return ["streams", "LAN", "0us", "10us", "100us", "1000us"], rows, \
         "LAN runs at DDR; WAN at SDR; 4K chunks collapse at 1ms"
 
@@ -676,8 +714,16 @@ def main(argv=None):
     parser.add_argument("ids", nargs="*", help="experiment ids (default all)")
     parser.add_argument("--full", action="store_true",
                         help="full sweeps instead of quick ones")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = in-process)")
     args = parser.parse_args(argv)
-    for res in run_all(quick=not args.full, ids=args.ids):
+    if args.jobs > 1:
+        from ..exp import run_experiments
+        results = run_experiments(ids=args.ids, quick=not args.full,
+                                  jobs=args.jobs)
+    else:
+        results = run_all(quick=not args.full, ids=args.ids)
+    for res in results:
         print(res.to_text())
         print()
 

@@ -1,0 +1,179 @@
+"""Experiment registry core: the result type, registration, serial runner.
+
+Split out of :mod:`repro.core.experiments` (which now holds only the
+experiment *definitions*) so the parallel engine in :mod:`repro.exp`
+can schedule work without caring what the experiments compute:
+
+* :class:`ExperimentResult` — labelled rows plus canonical JSON
+  (de)serialization, the unit stored by the result cache and the
+  JSON-lines store;
+* :func:`experiment` — the registration decorator filling
+  :data:`EXPERIMENTS`;
+* :class:`CellPlan` — an optional row-parallel decomposition of a big
+  sweep: the scheduler fans individual rows ("cells") out to worker
+  processes and reassembles them in index order, so parallel output is
+  byte-identical to the serial run;
+* :func:`run_experiment` / :func:`run_all` — the serial runner.
+
+Importing :mod:`repro.core` (or anything under it) populates the
+registry as a side effect of loading the definitions module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .render import render_text
+
+__all__ = ["ExperimentResult", "CellPlan", "EXPERIMENTS", "CELL_PLANS",
+           "UnknownExperimentError", "experiment", "resolve_ids",
+           "run_experiment", "run_all", "n_cells", "run_cell",
+           "finalize_cells"]
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure: labelled columns and data rows."""
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    rows: List[Tuple]
+    notes: str = ""
+
+    def to_text(self) -> str:
+        return render_text(self)
+
+    def column(self, name: str) -> List:
+        i = self.columns.index(name)
+        return [r[i] for r in self.rows]
+
+    # -- canonical serialization (cache, JSON-lines store) --------------
+    def to_dict(self) -> Dict:
+        return {"exp_id": self.exp_id, "title": self.title,
+                "columns": list(self.columns),
+                "rows": [list(r) for r in self.rows],
+                "notes": self.notes}
+
+    def to_json(self) -> str:
+        """Canonical form: sorted keys, no whitespace.  Deterministic
+        runs serialize byte-for-byte identically, which is what the
+        serial-vs-parallel and cache-hit tests pin."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentResult":
+        return cls(exp_id=data["exp_id"], title=data["title"],
+                   columns=list(data["columns"]),
+                   rows=[tuple(r) for r in data["rows"]],
+                   notes=data.get("notes", ""))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """Row-parallel decomposition of one experiment.
+
+    ``params_of(quick)`` lists one opaque parameter per row (its length
+    is the cell count); ``run_cell(quick, i)`` computes row ``i`` alone,
+    building its own fresh scenario exactly as the serial path does.
+    """
+
+    params_of: Callable[[bool], Sequence]
+    run_cell: Callable[[bool, int], Tuple]
+
+    def n_cells(self, quick: bool) -> int:
+        return len(self.params_of(quick))
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {}
+CELL_PLANS: Dict[str, CellPlan] = {}
+
+
+class UnknownExperimentError(KeyError):
+    """Raised for an experiment id that is not in the registry."""
+
+    def __init__(self, exp_id: str):
+        super().__init__(exp_id)
+        self.exp_id = exp_id
+
+    def __str__(self) -> str:
+        return (f"unknown experiment id {self.exp_id!r}; known ids: "
+                + ", ".join(EXPERIMENTS))
+
+
+def experiment(exp_id: str, title: str, cells: CellPlan = None):
+    """Register ``fn`` as an experiment.
+
+    Without ``cells``, ``fn(quick)`` returns ``(columns, rows, notes)``.
+    With ``cells``, ``fn(quick, rows)`` receives the already-computed
+    row list (serial path computes it in-process; the parallel engine
+    computes each row in a worker) and returns ``(columns, rows,
+    notes)`` — both paths share the per-row code, which is what makes
+    them byte-identical.
+    """
+    def wrap(fn):
+        if cells is not None:
+            def runner(quick: bool = True) -> ExperimentResult:
+                rows = [cells.run_cell(quick, i)
+                        for i in range(cells.n_cells(quick))]
+                return finalize_cells(exp_id, quick, rows)
+            CELL_PLANS[exp_id] = cells
+        else:
+            def runner(quick: bool = True) -> ExperimentResult:
+                cols, rows, notes = fn(quick)
+                return ExperimentResult(exp_id, title, cols, rows, notes)
+        runner.exp_id = exp_id
+        runner.title = title
+        runner.raw_fn = fn
+        EXPERIMENTS[exp_id] = runner
+        return runner
+    return wrap
+
+
+def resolve_ids(ids: Sequence[str] = ()) -> List[str]:
+    """Validate ``ids`` against the registry (empty means all)."""
+    if not ids:
+        return list(EXPERIMENTS)
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise UnknownExperimentError(exp_id)
+    return list(ids)
+
+
+def run_experiment(exp_id: str, quick: bool = True) -> ExperimentResult:
+    if exp_id not in EXPERIMENTS:
+        raise UnknownExperimentError(exp_id)
+    return EXPERIMENTS[exp_id](quick)
+
+
+def run_all(quick: bool = True,
+            ids: Sequence[str] = ()) -> List[ExperimentResult]:
+    return [run_experiment(k, quick) for k in resolve_ids(ids)]
+
+
+# -- cell helpers (what scheduler workers call) -----------------------------
+
+def n_cells(exp_id: str, quick: bool) -> int:
+    """Cell count of ``exp_id``, or 0 if it has no row decomposition."""
+    plan = CELL_PLANS.get(exp_id)
+    return plan.n_cells(quick) if plan is not None else 0
+
+
+def run_cell(exp_id: str, quick: bool, index: int) -> Tuple:
+    """Compute one row of a cell-decomposed experiment."""
+    return CELL_PLANS[exp_id].run_cell(quick, index)
+
+
+def finalize_cells(exp_id: str, quick: bool,
+                   rows: Sequence[Tuple]) -> ExperimentResult:
+    """Assemble computed rows into the experiment's final result."""
+    runner = EXPERIMENTS[exp_id]
+    cols, rows, notes = runner.raw_fn(quick, list(rows))
+    return ExperimentResult(exp_id, runner.title, cols, rows, notes)

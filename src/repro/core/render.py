@@ -1,0 +1,60 @@
+"""Renderers for :class:`~repro.core.registry.ExperimentResult` tables.
+
+The registry stores raw labelled rows; everything about how a table
+*looks* lives here, so the same result renders as the CLI's fixed-width
+text block, as a Markdown table for EXPERIMENTS.md-style docs, or as a
+multi-table report.  Renderers are pure functions of the result — no
+wall time, no locale — so rendered output of a deterministic run is
+itself reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = ["format_value", "render_text", "render_markdown",
+           "render_report"]
+
+
+def format_value(v) -> str:
+    """One table cell: floats get 1-2 decimals, everything else str()."""
+    if isinstance(v, float):
+        return f"{v:.1f}" if abs(v) >= 10 else f"{v:.2f}"
+    return str(v)
+
+
+def _widths(result) -> List[int]:
+    return [max(len(str(c)), *(len(format_value(r[i])) for r in result.rows))
+            for i, c in enumerate(result.columns)]
+
+
+def render_text(result) -> str:
+    """The fixed-width block the CLI prints (``== id: title ==`` header)."""
+    widths = _widths(result)
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    lines.append("  ".join(str(c).ljust(w)
+                           for c, w in zip(result.columns, widths)))
+    for row in result.rows:
+        lines.append("  ".join(format_value(v).ljust(w)
+                               for v, w in zip(row, widths)))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_markdown(result) -> str:
+    """The same table as GitHub-flavoured Markdown."""
+    lines = [f"### {result.exp_id} — {result.title}", ""]
+    lines.append("| " + " | ".join(str(c) for c in result.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in result.columns) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(format_value(v) for v in row) + " |")
+    if result.notes:
+        lines += ["", f"*{result.notes}*"]
+    return "\n".join(lines)
+
+
+def render_report(results: Iterable, markdown: bool = False) -> str:
+    """All tables joined with blank lines, text or Markdown flavour."""
+    render = render_markdown if markdown else render_text
+    return "\n\n".join(render(r) for r in results)

@@ -1,0 +1,31 @@
+"""repro.exp — the parallel experiment engine.
+
+Three pieces, composable and individually testable:
+
+* :mod:`repro.exp.scheduler` — :func:`run_experiments`, a process-pool
+  runner fanning experiment ids (and the row-cells of the big sweeps)
+  out to workers, with results reassembled in deterministic order:
+  ``--jobs N`` output is byte-identical to a serial run;
+* :mod:`repro.exp.cache` — :class:`ResultCache`, an on-disk
+  content-addressed cache keyed on experiment id + quick/full flag +
+  package version + source digest, making unchanged experiments free
+  to re-run;
+* :mod:`repro.exp.store` — a JSON-lines results store that
+  EXPERIMENTS.md-style tables are rendered from.
+
+Typical use (what ``repro experiments --jobs 4 --cache --out r.jsonl``
+does)::
+
+    from repro.exp import ResultCache, run_experiments, write_jsonl
+    results = run_experiments(["fig04a", "fig05a"], quick=True, jobs=4,
+                              cache=ResultCache())
+    write_jsonl("r.jsonl", results)
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, source_digest
+from .scheduler import run_experiments
+from .store import iter_jsonl, read_jsonl, render_store, write_jsonl
+
+__all__ = ["run_experiments", "ResultCache", "DEFAULT_CACHE_DIR",
+           "source_digest", "write_jsonl", "read_jsonl", "iter_jsonl",
+           "render_store"]

@@ -1,0 +1,129 @@
+"""On-disk content-addressed cache of experiment results.
+
+A cache entry is one :class:`~repro.core.registry.ExperimentResult` in
+its canonical JSON form, stored under ``.repro-cache/`` in a file named
+``<exp_id>-<key>.json`` where ``key`` is the SHA-256 of the full cache
+key:
+
+* the experiment id;
+* the quick/full flag;
+* the installed ``repro.__version__``;
+* a source digest of the experiment's functions (the registered body
+  plus, for cell-decomposed sweeps, the cell-plan functions).
+
+Any of those changing — editing an experiment, bumping the package
+version, flipping quick to full — changes the key, so stale entries are
+simply never looked up again.  A corrupted or truncated entry fails the
+JSON round-trip and is treated as a miss (and deleted best-effort),
+never as an error: the cache can be blown away or half-written at any
+time and the engine just recomputes.
+
+Because canonical serialization is deterministic, a cache hit returns
+byte-for-byte the same JSON a cold run would produce — the
+determinism tests pin this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core import registry
+from ..core.registry import ExperimentResult
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache", "source_digest"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _function_source(fn) -> str:
+    try:
+        return inspect.getsource(fn)
+    except (OSError, TypeError):        # builtins, C funcs, lost source
+        return repr(fn)
+
+
+def source_digest(exp_id: str) -> str:
+    """SHA-256 over the source of everything ``exp_id`` executes
+    directly: its registered body and, if it is a cell-decomposed
+    sweep, the cell plan's parameter and row functions."""
+    runner = registry.EXPERIMENTS[exp_id]
+    parts = [_function_source(getattr(runner, "raw_fn", runner))]
+    plan = registry.CELL_PLANS.get(exp_id)
+    if plan is not None:
+        parts.append(_function_source(plan.params_of))
+        parts.append(_function_source(plan.run_cell))
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def _package_version() -> str:
+    import repro
+    return repro.__version__
+
+
+class ResultCache:
+    """Content-addressed experiment result cache rooted at ``root``."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------
+    def key(self, exp_id: str, quick: bool) -> str:
+        payload = {"exp_id": exp_id, "quick": bool(quick),
+                   "version": _package_version(),
+                   "digest": source_digest(exp_id)}
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+    def path(self, exp_id: str, quick: bool) -> Path:
+        return self.root / f"{exp_id}-{self.key(exp_id, quick)[:16]}.json"
+
+    # -- load/save ------------------------------------------------------
+    def load(self, exp_id: str, quick: bool) -> Optional[ExperimentResult]:
+        """The cached result, or ``None`` on miss/corruption."""
+        path = self.path(exp_id, quick)
+        try:
+            result = ExperimentResult.from_json(path.read_text())
+            if result.exp_id != exp_id:
+                raise ValueError("cache entry names a different experiment")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # corrupted/truncated entry: drop it and recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def save(self, exp_id: str, quick: bool,
+             result: ExperimentResult) -> Path:
+        """Atomically persist ``result`` (write temp file, rename)."""
+        path = self.path(exp_id, quick)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(result.to_json())
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

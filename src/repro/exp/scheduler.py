@@ -1,0 +1,147 @@
+"""Process-pool experiment scheduler.
+
+:func:`run_experiments` is the engine behind ``repro experiments
+--jobs N``: it fans experiment ids — and, for the big sweeps that
+declare a :class:`~repro.core.registry.CellPlan`, individual table rows
+— out to a :class:`~concurrent.futures.ProcessPoolExecutor`, consults
+the optional on-disk :class:`~repro.exp.cache.ResultCache` first, and
+reassembles everything in request order.
+
+Determinism contract
+--------------------
+Parallel output is **byte-identical** to a serial run:
+
+* every experiment (and every cell) builds its own freshly seeded
+  simulator, so worker processes share no simulation state;
+* workers ship results back as canonical JSON / plain row tuples, and
+  the parent assembles them in request/index order, never completion
+  order;
+* cell rows are computed by exactly the same functions the serial
+  runner uses (:func:`repro.core.registry.run_cell`).
+
+Metrics under ``--jobs > 1``: each worker runs its task under a private
+:class:`~repro.obs.MetricsRegistry` and returns the snapshot; the
+parent folds every snapshot into its own attached registry — in
+request order, so merged summaries are deterministic too.  Cache hits
+run no simulation and therefore contribute no metrics.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import registry
+from ..core.registry import ExperimentResult
+from .cache import ResultCache
+
+__all__ = ["run_experiments"]
+
+
+# -- worker entry points (top-level so they pickle under spawn too) ---------
+
+def _observed(fn, *args):
+    """Run ``fn(*args)`` under a fresh registry; return (value, snapshot)."""
+    from ..obs import MetricsRegistry, use_registry
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        value = fn(*args)
+    return value, reg.to_dict()
+
+
+def _worker_experiment(exp_id: str, quick: bool, observe: bool):
+    if observe:
+        result, snap = _observed(registry.run_experiment, exp_id, quick)
+        return result.to_json(), snap
+    return registry.run_experiment(exp_id, quick).to_json(), None
+
+
+def _worker_cell(exp_id: str, quick: bool, index: int, observe: bool):
+    if observe:
+        return _observed(registry.run_cell, exp_id, quick, index)
+    return registry.run_cell(exp_id, quick, index), None
+
+
+# -- the engine -------------------------------------------------------------
+
+def run_experiments(ids: Sequence[str] = (), quick: bool = True,
+                    jobs: Optional[int] = None,
+                    cache: Optional[ResultCache] = None,
+                    ) -> List[ExperimentResult]:
+    """Run experiments, optionally cached and in parallel.
+
+    ``jobs=None`` means ``os.cpu_count()``; ``jobs=1`` runs in-process
+    (identical to :func:`repro.core.registry.run_all` plus caching).
+    Results come back in the order of ``ids`` (registry order when
+    ``ids`` is empty).  Unknown ids raise
+    :class:`~repro.core.registry.UnknownExperimentError` before any
+    work starts.
+    """
+    keys = registry.resolve_ids(ids)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    results: Dict[str, ExperimentResult] = {}
+    to_run: List[str] = []
+    for exp_id in keys:
+        cached = cache.load(exp_id, quick) if cache is not None else None
+        if cached is not None:
+            results[exp_id] = cached
+        else:
+            to_run.append(exp_id)
+
+    n_tasks = sum(max(1, registry.n_cells(k, quick)) for k in to_run)
+    if jobs == 1 or n_tasks <= 1:
+        for exp_id in to_run:
+            results[exp_id] = registry.run_experiment(exp_id, quick)
+    else:
+        _run_pool(to_run, quick, min(jobs, n_tasks), results)
+
+    if cache is not None:
+        for exp_id in to_run:
+            cache.save(exp_id, quick, results[exp_id])
+    return [results[k] for k in keys]
+
+
+def _run_pool(to_run: Sequence[str], quick: bool, jobs: int,
+              results: Dict[str, ExperimentResult]) -> None:
+    from ..obs import get_default_registry
+    parent_registry = get_default_registry()
+    observe = parent_registry is not None
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        cell_futures: Dict[str, List] = {}
+        exp_futures: Dict[str, object] = {}
+        for exp_id in to_run:
+            n = registry.n_cells(exp_id, quick)
+            if n:
+                cell_futures[exp_id] = [
+                    pool.submit(_worker_cell, exp_id, quick, i, observe)
+                    for i in range(n)]
+            else:
+                exp_futures[exp_id] = pool.submit(
+                    _worker_experiment, exp_id, quick, observe)
+
+        # Collect in request order (and cells in index order) so both
+        # the result list and any merged metrics are deterministic.
+        for exp_id in to_run:
+            snapshots = []
+            if exp_id in cell_futures:
+                rows = []
+                for future in cell_futures[exp_id]:
+                    row, snap = future.result()
+                    rows.append(tuple(row))
+                    snapshots.append(snap)
+                results[exp_id] = registry.finalize_cells(
+                    exp_id, quick, rows)
+            else:
+                result_json, snap = exp_futures[exp_id].result()
+                results[exp_id] = ExperimentResult.from_json(result_json)
+                snapshots.append(snap)
+            if observe:
+                for snap in snapshots:
+                    if snap:
+                        parent_registry.merge_snapshot(snap)

@@ -1,0 +1,66 @@
+"""JSON-lines result store: the machine-readable form of a sweep.
+
+``repro experiments --out results.jsonl`` writes one canonical
+:class:`~repro.core.registry.ExperimentResult` JSON object per line.
+The EXPERIMENTS.md-style tables are a *rendering* of this store, not
+the other way round — regenerate them any time with::
+
+    python -m repro.exp.store results.jsonl             # text tables
+    python -m repro.exp.store results.jsonl --markdown  # Markdown tables
+
+Lines are canonical (sorted keys, no whitespace), so a store written
+from a deterministic run is itself byte-for-byte reproducible and
+diff-friendly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from ..core.registry import ExperimentResult
+from ..core.render import render_report
+
+__all__ = ["write_jsonl", "read_jsonl", "iter_jsonl", "render_store"]
+
+
+def write_jsonl(path: Union[str, Path],
+                results: Iterable[ExperimentResult]) -> Path:
+    """Write ``results`` as canonical JSON-lines; returns the path."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    text = "".join(r.to_json() + "\n" for r in results)
+    path.write_text(text)
+    return path
+
+
+def iter_jsonl(path: Union[str, Path]) -> Iterator[ExperimentResult]:
+    """Yield results from a JSON-lines store, skipping blank lines."""
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            yield ExperimentResult.from_json(line)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[ExperimentResult]:
+    return list(iter_jsonl(path))
+
+
+def render_store(path: Union[str, Path], markdown: bool = False) -> str:
+    """All tables in the store, rendered as text or Markdown."""
+    return render_report(read_jsonl(path), markdown=markdown)
+
+
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("store", help="JSON-lines results file")
+    parser.add_argument("--markdown", action="store_true",
+                        help="render Markdown tables instead of text")
+    args = parser.parse_args(argv)
+    print(render_store(args.store, markdown=args.markdown))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

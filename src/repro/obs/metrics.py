@@ -237,6 +237,50 @@ class MetricsRegistry:
             entries.append(entry)
         return {"metrics": entries}
 
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        This is how the parallel experiment engine keeps ``--metrics``
+        working under ``--jobs > 1``: each worker process observes its
+        task in a private registry and ships the snapshot back, and the
+        parent merges them — in deterministic (request) order, so the
+        merged summary matches what one shared registry would hold.
+
+        Counters add; histograms add bucket counts and fold ``n``,
+        ``sum`` and the min/max watermarks; gauges fold sample counts
+        and watermarks and take the merged snapshot's last value.
+        """
+        for entry in snapshot.get("metrics", []):
+            component, name = entry["component"], entry["name"]
+            labels = entry.get("labels", {})
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(component, name, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(component, name, **labels)
+                if entry["samples"]:
+                    gauge.value = entry["value"]
+                    gauge.samples += entry["samples"]
+                    gauge.min = (entry["min"] if gauge.min is None
+                                 else min(gauge.min, entry["min"]))
+                    gauge.max = (entry["max"] if gauge.max is None
+                                 else max(gauge.max, entry["max"]))
+            elif kind == "histogram":
+                hist = self.histogram(component, name, **labels)
+                for bucket, count in entry["buckets"].items():
+                    idx = int(bucket)
+                    hist.counts[idx] = hist.counts.get(idx, 0) + count
+                hist.n += entry["n"]
+                hist.sum += entry["sum"]
+                if entry["n"]:
+                    hist.min = (entry["min"] if hist.min is None
+                                else min(hist.min, entry["min"]))
+                    hist.max = (entry["max"] if hist.max is None
+                                else max(hist.max, entry["max"]))
+            else:
+                raise ValueError(f"unknown metric type {kind!r} in "
+                                 f"snapshot entry {component}.{name}")
+
 
 # ---------------------------------------------------------------------------
 # process-wide default registry (what `--metrics` and tests use)

@@ -1,0 +1,102 @@
+"""Cache-key invalidation and corruption tolerance for ResultCache.
+
+The key is (experiment id, quick/full, package version, source digest);
+each test flips exactly one ingredient and asserts the cached entry is
+no longer found.  Corruption tests truncate/garble the entry on disk
+and expect a silent miss plus recompute, never an exception.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.core.registry import ExperimentResult
+from repro.exp import ResultCache, run_experiments, source_digest
+from repro.exp import cache as cache_mod
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def warm(cache):
+    """A cache holding a fresh table1 result."""
+    result = run_experiments(["table1"], quick=True, jobs=1,
+                             cache=cache)[0]
+    assert cache.misses == 1 and cache.hits == 0
+    return result
+
+
+def test_hit_after_save(cache, warm):
+    assert cache.load("table1", True).to_json() == warm.to_json()
+    assert cache.hits == 1
+
+
+def test_source_edit_invalidates(cache, warm, monkeypatch):
+    monkeypatch.setattr(cache_mod, "source_digest",
+                        lambda exp_id: "0" * 64)
+    assert cache.load("table1", True) is None
+
+
+def test_version_bump_invalidates(cache, warm, monkeypatch):
+    monkeypatch.setattr(repro, "__version__", "999.0.0")
+    assert cache.load("table1", True) is None
+
+
+def test_quick_full_are_separate_keys(cache, warm):
+    assert cache.load("table1", False) is None
+    assert cache.key("table1", True) != cache.key("table1", False)
+
+
+def test_corrupted_entry_is_discarded(cache, warm):
+    path = cache.path("table1", True)
+    path.write_text("{definitely not json")
+    assert cache.load("table1", True) is None
+    assert not path.exists(), "corrupted entry should be deleted"
+    # and the engine just recomputes
+    again = run_experiments(["table1"], quick=True, jobs=1, cache=cache)[0]
+    assert again.to_json() == warm.to_json()
+
+
+def test_truncated_entry_is_discarded(cache, warm):
+    path = cache.path("table1", True)
+    path.write_text(path.read_text()[:20])
+    assert cache.load("table1", True) is None
+
+
+def test_wrong_experiment_in_entry_is_discarded(cache, warm):
+    path = cache.path("table1", True)
+    impostor = ExperimentResult("fig03", "t", ["c"], [(1,)], "")
+    path.write_text(impostor.to_json())
+    assert cache.load("table1", True) is None
+
+
+def test_missing_dir_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "never-created")
+    assert cache.load("table1", True) is None
+    assert cache.misses == 1
+
+
+def test_clear_removes_entries(cache, warm):
+    assert cache.clear() == 1
+    assert cache.load("table1", True) is None
+
+
+def test_digest_covers_cell_plan_functions():
+    """Cell-decomposed sweeps digest their plan functions too, so the
+    digest of a plain experiment and a sweep differ even though both
+    digest *something*."""
+    d_plain = source_digest("table1")
+    d_sweep = source_digest("fig04a")
+    assert d_plain != d_sweep
+    assert len(d_plain) == len(d_sweep) == 64
+    int(d_sweep, 16)  # hex
+
+
+def test_key_payload_is_stable(cache):
+    """Same ingredients, same key — the key is a pure function."""
+    assert cache.key("table1", True) == cache.key("table1", True)
+    assert json.loads(ExperimentResult("x", "t", ["c"], [(1,)]).to_json())

@@ -129,3 +129,85 @@ def test_eager_rendezvous_flip_at_threshold():
 
     assert below.get("mpi", "bytes_sent").value == threshold - 1
     assert at.get("mpi", "bytes_sent").value == threshold
+
+
+# ---------------------------------------------------------------------------
+# merge_snapshot (how --jobs > 1 folds worker registries back together)
+# ---------------------------------------------------------------------------
+
+def _snapshot_of(fill):
+    reg = MetricsRegistry()
+    fill(reg)
+    return reg.to_dict()
+
+
+def test_merge_snapshot_counters_add():
+    parent = MetricsRegistry()
+    parent.counter("x", "total").inc(3)
+    parent.merge_snapshot(_snapshot_of(
+        lambda r: r.counter("x", "total").inc(4)))
+    assert parent.get("x", "total").value == 7
+
+
+def test_merge_snapshot_gauges_fold_watermarks():
+    parent = MetricsRegistry()
+    g = parent.gauge("x", "depth")
+    g.set(5)
+
+    def fill(r):
+        h = r.gauge("x", "depth")
+        h.set(1)
+        h.set(9)
+
+    parent.merge_snapshot(_snapshot_of(fill))
+    merged = parent.get("x", "depth")
+    assert merged.value == 9 and merged.samples == 3
+    assert merged.min == 1 and merged.max == 9
+
+
+def test_merge_snapshot_histograms_fold_buckets():
+    parent = MetricsRegistry()
+    parent.histogram("x", "lat").observe(3)
+
+    def fill(r):
+        r.histogram("x", "lat").observe(3)
+        r.histogram("x", "lat").observe(100)
+
+    parent.merge_snapshot(_snapshot_of(fill))
+    merged = parent.get("x", "lat")
+    assert merged.n == 3 and merged.sum == 106
+    assert merged.min == 3 and merged.max == 100
+    # two observations of 3 share bucket index int(3).bit_length() == 2
+    assert merged.counts[2] == 2
+
+
+def test_merge_snapshot_labels_and_new_keys():
+    parent = MetricsRegistry()
+    parent.merge_snapshot(_snapshot_of(
+        lambda r: r.counter("link", "bytes", link="ab").inc(10)))
+    assert parent.get("link", "bytes", link="ab").value == 10
+    assert parent.get("link", "bytes", link="ba") is None
+
+
+def test_merge_of_split_runs_equals_shared_counters():
+    """Counters of two runs merged == the same two runs sharing one
+    registry (exactly how the parallel engine uses snapshots)."""
+    shared = MetricsRegistry()
+    with use_registry(shared):
+        s = wan_pair(10.0)
+        perftest.run_send_bw(s.sim, s.a, s.b, 4096, iters=8)
+        s = wan_pair(10.0)
+        perftest.run_send_bw(s.sim, s.a, s.b, 4096, iters=8)
+
+    merged = MetricsRegistry()
+    for _ in range(2):
+        part = MetricsRegistry()
+        with use_registry(part):
+            s = wan_pair(10.0)
+            perftest.run_send_bw(s.sim, s.a, s.b, 4096, iters=8)
+        merged.merge_snapshot(part.to_dict())
+
+    assert (merged.get("rc", "wqe_completions").value
+            == shared.get("rc", "wqe_completions").value)
+    assert (merged.get("sim", "events_processed").value
+            == shared.get("sim", "events_processed").value)
