@@ -157,6 +157,22 @@ class HardwareProfile:
     #: Concurrent RPC service threads on the server (nfsd count).
     nfs_server_threads: int = 16
 
+    # ---- fault recovery ------------------------------------------------------
+    # These only engage when fault injection is active; the clean fabric
+    # never drops, so none of this machinery even starts there.
+    #: Initial TCP retransmission timeout.
+    tcp_rto_us: float = 20000.0
+    #: Cap on the exponentially backed-off TCP RTO.
+    tcp_max_rto_us: float = 640000.0
+    #: Duplicate ACKs that trigger a TCP fast retransmit.
+    tcp_dupack_threshold: int = 3
+    #: Per-call NFS RPC timeout before the call is retransmitted.
+    nfs_rpc_timeout_us: float = 50000.0
+    #: NFS RPC retransmissions before ``RPCTimeoutError`` surfaces.
+    nfs_rpc_max_retries: int = 8
+    #: Multiplier applied to the RPC timeout after each retry.
+    nfs_rpc_backoff: float = 2.0
+
     # ------------------------------------------------------------------------
     def with_overrides(self, **kwargs) -> "HardwareProfile":
         """Return a copy with the given fields replaced."""

@@ -37,16 +37,19 @@ from .calibration import MB
 __all__ = ["main"]
 
 
-def _fabric(delay_us: float, nodes: int = 1):
+def _fabric(delay_us: float, nodes: int = 1, faults: Optional[str] = None):
     sim = Simulator()
     fabric = build_cluster_of_clusters(sim, nodes, nodes,
                                        wan_delay_us=delay_us)
+    if faults:
+        from .faults import FaultPlan
+        FaultPlan.parse(faults).apply(fabric)
     return sim, fabric
 
 
 def _cmd_perftest(args) -> int:
     from .verbs import perftest
-    sim, fabric = _fabric(args.delay_us)
+    sim, fabric = _fabric(args.delay_us, faults=args.faults)
     a, b = fabric.cluster_a[0], fabric.cluster_b[0]
     if args.test == "lat":
         lat = perftest.run_send_lat(sim, a, b, args.size, args.iters,
@@ -71,7 +74,7 @@ def _cmd_perftest(args) -> int:
 
 
 def _cmd_netperf(args) -> int:
-    sim, fabric = _fabric(args.delay_us)
+    sim, fabric = _fabric(args.delay_us, faults=args.faults)
     a, b = fabric.cluster_a[0], fabric.cluster_b[0]
     if args.mode == "sdp":
         from .sdp import run_sdp_stream_bw
@@ -95,7 +98,7 @@ def _cmd_netperf(args) -> int:
 
 def _cmd_iozone(args) -> int:
     from .nfs import run_iozone_read
-    sim, fabric = _fabric(args.delay_us)
+    sim, fabric = _fabric(args.delay_us, faults=args.faults)
     bw = run_iozone_read(sim, fabric, fabric.cluster_a[0],
                          fabric.cluster_b[0], args.transport,
                          n_streams=args.threads,
@@ -109,9 +112,15 @@ def _cmd_experiments(args) -> int:
     from .core.registry import UnknownExperimentError
     from .exp import ResultCache, run_experiments, write_jsonl
     cache = ResultCache(args.cache_dir) if args.cache else None
+    failures = []
     try:
         results = run_experiments(ids=args.ids, quick=not args.full,
-                                  jobs=args.jobs, cache=cache)
+                                  jobs=args.jobs, cache=cache,
+                                  timeout_s=args.timeout,
+                                  retries=args.retries,
+                                  keep_going=args.keep_going,
+                                  failures=failures,
+                                  faults_spec=args.faults)
     except UnknownExperimentError as exc:
         print(f"repro experiments: {exc}", file=sys.stderr)
         return 2
@@ -123,7 +132,9 @@ def _cmd_experiments(args) -> int:
     if cache is not None:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
               f"in {cache.root}", file=sys.stderr)
-    return 0
+    for failure in failures:
+        print(f"FAILED {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _positive_int(text: str) -> int:
@@ -141,6 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     metrics_help = "collect metrics and print a summary table after the run"
+    faults_help = ("WAN fault-injection spec (see repro.faults.FaultPlan), "
+                   "e.g. 'loss=0.02,flap@5000:2000,seed=7'")
 
     p = sub.add_parser("perftest", help="verbs microbenchmarks")
     p.add_argument("test", choices=["lat", "bw", "bibw", "write_bw"])
@@ -148,6 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=48)
     p.add_argument("--transport", choices=["rc", "ud"], default="rc")
     p.add_argument("--delay-us", type=float, default=0.0)
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help=faults_help)
     p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.set_defaults(fn=_cmd_perftest)
 
@@ -158,6 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--streams", type=int, default=1)
     p.add_argument("--bytes", type=int, default=8 * MB)
     p.add_argument("--delay-us", type=float, default=0.0)
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help=faults_help)
     p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.set_defaults(fn=_cmd_netperf)
 
@@ -167,6 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--bytes", type=int, default=8 * MB)
     p.add_argument("--delay-us", type=float, default=0.0)
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help=faults_help)
     p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.set_defaults(fn=_cmd_iozone)
 
@@ -184,6 +203,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache directory (default: %(default)s)")
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also write results as JSON-lines to PATH")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help=faults_help + "; applied process-wide and keyed "
+                        "into the cache")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-task wall-clock budget; overruns fail the task")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry failed/crashed tasks this many times "
+                        "(default: %(default)s)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="report failed experiments and exit 1 instead of "
+                        "aborting the whole sweep")
     p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.set_defaults(fn=_cmd_experiments)
 
@@ -192,15 +222,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "metrics", False):
-        from .obs import MetricsRegistry, format_summary, use_registry
-        registry = MetricsRegistry()
-        with use_registry(registry):
-            status = args.fn(args)
-        print()
-        print(format_summary(registry))
-        return status
-    return args.fn(args)
+    from .sim import SimulationError
+    try:
+        if getattr(args, "metrics", False):
+            from .obs import MetricsRegistry, format_summary, use_registry
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                status = args.fn(args)
+            print()
+            print(format_summary(registry))
+            return status
+        return args.fn(args)
+    except SimulationError as exc:
+        # Typically a closed-loop benchmark starved by injected faults
+        # (every in-flight message dropped, nothing left to wake it).
+        print(f"repro: simulation stalled: {exc}", file=sys.stderr)
+        if getattr(args, "faults", None):
+            print("repro: the fault spec likely dropped every outstanding "
+                  "message; lossy closed-loop benchmarks need a transport "
+                  "with recovery (rc) or the flt* experiments",
+                  file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

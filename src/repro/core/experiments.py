@@ -705,6 +705,125 @@ def _ext_dlm(quick):
 
 
 # ---------------------------------------------------------------------------
+# Fault injection — goodput vs loss rate x WAN delay, plus recovery
+# ---------------------------------------------------------------------------
+
+FAULT_DELAYS = (10.0, 1000.0)
+
+
+def _flt_losses(quick) -> List[float]:
+    return [0.0, 0.02] if quick else [0.0, 0.005, 0.02, 0.08]
+
+
+def _flt_spec(loss: float) -> str:
+    """Default Gilbert-Elliott spec averaging ``loss`` overall.
+
+    With p(good->bad)=0.1 and p(bad->good)=0.3 the chain spends 25 % of
+    frames in the bad state, so a bad-state drop rate of 4x the target
+    averages out to the target loss while still arriving in bursts.
+    """
+    if loss <= 0.0:
+        return ""
+    return f"burst={min(0.9, 4.0 * loss):g}/0.1/0.3,seed=23"
+
+
+def _flt_plan(loss: float):
+    """Plan for one sweep row; a CLI ``--faults SPEC`` (the process-wide
+    active spec) overrides the row default for what-if runs — the cache
+    keys results under the active spec, so clean results are unharmed."""
+    from ..faults import FaultPlan, get_active_spec
+    spec = get_active_spec() or _flt_spec(loss)
+    return FaultPlan.parse(spec) if spec else None
+
+
+def _flt01_row(quick, i, runner, **kwargs):
+    loss = _flt_losses(quick)[i]
+    row = [f"{loss:g}"]
+    for d in FAULT_DELAYS:
+        stats = runner(d, _flt_plan(loss), **kwargs)
+        row.append(stats["goodput_mb_s"])
+    return tuple(row)
+
+
+def _flt01a_cell(quick, i):
+    from ..faults.workloads import run_rc_goodput
+    return _flt01_row(quick, i, run_rc_goodput,
+                      duration_us=20000.0 if quick else 40000.0)
+
+
+@experiment("flt01a", "Faults: verbs RC goodput (MB/s) vs loss and delay",
+            cells=CellPlan(_flt_losses, _flt01a_cell))
+def _flt01a(quick, rows):
+    return ["loss"] + _delay_cols(FAULT_DELAYS), rows, \
+        "RC loss recovery costs a retransmit RTT: degradation compounds " \
+        "with delay"
+
+
+def _flt01b_cell(quick, i):
+    from ..faults.workloads import run_ud_goodput
+    return _flt01_row(quick, i, run_ud_goodput,
+                      duration_us=20000.0 if quick else 40000.0)
+
+
+@experiment("flt01b", "Faults: verbs UD goodput (MB/s) vs loss and delay",
+            cells=CellPlan(_flt_losses, _flt01b_cell))
+def _flt01b(quick, rows):
+    return ["loss"] + _delay_cols(FAULT_DELAYS), rows, \
+        "UD goodput is delay-independent and drops only by the delivered " \
+        "fraction"
+
+
+def _flt01c_cell(quick, i):
+    from ..faults.workloads import run_tcp_goodput
+    return _flt01_row(quick, i, run_tcp_goodput,
+                      total_bytes=MB if quick else 2 * MB)
+
+
+@experiment("flt01c", "Faults: IPoIB-UD TCP goodput (MB/s) vs loss and delay",
+            cells=CellPlan(_flt_losses, _flt01c_cell))
+def _flt01c(quick, rows):
+    return ["loss"] + _delay_cols(FAULT_DELAYS), rows, \
+        "TCP completes under burst loss via RTO/fast retransmit " \
+        "(go-back-N over the WAN)"
+
+
+def _flt01d_cell(quick, i):
+    from ..faults.workloads import run_nfs_goodput
+    return _flt01_row(quick, i, run_nfs_goodput,
+                      read_bytes=MB if quick else 2 * MB)
+
+
+@experiment("flt01d", "Faults: NFS/RDMA read goodput (MB/s) vs loss and delay",
+            cells=CellPlan(_flt_losses, _flt01d_cell))
+def _flt01d(quick, rows):
+    return ["loss"] + _delay_cols(FAULT_DELAYS), rows, \
+        "RPC timeouts retransmit under the same xid; the server DRC " \
+        "absorbs replays"
+
+
+@experiment("flt02", "Faults: RC recovery timeline under a link flap")
+def _flt02(quick):
+    from ..faults import FaultPlan
+    from ..faults.workloads import run_rc_goodput
+    duration = 40000.0 if quick else 60000.0
+    scenarios = (
+        ("baseline", ""),
+        ("flap 15ms", "flap@5000:15000,seed=7"),
+        ("flap+loss", "flap@5000:15000,burst=0.2/0.05/0.3,seed=7"),
+    )
+    rows = []
+    for label, spec in scenarios:
+        plan = FaultPlan.parse(spec) if spec else None
+        st = run_rc_goodput(100.0, plan, duration_us=duration)
+        rows.append((label, st["goodput_mb_s"], st["rc_retransmissions"],
+                     st["qp_errors"], st["reconnects"],
+                     st["wan_frames_dropped"]))
+    return ["scenario", "goodput_mb_s", "retransmissions", "qp_errors",
+            "reconnects", "wan_drops"], rows, \
+        "retry-budget exhaustion -> QP error -> reconnect -> traffic resumes"
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 

@@ -23,9 +23,9 @@ does)::
 """
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, source_digest
-from .scheduler import run_experiments
+from .scheduler import ExperimentFailure, run_experiments
 from .store import iter_jsonl, read_jsonl, render_store, write_jsonl
 
-__all__ = ["run_experiments", "ResultCache", "DEFAULT_CACHE_DIR",
-           "source_digest", "write_jsonl", "read_jsonl", "iter_jsonl",
-           "render_store"]
+__all__ = ["run_experiments", "ExperimentFailure", "ResultCache",
+           "DEFAULT_CACHE_DIR", "source_digest", "write_jsonl",
+           "read_jsonl", "iter_jsonl", "render_store"]

@@ -9,7 +9,9 @@ key:
 * the quick/full flag;
 * the installed ``repro.__version__``;
 * a source digest of the experiment's functions (the registered body
-  plus, for cell-decomposed sweeps, the cell-plan functions).
+  plus, for cell-decomposed sweeps, the cell-plan functions);
+* the process-wide fault-injection spec, when one is active (clean runs
+  keep their historical keys).
 
 Any of those changing — editing an experiment, bumping the package
 version, flipping quick to full — changes the key, so stale entries are
@@ -78,6 +80,13 @@ class ResultCache:
         payload = {"exp_id": exp_id, "quick": bool(quick),
                    "version": _package_version(),
                    "digest": source_digest(exp_id)}
+        # A process-wide fault spec changes what experiments measure, so
+        # it becomes part of the key — but only when one is active:
+        # clean keys (and every pre-existing cache entry) are untouched.
+        from ..faults.context import get_active_spec
+        spec = get_active_spec()
+        if spec:
+            payload["faults"] = spec
         return hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode()).hexdigest()
 

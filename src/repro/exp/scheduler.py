@@ -24,22 +24,90 @@ Metrics under ``--jobs > 1``: each worker runs its task under a private
 parent folds every snapshot into its own attached registry — in
 request order, so merged summaries are deterministic too.  Cache hits
 run no simulation and therefore contribute no metrics.
+
+Hardening
+---------
+Long sweeps survive misbehaving workers:
+
+* ``timeout_s`` arms a per-task wall-clock alarm *inside* the worker
+  (``SIGALRM``), so a runaway simulation surfaces as a
+  :class:`TimeoutError` result instead of wedging the pool;
+* a worker that dies outright (OOM kill, segfault) breaks its
+  ``ProcessPoolExecutor``; the scheduler rebuilds a fresh pool and
+  retries only the unfinished tasks, up to ``retries`` times with
+  exponential backoff — completed results are never recomputed;
+* ``keep_going=True`` converts a permanently failing experiment into an
+  :class:`ExperimentFailure` entry (appended to ``failures``) while
+  every unaffected experiment still completes and caches;
+* results are cached **incrementally**, as soon as each experiment
+  finalizes, so an interrupted sweep resumes from what it finished.
 """
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import registry
 from ..core.registry import ExperimentResult
+from ..faults.context import activated
 from .cache import ResultCache
 
-__all__ = ["run_experiments"]
+__all__ = ["run_experiments", "ExperimentFailure"]
+
+#: A task is one unit of pool work: (exp_id, cell_index-or-None).
+_Task = Tuple[str, Optional[int]]
+
+
+@dataclass
+class ExperimentFailure:
+    """Why one experiment produced no result under ``keep_going``."""
+
+    exp_id: str
+    error: str
+    attempts: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.exp_id}: {self.error} (after {self.attempts} attempts)"
 
 
 # -- worker entry points (top-level so they pickle under spawn too) ---------
+
+def _raise_timeout(signum, frame):
+    raise TimeoutError("experiment task exceeded its time budget")
+
+
+@contextlib.contextmanager
+def _worker_env(faults_spec: Optional[str], timeout_s: Optional[float]):
+    """Worker-side task context: fault spec + wall-clock alarm.
+
+    The fault spec is always (re)applied — pool workers are reused
+    across tasks, so leftover state from a previous task must never
+    leak.  The alarm uses ``SIGALRM`` where available (main thread on
+    POSIX); elsewhere tasks simply run unbounded.
+    """
+    from ..faults.context import set_active_spec
+    previous = set_active_spec(faults_spec)
+    use_alarm = (timeout_s is not None and hasattr(signal, "setitimer")
+                 and threading.current_thread() is threading.main_thread())
+    if use_alarm:
+        old_handler = signal.signal(signal.SIGALRM, _raise_timeout)
+        old_timer = signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, *old_timer)
+            signal.signal(signal.SIGALRM, old_handler)
+        set_active_spec(previous)
+
 
 def _observed(fn, *args):
     """Run ``fn(*args)`` under a fresh registry; return (value, snapshot)."""
@@ -50,26 +118,37 @@ def _observed(fn, *args):
     return value, reg.to_dict()
 
 
-def _worker_experiment(exp_id: str, quick: bool, observe: bool):
-    if observe:
-        result, snap = _observed(registry.run_experiment, exp_id, quick)
-        return result.to_json(), snap
-    return registry.run_experiment(exp_id, quick).to_json(), None
+def _worker_experiment(exp_id: str, quick: bool, observe: bool,
+                       faults_spec: Optional[str] = None,
+                       timeout_s: Optional[float] = None):
+    with _worker_env(faults_spec, timeout_s):
+        if observe:
+            result, snap = _observed(registry.run_experiment, exp_id, quick)
+            return result.to_json(), snap
+        return registry.run_experiment(exp_id, quick).to_json(), None
 
 
-def _worker_cell(exp_id: str, quick: bool, index: int, observe: bool):
-    if observe:
-        return _observed(registry.run_cell, exp_id, quick, index)
-    return registry.run_cell(exp_id, quick, index), None
+def _worker_cell(exp_id: str, quick: bool, index: int, observe: bool,
+                 faults_spec: Optional[str] = None,
+                 timeout_s: Optional[float] = None):
+    with _worker_env(faults_spec, timeout_s):
+        if observe:
+            return _observed(registry.run_cell, exp_id, quick, index)
+        return registry.run_cell(exp_id, quick, index), None
 
 
 # -- the engine -------------------------------------------------------------
 
 def run_experiments(ids: Sequence[str] = (), quick: bool = True,
                     jobs: Optional[int] = None,
-                    cache: Optional[ResultCache] = None,
+                    cache: Optional[ResultCache] = None, *,
+                    timeout_s: Optional[float] = None,
+                    retries: int = 0, backoff_s: float = 0.5,
+                    keep_going: bool = False,
+                    failures: Optional[List[ExperimentFailure]] = None,
+                    faults_spec: Optional[str] = None,
                     ) -> List[ExperimentResult]:
-    """Run experiments, optionally cached and in parallel.
+    """Run experiments, optionally cached, in parallel, and hardened.
 
     ``jobs=None`` means ``os.cpu_count()``; ``jobs=1`` runs in-process
     (identical to :func:`repro.core.registry.run_all` plus caching).
@@ -77,71 +156,175 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
     ``ids`` is empty).  Unknown ids raise
     :class:`~repro.core.registry.UnknownExperimentError` before any
     work starts.
+
+    ``timeout_s`` bounds each task's wall clock; ``retries`` re-runs
+    failed tasks (with ``backoff_s * 2**attempt`` sleeps) in a fresh
+    pool, which also covers workers killed outright.  With
+    ``keep_going`` a permanently failed experiment is skipped — an
+    :class:`ExperimentFailure` is appended to ``failures`` (when given)
+    and the remaining experiments still run; without it the first
+    failure propagates after the attempt budget is spent.
+
+    ``faults_spec`` activates a process-wide
+    :class:`~repro.faults.FaultPlan` spec for the duration of the run —
+    in this process *and* in every worker — and becomes part of the
+    result-cache key.
     """
     keys = registry.resolve_ids(ids)
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    with activated(faults_spec):
+        results: Dict[str, ExperimentResult] = {}
+        to_run: List[str] = []
+        for exp_id in keys:
+            cached = cache.load(exp_id, quick) if cache is not None else None
+            if cached is not None:
+                results[exp_id] = cached
+            else:
+                to_run.append(exp_id)
 
-    results: Dict[str, ExperimentResult] = {}
-    to_run: List[str] = []
-    for exp_id in keys:
-        cached = cache.load(exp_id, quick) if cache is not None else None
-        if cached is not None:
-            results[exp_id] = cached
+        failed: List[ExperimentFailure] = []
+        n_tasks = sum(max(1, registry.n_cells(k, quick)) for k in to_run)
+        if jobs == 1 or n_tasks <= 1:
+            _run_serial(to_run, quick, results, cache, faults_spec,
+                        timeout_s, retries, backoff_s, keep_going, failed)
         else:
-            to_run.append(exp_id)
+            _run_pool(to_run, quick, min(jobs, n_tasks), results, cache,
+                      faults_spec, timeout_s, retries, backoff_s,
+                      keep_going, failed)
+        if failures is not None:
+            failures.extend(failed)
+        return [results[k] for k in keys if k in results]
 
-    n_tasks = sum(max(1, registry.n_cells(k, quick)) for k in to_run)
-    if jobs == 1 or n_tasks <= 1:
-        for exp_id in to_run:
-            results[exp_id] = registry.run_experiment(exp_id, quick)
-    else:
-        _run_pool(to_run, quick, min(jobs, n_tasks), results)
 
-    if cache is not None:
-        for exp_id in to_run:
-            cache.save(exp_id, quick, results[exp_id])
-    return [results[k] for k in keys]
+def _run_serial(to_run: Sequence[str], quick: bool,
+                results: Dict[str, ExperimentResult],
+                cache: Optional[ResultCache], faults_spec: Optional[str],
+                timeout_s: Optional[float], retries: int, backoff_s: float,
+                keep_going: bool,
+                failed: List[ExperimentFailure]) -> None:
+    for exp_id in to_run:
+        error: Optional[BaseException] = None
+        for attempt in range(retries + 1):
+            if attempt:
+                time.sleep(backoff_s * 2 ** (attempt - 1))
+            try:
+                with _worker_env(faults_spec, timeout_s):
+                    results[exp_id] = registry.run_experiment(exp_id, quick)
+                if cache is not None:
+                    cache.save(exp_id, quick, results[exp_id])
+                error = None
+                break
+            except Exception as exc:
+                error = exc
+        if error is not None:
+            if not keep_going:
+                raise error
+            failed.append(ExperimentFailure(exp_id, repr(error),
+                                            retries + 1))
 
 
 def _run_pool(to_run: Sequence[str], quick: bool, jobs: int,
-              results: Dict[str, ExperimentResult]) -> None:
+              results: Dict[str, ExperimentResult],
+              cache: Optional[ResultCache], faults_spec: Optional[str],
+              timeout_s: Optional[float], retries: int, backoff_s: float,
+              keep_going: bool,
+              failed: List[ExperimentFailure]) -> None:
     from ..obs import get_default_registry
     parent_registry = get_default_registry()
     observe = parent_registry is not None
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        cell_futures: Dict[str, List] = {}
-        exp_futures: Dict[str, object] = {}
-        for exp_id in to_run:
-            n = registry.n_cells(exp_id, quick)
-            if n:
-                cell_futures[exp_id] = [
-                    pool.submit(_worker_cell, exp_id, quick, i, observe)
-                    for i in range(n)]
-            else:
-                exp_futures[exp_id] = pool.submit(
-                    _worker_experiment, exp_id, quick, observe)
+    tasks: List[_Task] = []
+    for exp_id in to_run:
+        n = registry.n_cells(exp_id, quick)
+        if n:
+            tasks.extend((exp_id, i) for i in range(n))
+        else:
+            tasks.append((exp_id, None))
 
-        # Collect in request order (and cells in index order) so both
-        # the result list and any merged metrics are deterministic.
-        for exp_id in to_run:
-            snapshots = []
-            if exp_id in cell_futures:
-                rows = []
-                for future in cell_futures[exp_id]:
-                    row, snap = future.result()
-                    rows.append(tuple(row))
-                    snapshots.append(snap)
-                results[exp_id] = registry.finalize_cells(
-                    exp_id, quick, rows)
-            else:
-                result_json, snap = exp_futures[exp_id].result()
-                results[exp_id] = ExperimentResult.from_json(result_json)
+    done: Dict[_Task, Tuple[object, object]] = {}
+    errors: Dict[_Task, BaseException] = {}
+    attempts = 0
+    pending = list(tasks)
+    while pending and attempts <= retries:
+        if attempts:
+            time.sleep(backoff_s * 2 ** (attempts - 1))
+        errors = {}
+        # A fresh pool per attempt: a worker killed hard (OOM/segfault)
+        # breaks the executor for every outstanding future, and a
+        # broken pool cannot be reused.
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {}
+            for task in pending:
+                exp_id, index = task
+                if index is None:
+                    futures[task] = pool.submit(
+                        _worker_experiment, exp_id, quick, observe,
+                        faults_spec, timeout_s)
+                else:
+                    futures[task] = pool.submit(
+                        _worker_cell, exp_id, quick, index, observe,
+                        faults_spec, timeout_s)
+            # Collect in submission (= request) order, never completion
+            # order, so results and merged metrics stay deterministic.
+            for task in pending:
+                try:
+                    done[task] = futures[task].result()
+                except (Exception, BrokenProcessPool) as exc:
+                    errors[task] = exc
+        pending = [t for t in pending if t in errors]
+        attempts += 1
+        _finalize_ready(to_run, quick, tasks, done, results, cache,
+                        observe, parent_registry)
+
+    if pending:
+        bad_exps = []
+        for task in pending:
+            if task[0] not in bad_exps:
+                bad_exps.append(task[0])
+        if not keep_going:
+            raise errors[pending[0]]
+        for exp_id in bad_exps:
+            first = next(errors[t] for t in pending if t[0] == exp_id)
+            failed.append(ExperimentFailure(exp_id, repr(first), attempts))
+
+
+def _finalize_ready(to_run: Sequence[str], quick: bool, tasks: List[_Task],
+                    done: Dict[_Task, Tuple[object, object]],
+                    results: Dict[str, ExperimentResult],
+                    cache: Optional[ResultCache], observe: bool,
+                    parent_registry) -> None:
+    """Assemble every experiment whose tasks have all completed.
+
+    Runs after each pool attempt, so finished experiments are cached
+    incrementally — a later crash or ^C does not throw them away.
+    Metrics snapshots merge exactly once per task, in request order.
+    """
+    for exp_id in to_run:
+        if exp_id in results:
+            continue
+        exp_tasks = [t for t in tasks if t[0] == exp_id]
+        if not all(t in done for t in exp_tasks):
+            continue
+        snapshots = []
+        if exp_tasks[0][1] is None:
+            result_json, snap = done[exp_tasks[0]]
+            results[exp_id] = ExperimentResult.from_json(result_json)
+            snapshots.append(snap)
+        else:
+            rows = []
+            for task in exp_tasks:
+                row, snap = done[task]
+                rows.append(tuple(row))
                 snapshots.append(snap)
-            if observe:
-                for snap in snapshots:
-                    if snap:
-                        parent_registry.merge_snapshot(snap)
+            results[exp_id] = registry.finalize_cells(exp_id, quick, rows)
+        if cache is not None:
+            cache.save(exp_id, quick, results[exp_id])
+        if observe:
+            for snap in snapshots:
+                if snap:
+                    parent_registry.merge_snapshot(snap)

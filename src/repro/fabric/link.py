@@ -54,6 +54,9 @@ class _HalfLink:
         self.rng = None
         #: Uniform extra per-frame delay bound (dispersion jitter), µs.
         self.jitter_us = 0.0
+        #: Armed :class:`repro.faults.injector.LinkFaultInjector`, or
+        #: ``None`` — the pump takes the exact pre-fault path then.
+        self.faults = None
         self.frames_dropped = 0
         self._min_next_delivery = 0.0
         self.name = name
@@ -83,6 +86,13 @@ class _HalfLink:
     def _pump(self):
         while True:
             _prio, _seq, frame, enqueued_at = yield self.queue.get()
+            faults = self.faults
+            if faults is not None and faults.is_down(self.sim.now):
+                # Link flap, queue-drain semantics: the laser is off, so
+                # the frame vanishes instantly without occupying the wire.
+                self.frames_dropped += 1
+                faults.count_flap_drop()
+                continue
             ser = frame.wire_bytes / self.rate
             if self._m_qdelay is not None:
                 self._m_qdelay.observe(self.sim.now - enqueued_at)
@@ -92,11 +102,17 @@ class _HalfLink:
                 yield self.sim.timeout(ser)  # the wire was still busy
                 self.frames_dropped += 1
                 continue
+            if faults is not None and faults.should_drop(self.name):
+                yield self.sim.timeout(ser)  # the wire was still busy
+                self.frames_dropped += 1
+                continue
             if self.jitter_us and self.rng is not None:
                 # dispersion jitter delays delivery, not the wire
                 extra = self.rng.uniform(0.0, self.jitter_us)
             else:
                 extra = 0.0
+            if faults is not None:
+                extra += faults.extra_delay(self.sim.now)
             if getattr(self.endpoint, "cut_through", False):
                 # Hand off after one packet's worth of bytes; the wire
                 # stays busy for the full serialization below.
@@ -184,10 +200,12 @@ class Link:
 
     def inject_faults(self, rng, loss_rate: float = 0.0,
                       jitter_us: float = 0.0) -> None:
-        """Enable loss/jitter on both directions (fault injection).
+        """Enable uniform loss/jitter on both directions (legacy hook).
 
         ``rng`` is a ``random.Random`` (use
-        :class:`repro.sim.rng.RngRegistry` for reproducibility).
+        :class:`repro.sim.rng.RngRegistry` for reproducibility).  For
+        burst loss, flaps, delay spikes and declarative specs use
+        :meth:`apply_faults` / :class:`repro.faults.FaultPlan`.
         """
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
@@ -197,6 +215,11 @@ class Link:
             half.rng = rng
             half.loss_rate = loss_rate
             half.jitter_us = jitter_us
+
+    def apply_faults(self, plan, rng=None):
+        """Arm a :class:`repro.faults.FaultPlan` on this link; returns
+        the injector.  Equivalent to ``plan.apply(self, rng)``."""
+        return plan.apply(self, rng)
 
     @property
     def frames_dropped(self) -> int:

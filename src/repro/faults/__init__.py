@@ -1,0 +1,23 @@
+"""repro.faults — deterministic, seeded WAN fault injection.
+
+The declarative entry point is :class:`FaultPlan` (see
+:mod:`repro.faults.plan` for the ``--faults`` spec grammar):
+
+    >>> from repro.faults import FaultPlan
+    >>> plan = FaultPlan.parse("burst=0.4/0.05/0.3,flap@20000:5000,seed=7")
+    >>> injector = plan.apply(fabric)          # arms the WAN link
+
+Goodput-under-fault workload runners (RC with auto-reconnect, paced UD,
+IPoIB/TCP with retransmission, NFS with RPC retries) live in
+:mod:`repro.faults.workloads`; it is not imported eagerly so that the
+cache/scheduler can use the plan machinery without dragging every
+protocol stack in.
+"""
+
+from .context import activated, get_active_spec, set_active_spec
+from .injector import LinkFaultInjector
+from .plan import DelaySpike, FaultPlan, GilbertElliott, LinkFlap
+
+__all__ = ["FaultPlan", "GilbertElliott", "LinkFlap", "DelaySpike",
+           "LinkFaultInjector", "get_active_spec", "set_active_spec",
+           "activated"]

@@ -1,0 +1,44 @@
+"""Process-wide active fault-plan spec.
+
+The CLI (``--faults SPEC``) and the experiment scheduler set the active
+spec here; fault-aware experiments read it to override their built-in
+plans, and :class:`repro.exp.cache.ResultCache` folds it into cache
+keys **only when set**, so clean-run cache entries keep their exact
+pre-fault keys.
+
+This module is import-light on purpose (no simulator dependencies): the
+cache and scheduler can import it without pulling the whole fault
+machinery in.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["get_active_spec", "set_active_spec", "activated"]
+
+_active_spec: Optional[str] = None
+
+
+def get_active_spec() -> Optional[str]:
+    """The fault spec string currently in force, or ``None``."""
+    return _active_spec
+
+
+def set_active_spec(spec: Optional[str]) -> Optional[str]:
+    """Install ``spec`` (empty/None clears it); returns the previous one."""
+    global _active_spec
+    previous = _active_spec
+    _active_spec = spec or None
+    return previous
+
+
+@contextmanager
+def activated(spec: Optional[str]) -> Iterator[None]:
+    """Scope with ``spec`` active; restores the previous spec on exit."""
+    previous = set_active_spec(spec)
+    try:
+        yield
+    finally:
+        set_active_spec(previous)

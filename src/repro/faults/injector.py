@@ -1,0 +1,104 @@
+"""Per-link fault injector driven by a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector serves both directions of a link (each
+:class:`~repro.fabric.link._HalfLink` keeps independent Gilbert–Elliott
+state, but shares the plan's single seeded RNG stream, so a fixed seed
+reproduces the exact same drop pattern run after run).
+
+Zero-overhead contract: with no plan applied, ``half.faults`` stays
+``None`` and the link pump takes the exact pre-fault path — no extra
+events, RNG draws or metric series — which is what keeps the golden
+traces and cached experiment bytes byte-identical.  Flap windows and
+delay spikes are pure functions of the current simulation time (no
+timers are scheduled for them), and fault metrics are registered here,
+at apply time, never at component construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["LinkFaultInjector"]
+
+
+class LinkFaultInjector:
+    """Armed fault state for one link (both directions)."""
+
+    def __init__(self, plan, link, rng):
+        self.plan = plan
+        self.link = link
+        self.rng = rng
+        self.windows = tuple((f.at_us, f.at_us + f.down_us)
+                             for f in plan.flaps)
+        self.spikes = tuple((s.at_us, s.at_us + s.duration_us, s.extra_us)
+                            for s in plan.spikes)
+        self.drops_loss = 0
+        self.drops_flap = 0
+        self._bad: Dict[str, bool] = {}
+        m = getattr(link.sim, "metrics", None)
+        if m is not None:
+            self._m_drop_loss = m.counter("faults", "frames_dropped",
+                                          link=link.name, cause="loss")
+            self._m_drop_flap = m.counter("faults", "frames_dropped",
+                                          link=link.name, cause="flap")
+            if self.windows:
+                m.counter("faults", "flap_windows",
+                          link=link.name).inc(len(self.windows))
+                m.counter("faults", "link_down_us", link=link.name).inc(
+                    sum(end - start for start, end in self.windows))
+        else:
+            self._m_drop_loss = self._m_drop_flap = None
+        for half in (link._ab, link._ba):
+            half.faults = self
+            self._bad[half.name] = False
+
+    # -- flaps -----------------------------------------------------------
+    def is_down(self, now: float) -> bool:
+        for start, end in self.windows:
+            if start <= now < end:
+                return True
+            if start > now:
+                break  # windows are sorted by start time
+        return False
+
+    def count_flap_drop(self) -> None:
+        self.drops_flap += 1
+        if self._m_drop_flap is not None:
+            self._m_drop_flap.inc()
+
+    # -- loss ------------------------------------------------------------
+    def should_drop(self, half_name: str) -> bool:
+        """Advance the GE chain one frame for this direction; drop?"""
+        ge = self.plan.loss
+        if ge is None:
+            return False
+        rng = self.rng
+        bad = self._bad[half_name]
+        if ge.is_bursty:
+            if bad:
+                if rng.random() < ge.p_bad_to_good:
+                    bad = False
+            elif rng.random() < ge.p_good_to_bad:
+                bad = True
+            self._bad[half_name] = bad
+        p = ge.loss_bad if bad else ge.loss_good
+        if p and rng.random() < p:
+            self.drops_loss += 1
+            if self._m_drop_loss is not None:
+                self._m_drop_loss.inc()
+            return True
+        return False
+
+    # -- delay -----------------------------------------------------------
+    def extra_delay(self, now: float) -> float:
+        extra = 0.0
+        for start, end, amount in self.spikes:
+            if start <= now < end:
+                extra += amount
+        if self.plan.jitter_us:
+            extra += self.rng.uniform(0.0, self.plan.jitter_us)
+        return extra
+
+    @property
+    def frames_dropped(self) -> int:
+        return self.drops_loss + self.drops_flap

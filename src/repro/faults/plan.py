@@ -1,0 +1,223 @@
+"""Declarative, seeded WAN fault plans.
+
+A :class:`FaultPlan` describes everything that can go wrong on a link,
+in one immutable value that parses from (and round-trips to) a compact
+spec string — the same string the CLI takes via ``--faults`` and the
+result cache keys on:
+
+``loss=P``
+    Uniform per-frame loss probability (bit-error model).
+``burst=LB/G2B/B2G``
+    Two-state Gilbert–Elliott loss: frames drop with probability ``LB``
+    while the channel is in the *bad* state; the chain moves good→bad
+    with probability ``G2B`` and bad→good with ``B2G`` per frame.
+``jitter=US``
+    Uniform extra per-frame delivery delay in ``[0, US]`` µs
+    (dispersion jitter; never reorders frames).
+``flap@T:D``
+    The link goes dark at ``T`` µs for ``D`` µs.  Queue-drain
+    semantics: frames reaching the head of the transmit queue during
+    the outage are lost without occupying the wire.  Repeatable.
+``spike@T:D:E``
+    ``E`` µs of extra one-way delay during ``[T, T+D)`` (route change /
+    congestion spike).  Repeatable.
+``overrun=BYTES``
+    Caps the Longbow ingress buffer at ``BYTES``; frames arriving on
+    the IB side beyond that are dropped (the credit pool normally hides
+    this — shrinking it models an overdriven WAN extender).
+``seed=N``
+    Master seed for every random decision the plan makes (default 0).
+
+Tokens are comma-separated: ``"burst=0.4/0.05/0.3,flap@20000:5000,seed=7"``.
+With the same seed a plan's behaviour is byte-reproducible across
+repeats and across scheduler worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..sim.rng import RngRegistry
+
+__all__ = ["GilbertElliott", "LinkFlap", "DelaySpike", "FaultPlan"]
+
+
+def _check_prob(name: str, value: float, closed: bool = True) -> float:
+    value = float(value)
+    hi_ok = value <= 1.0 if closed else value < 1.0
+    if not (0.0 <= value and hi_ok):
+        bound = "[0, 1]" if closed else "[0, 1)"
+        raise ValueError(f"{name} must be in {bound}, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state Markov loss model (uniform loss when both states agree)."""
+
+    loss_good: float = 0.0
+    loss_bad: float = 0.0
+    p_good_to_bad: float = 0.0
+    p_bad_to_good: float = 0.0
+
+    def __post_init__(self):
+        _check_prob("loss_good", self.loss_good, closed=False)
+        _check_prob("loss_bad", self.loss_bad, closed=False)
+        _check_prob("p_good_to_bad", self.p_good_to_bad)
+        _check_prob("p_bad_to_good", self.p_bad_to_good)
+
+    @property
+    def is_bursty(self) -> bool:
+        return bool(self.p_good_to_bad or self.p_bad_to_good)
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """The link is down during ``[at_us, at_us + down_us)``."""
+
+    at_us: float
+    down_us: float
+
+    def __post_init__(self):
+        if self.at_us < 0:
+            raise ValueError(f"flap start must be >= 0, got {self.at_us!r}")
+        if self.down_us <= 0:
+            raise ValueError(
+                f"flap duration must be > 0, got {self.down_us!r}")
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """``extra_us`` of one-way delay during ``[at_us, at_us + duration_us)``."""
+
+    at_us: float
+    duration_us: float
+    extra_us: float
+
+    def __post_init__(self):
+        if self.at_us < 0:
+            raise ValueError(f"spike start must be >= 0, got {self.at_us!r}")
+        if self.duration_us <= 0:
+            raise ValueError(
+                f"spike duration must be > 0, got {self.duration_us!r}")
+        if self.extra_us < 0:
+            raise ValueError(
+                f"spike extra delay must be >= 0, got {self.extra_us!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One immutable description of everything injected into a link."""
+
+    loss: Optional[GilbertElliott] = None
+    jitter_us: float = 0.0
+    flaps: Tuple[LinkFlap, ...] = field(default_factory=tuple)
+    spikes: Tuple[DelaySpike, ...] = field(default_factory=tuple)
+    overrun_bytes: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.jitter_us < 0:
+            raise ValueError(f"jitter_us must be >= 0, got {self.jitter_us!r}")
+        if self.overrun_bytes is not None and self.overrun_bytes <= 0:
+            raise ValueError(
+                f"overrun_bytes must be > 0, got {self.overrun_bytes!r}")
+        object.__setattr__(self, "flaps", tuple(
+            sorted(self.flaps, key=lambda f: (f.at_us, f.down_us))))
+        object.__setattr__(self, "spikes", tuple(
+            sorted(self.spikes,
+                   key=lambda s: (s.at_us, s.duration_us, s.extra_us))))
+
+    # -- spec string round trip -----------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from the comma-separated spec grammar above."""
+        loss: Optional[GilbertElliott] = None
+        jitter = 0.0
+        flaps = []
+        spikes = []
+        overrun = None
+        seed = 0
+        for raw in spec.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            try:
+                if token.startswith("loss="):
+                    loss = GilbertElliott(loss_good=float(token[5:]),
+                                          loss_bad=float(token[5:]))
+                elif token.startswith("burst="):
+                    lb, g2b, b2g = (float(p) for p in token[6:].split("/"))
+                    loss = GilbertElliott(loss_good=0.0, loss_bad=lb,
+                                          p_good_to_bad=g2b,
+                                          p_bad_to_good=b2g)
+                elif token.startswith("jitter="):
+                    jitter = float(token[7:])
+                elif token.startswith("flap@"):
+                    at, down = (float(p) for p in token[5:].split(":"))
+                    flaps.append(LinkFlap(at, down))
+                elif token.startswith("spike@"):
+                    at, dur, extra = (float(p) for p in token[6:].split(":"))
+                    spikes.append(DelaySpike(at, dur, extra))
+                elif token.startswith("overrun="):
+                    overrun = int(token[8:])
+                elif token.startswith("seed="):
+                    seed = int(token[5:])
+                else:
+                    raise ValueError(f"unknown fault token {token!r}")
+            except ValueError:
+                raise
+            except Exception as exc:
+                raise ValueError(f"bad fault token {token!r}: {exc}") from exc
+        return cls(loss=loss, jitter_us=jitter, flaps=tuple(flaps),
+                   spikes=tuple(spikes), overrun_bytes=overrun, seed=seed)
+
+    def to_spec(self) -> str:
+        """Canonical spec string; ``parse(to_spec())`` is the identity."""
+        parts = []
+        if self.loss is not None:
+            ge = self.loss
+            if ge.is_bursty:
+                parts.append(f"burst={ge.loss_bad:g}/{ge.p_good_to_bad:g}"
+                             f"/{ge.p_bad_to_good:g}")
+            else:
+                parts.append(f"loss={ge.loss_good:g}")
+        if self.jitter_us:
+            parts.append(f"jitter={self.jitter_us:g}")
+        parts.extend(f"flap@{f.at_us:g}:{f.down_us:g}" for f in self.flaps)
+        parts.extend(f"spike@{s.at_us:g}:{s.duration_us:g}:{s.extra_us:g}"
+                     for s in self.spikes)
+        if self.overrun_bytes is not None:
+            parts.append(f"overrun={self.overrun_bytes}")
+        parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+    # -- application ------------------------------------------------------
+    def apply(self, target, rng=None):
+        """Arm this plan on a :class:`~repro.fabric.link.Link` or on a
+        fabric's WAN segment; returns the :class:`LinkFaultInjector`.
+
+        When ``target`` is a fabric, the plan attaches to the Longbow
+        WAN link, any ``overrun=`` cap shrinks both Longbow ingress
+        buffers, and ``fabric.faults_active`` is set so fault-aware
+        layers (TCP retransmit, NFS RPC timeouts) self-enable.
+        """
+        from ..fabric.link import Link
+        from .injector import LinkFaultInjector
+        if rng is None:
+            rng = RngRegistry(self.seed).stream("faults")
+        if isinstance(target, Link):
+            return LinkFaultInjector(self, target, rng)
+        wan = getattr(target, "wan", None)
+        if wan is None:
+            raise ValueError(
+                "fault plan targets the WAN segment, but this fabric has "
+                "no Longbow pair (use plan.apply(link) for a raw link)")
+        injector = LinkFaultInjector(self, wan.wan_link, rng)
+        if self.overrun_bytes is not None:
+            wan.a.set_ingress_limit(self.overrun_bytes)
+            wan.b.set_ingress_limit(self.overrun_bytes)
+        target.faults_active = True
+        target.fault_injector = injector
+        return injector

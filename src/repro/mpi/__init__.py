@@ -3,11 +3,12 @@
 from . import benchmarks, collectives
 from .collectives import (allgather, allreduce, alltoall, alltoallv, barrier,
                           bcast, gather, reduce, reduce_scatter, scatter)
-from .process import ANY_SOURCE, ANY_TAG, MPIProcess, MPIRequest
+from .process import (ANY_SOURCE, ANY_TAG, MPICommError, MPIProcess,
+                      MPIRequest)
 from .runtime import MPIJob
 from .tuning import DEFAULT_TUNING, MPITuning
 
-__all__ = ["MPIJob", "MPIProcess", "MPIRequest", "MPITuning",
+__all__ = ["MPIJob", "MPIProcess", "MPIRequest", "MPICommError", "MPITuning",
            "DEFAULT_TUNING", "ANY_SOURCE", "ANY_TAG",
            "bcast", "barrier", "allreduce", "reduce", "alltoall",
            "alltoallv", "allgather", "gather", "scatter", "reduce_scatter",

@@ -34,7 +34,17 @@ from ..verbs.ops import RecvWR
 from ..verbs.rc import RCQueuePair, connect_rc_pair
 from .tuning import MPITuning
 
-__all__ = ["MPIProcess", "MPIRequest", "ANY_SOURCE", "ANY_TAG"]
+__all__ = ["MPIProcess", "MPIRequest", "MPICommError", "ANY_SOURCE",
+           "ANY_TAG"]
+
+
+class MPICommError(RuntimeError):
+    """A communication operation failed at the transport layer.
+
+    Raised (via the request's event) when the underlying RC QP reports a
+    fatal completion — e.g. retry-budget exhaustion on a faulty WAN.
+    The failure surfaces at the ``wait()`` call instead of deadlocking
+    the job, so harnesses can catch it and tear down cleanly."""
 
 #: Wildcards for :meth:`MPIProcess.irecv`.
 ANY_SOURCE = None
@@ -260,7 +270,7 @@ class MPIProcess:
             req = self._send_reqs.pop(wc.wr_id, None)
             if req is not None:
                 if not wc.ok:
-                    req.event.fail(RuntimeError(
+                    req.event.fail(MPICommError(
                         f"rank {self.rank}: send failed: {wc.status.value}"))
                 else:
                     req._complete()

@@ -2,10 +2,10 @@
 
 from .client import NFSClient
 from .iozone import TRANSPORTS, mount, run_iozone_read
-from .rpc import (NFS_PORT, RdmaRpcClient, RdmaRpcServer, TcpRpcClient,
-                  TcpRpcServer)
+from .rpc import (NFS_PORT, RdmaRpcClient, RdmaRpcServer, RPCTimeoutError,
+                  TcpRpcClient, TcpRpcServer)
 from .server import FileHandle, NFSServer
 
 __all__ = ["NFSServer", "NFSClient", "FileHandle", "NFS_PORT",
            "TcpRpcServer", "TcpRpcClient", "RdmaRpcServer", "RdmaRpcClient",
-           "mount", "run_iozone_read", "TRANSPORTS"]
+           "RPCTimeoutError", "mount", "run_iozone_read", "TRANSPORTS"]

@@ -26,19 +26,29 @@ TRANSPORTS = ("rdma", "ipoib-rc", "ipoib-ud")
 
 
 def mount(fabric: Fabric, server_node: Node, client_node: Node,
-          transport: str):
+          transport: str, rpc_timeout_us: Optional[float] = None,
+          rpc_max_retries: Optional[int] = None):
     """Set up an NFS export + mount; returns ``(server, client_factory)``.
 
     ``client_factory`` is a generator: ``client = yield from factory()``.
+
+    ``rpc_timeout_us`` arms per-call timeouts with retransmission on the
+    RPC clients.  When it is ``None`` it self-enables (from
+    ``profile.nfs_rpc_timeout_us``) iff the fabric has fault injection
+    armed — clean mounts keep the exact lossless-fabric call path.
     """
     if transport not in TRANSPORTS:
         raise ValueError(f"transport must be one of {TRANSPORTS}")
+    if rpc_timeout_us is None and getattr(fabric, "faults_active", False):
+        rpc_timeout_us = server_node.profile.nfs_rpc_timeout_us
     if transport == "rdma":
         server = NFSServer(server_node, copies_data=False)
         rpc_server = RdmaRpcServer(server_node, server.handle)
 
         def factory():
-            rpc_client = RdmaRpcClient(client_node, rpc_server)
+            rpc_client = RdmaRpcClient(client_node, rpc_server,
+                                       call_timeout_us=rpc_timeout_us,
+                                       max_retries=rpc_max_retries)
             return NFSClient(rpc_client)
             yield  # pragma: no cover - keeps this a generator
 
@@ -52,7 +62,9 @@ def mount(fabric: Fabric, server_node: Node, client_node: Node,
 
     def factory():
         rpc_client = TcpRpcClient(client_stack, server_node.lid,
-                                  port=NFS_PORT)
+                                  port=NFS_PORT,
+                                  call_timeout_us=rpc_timeout_us,
+                                  max_retries=rpc_max_retries)
         yield from rpc_client.connect()
         return NFSClient(rpc_client)
 

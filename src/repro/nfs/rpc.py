@@ -18,6 +18,7 @@ and the server replies.  The crucial difference lives in how READ reply
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..calibration import HardwareProfile
@@ -26,14 +27,54 @@ from ..sim import Simulator, Store
 from ..tcp.socket import Listener, Socket, TcpStack
 from ..verbs.device import VerbsContext
 from ..verbs.ops import RecvWR
-from ..verbs.rc import RCQueuePair, connect_rc_pair
+from ..verbs.qp import QPState
+from ..verbs.rc import RCQueuePair, connect_rc_pair, reconnect_rc_pair
 
 __all__ = ["RPCTransportServer", "RPCTransportClient", "TcpRpcServer",
-           "TcpRpcClient", "RdmaRpcServer", "RdmaRpcClient", "NFS_PORT"]
+           "TcpRpcClient", "RdmaRpcServer", "RdmaRpcClient",
+           "RPCTimeoutError", "NFS_PORT"]
 
 NFS_PORT = 2049
 _HUGE = 1 << 40
 _xids = itertools.count(1)
+
+#: Duplicate-request cache entries kept per connection (the classic
+#: NFS server DRC, bounded like the Linux nfsd hash).
+_DRC_BOUND = 4096
+
+
+class RPCTimeoutError(TimeoutError):
+    """An RPC exhausted its retransmissions without receiving a reply."""
+
+
+class _RetryMixin:
+    """Shared client-side timeout/retransmit plumbing.
+
+    ``call_timeout_us=None`` (the default) disables the machinery
+    entirely — the call path is then byte-identical to the pre-fault
+    implementation, so clean golden traces cannot move.
+    """
+
+    def _init_retry(self, call_timeout_us: Optional[float],
+                    max_retries: Optional[int],
+                    backoff: Optional[float]) -> None:
+        profile: HardwareProfile = self.profile
+        self.call_timeout_us = call_timeout_us
+        self.max_retries = (profile.nfs_rpc_max_retries
+                            if max_retries is None else max_retries)
+        self.backoff = (profile.nfs_rpc_backoff
+                        if backoff is None else backoff)
+        self.rpc_retries = 0
+        self._m_retries = None
+
+    def _count_retry(self) -> None:
+        self.rpc_retries += 1
+        if self._m_retries is None:
+            m = getattr(self.sim, "metrics", None)
+            if m is not None:
+                self._m_retries = m.counter("nfs", "rpc_retries")
+        if self._m_retries is not None:
+            self._m_retries.inc()
 
 
 # ---------------------------------------------------------------------------
@@ -58,23 +99,44 @@ class TcpRpcServer:
             self.sim.process(self._serve(sock), name="nfs.tcp.conn")
 
     def _serve(self, sock: Socket):
+        # Per-connection duplicate-request cache: a retransmitted xid
+        # whose reply was lost is answered from cache (READs are
+        # idempotent, but re-execution would double-count server work);
+        # a duplicate still in progress is dropped.
+        seen: "OrderedDict[int, Any]" = OrderedDict()
         while True:
             _off, msg = yield sock.recv_record()
             xid, proc, args = msg
-            self.sim.process(self._dispatch(sock, xid, proc, args),
+            if xid in seen:
+                cached = seen[xid]
+                if cached is not None:
+                    resp_bytes, result = cached
+                    sock.send(self.profile.nfs_rpc_header + resp_bytes,
+                              record=(xid, result))
+                continue
+            seen[xid] = None
+            while len(seen) > _DRC_BOUND:
+                seen.popitem(last=False)
+            self.sim.process(self._dispatch(sock, xid, proc, args, seen),
                              name="nfs.tcp.rpc")
 
-    def _dispatch(self, sock: Socket, xid: int, proc: str, args: Tuple):
+    def _dispatch(self, sock: Socket, xid: int, proc: str, args: Tuple,
+                  seen: "OrderedDict[int, Any]"):
         resp_bytes, result = yield from self.handler(proc, args)
+        if xid in seen:
+            seen[xid] = (resp_bytes, result)
         sock.send(self.profile.nfs_rpc_header + resp_bytes,
                   record=(xid, result))
 
 
-class TcpRpcClient:
+class TcpRpcClient(_RetryMixin):
     """Stream-transport RPC client (one connection)."""
 
     def __init__(self, stack: TcpStack, server_lid: int,
-                 port: int = NFS_PORT):
+                 port: int = NFS_PORT, *,
+                 call_timeout_us: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 backoff: Optional[float] = None):
         self.stack = stack
         self.sim = stack.sim
         self.profile = stack.profile
@@ -82,6 +144,7 @@ class TcpRpcClient:
         self.port = port
         self.sock: Optional[Socket] = None
         self._waiting: Dict[int, Any] = {}
+        self._init_retry(call_timeout_us, max_retries, backoff)
 
     def connect(self):
         self.sock = yield self.stack.connect(self.server_lid, self.port)
@@ -98,16 +161,37 @@ class TcpRpcClient:
                 evt.succeed(result)
 
     def call(self, proc: str, args: Tuple, req_bytes: int):
-        """Issue one RPC; yields the result object."""
+        """Issue one RPC; yields the result object.
+
+        With ``call_timeout_us`` set the request is retransmitted under
+        the **same xid** with exponential backoff; the server's
+        duplicate-request cache makes retransmissions safe.  Raises
+        :class:`RPCTimeoutError` once retries are exhausted.
+        """
         if self.sock is None:
             raise RuntimeError("call() before connect()")
         xid = next(_xids)
         evt = self.sim.event()
         self._waiting[xid] = evt
-        self.sock.send(self.profile.nfs_rpc_header + req_bytes,
-                       record=(xid, proc, args))
-        result = yield evt
-        return result
+        wire_bytes = self.profile.nfs_rpc_header + req_bytes
+        if self.call_timeout_us is None:
+            self.sock.send(wire_bytes, record=(xid, proc, args))
+            result = yield evt
+            return result
+        timeout_us = self.call_timeout_us
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self._count_retry()
+            self.sock.send(wire_bytes, record=(xid, proc, args))
+            timer = self.sim.timeout(timeout_us)
+            yield self.sim.any_of([evt, timer])
+            if evt.triggered:
+                return evt.value
+            timeout_us *= self.backoff
+        self._waiting.pop(xid, None)
+        raise RPCTimeoutError(
+            f"RPC {proc} xid={xid} timed out after "
+            f"{self.max_retries + 1} attempts")
 
 
 # ---------------------------------------------------------------------------
@@ -150,60 +234,133 @@ class RdmaRpcServer:
         return client_qp
 
     def _serve(self, qp: RCQueuePair):
+        # Duplicate-request cache, as in the TCP transport: cached
+        # replies are replayed (including the RDMA data push — the
+        # client's sink buffer is simply rewritten), in-progress
+        # duplicates are dropped.
+        seen: "OrderedDict[int, Any]" = OrderedDict()
         while True:
             wc = yield qp.recv_cq.wait()
-            qp.post_recv(RecvWR(_HUGE))
+            if qp.state is not QPState.ERROR:
+                qp.post_recv(RecvWR(_HUGE))
             xid, proc, args = wc.payload
-            self.sim.process(self._dispatch(qp, xid, proc, args),
+            if xid in seen:
+                cached = seen[xid]
+                if cached is not None:
+                    resp_bytes, result = cached
+                    self.sim.process(
+                        self._push_reply(qp, xid, resp_bytes, result),
+                        name="nfs.rdma.replay")
+                continue
+            seen[xid] = None
+            while len(seen) > _DRC_BOUND:
+                seen.popitem(last=False)
+            self.sim.process(self._dispatch(qp, xid, proc, args, seen),
                              name="nfs.rdma.rpc")
 
-    def _dispatch(self, qp: RCQueuePair, xid: int, proc: str, args: Tuple):
+    def _dispatch(self, qp: RCQueuePair, xid: int, proc: str, args: Tuple,
+                  seen: "OrderedDict[int, Any]"):
         resp_bytes, result = yield from self.handler(proc, args)
+        if xid in seen:
+            seen[xid] = (resp_bytes, result)
+        yield from self._push_reply(qp, xid, resp_bytes, result)
+
+    def _push_reply(self, qp: RCQueuePair, xid: int, proc_resp_bytes: int,
+                    result: Any):
+        """RDMA-write the data chunks, then send the RPC reply.
+
+        Bails out if the QP left RTS (connection torn down mid-reply);
+        the client's retransmission will trigger a cached replay once
+        the connection is re-established.
+        """
         chunk = self.profile.nfs_rdma_chunk
-        remaining = resp_bytes
+        remaining = proc_resp_bytes
         while remaining > 0:
             n = min(chunk, remaining)
             # Per-chunk server work: fragmentation, MR lookup, WQE build.
             with self.data_cpu.request() as req:
                 yield req
                 yield self.sim.timeout(self.profile.nfs_rdma_chunk_cpu_us)
+            if qp.state is not QPState.RTS:
+                return
             qp.rdma_write(n)
             remaining -= n
-        qp.send(self.profile.nfs_rpc_header, payload=(xid, result))
+        if qp.state is QPState.RTS:
+            qp.send(self.profile.nfs_rpc_header, payload=(xid, result))
 
 
-class RdmaRpcClient:
+class RdmaRpcClient(_RetryMixin):
     """RDMA-transport RPC client (single connection, shared by threads —
     the paper's single-connection multi-threaded IOzone setup)."""
 
-    def __init__(self, node: Node, server: RdmaRpcServer):
+    def __init__(self, node: Node, server: RdmaRpcServer, *,
+                 call_timeout_us: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 backoff: Optional[float] = None):
         self.node = node
         self.sim = node.sim
         self.profile = node.profile
         self.ctx = VerbsContext(node)
         self.qp = server.accept_connection(self.ctx)
+        # Keep the server-side QP so the client (the RDMA-CM analogue)
+        # can drive a reconnect after an RC error.
+        self._server_qp = server._conns[self.qp.remote_qpn]
         for _ in range(4096):
             self.qp.post_recv(RecvWR(_HUGE))
         self._waiting: Dict[int, Any] = {}
+        self.reconnects = 0
+        self._m_reconnects = None
+        self._init_retry(call_timeout_us, max_retries, backoff)
         self.sim.process(self._reply_loop(), name="nfs.rdma.replies")
 
     def _reply_loop(self):
         while True:
             wc = yield self.qp.recv_cq.wait()
-            self.qp.post_recv(RecvWR(_HUGE))
+            if self.qp.state is not QPState.ERROR:
+                self.qp.post_recv(RecvWR(_HUGE))
             xid, result = wc.payload
             evt = self._waiting.pop(xid, None)
             if evt is not None:
                 evt.succeed(result)
 
+    def _ensure_connected(self) -> None:
+        """Re-establish the RC connection if either side hit an error."""
+        if (self.qp.state is QPState.RTS
+                and self._server_qp.state is QPState.RTS):
+            return
+        reconnect_rc_pair(self.qp, self._server_qp)
+        self.reconnects += 1
+        if self._m_reconnects is None:
+            m = getattr(self.sim, "metrics", None)
+            if m is not None:
+                self._m_reconnects = m.counter("nfs", "reconnects")
+        if self._m_reconnects is not None:
+            self._m_reconnects.inc()
+
     def call(self, proc: str, args: Tuple, req_bytes: int):
         xid = next(_xids)
         evt = self.sim.event()
         self._waiting[xid] = evt
-        self.qp.send(self.profile.nfs_rpc_header + req_bytes,
-                     payload=(xid, proc, args))
-        result = yield evt
-        return result
+        wire_bytes = self.profile.nfs_rpc_header + req_bytes
+        if self.call_timeout_us is None:
+            self.qp.send(wire_bytes, payload=(xid, proc, args))
+            result = yield evt
+            return result
+        timeout_us = self.call_timeout_us
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self._count_retry()
+            self._ensure_connected()
+            self.qp.send(wire_bytes, payload=(xid, proc, args))
+            timer = self.sim.timeout(timeout_us)
+            yield self.sim.any_of([evt, timer])
+            if evt.triggered:
+                return evt.value
+            timeout_us *= self.backoff
+        self._waiting.pop(xid, None)
+        raise RPCTimeoutError(
+            f"RPC {proc} xid={xid} timed out after "
+            f"{self.max_retries + 1} attempts")
 
 
 # typing aliases for the public API

@@ -39,11 +39,19 @@ __all__ = ["TcpStack", "Listener", "Socket"]
 class TcpStack:
     """Per-node TCP/IP stack bound to one IPoIB interface."""
 
-    def __init__(self, iface: "IPoIBInterface"):
+    def __init__(self, iface: "IPoIBInterface",
+                 retransmit: Optional[bool] = None):
         self.iface = iface
         self.sim: Simulator = iface.sim
         self.profile: HardwareProfile = iface.profile
         self.mss = iface.mtu - self.profile.tcp_header_bytes
+        if retransmit is None:
+            # Self-enable recovery when the fabric has armed faults; the
+            # clean fabric never drops, so sockets skip the RTO
+            # machinery entirely there (no extra processes or events).
+            fabric = getattr(iface.network, "fabric", None)
+            retransmit = bool(getattr(fabric, "faults_active", False))
+        self.retransmit = retransmit
         #: One protocol-processing core, shared by every connection on
         #: this host (2008-era single-queue NIC + softirq model).
         self.cpu = Resource(self.sim, capacity=1)
@@ -80,6 +88,21 @@ class TcpStack:
         self._socks[(dst_lid, dst_port, local_port)] = sock
         syn = Segment(SYN, local_port, dst_port, rwnd=sock.rwnd)
         self._tx_control(dst_lid, syn)
+        if self.retransmit:
+            # A lost SYN/SYN-ACK would otherwise hang the connection
+            # forever; retransmit with backoff, like data, but bounded
+            # (classic SYN retry budget) so a dead peer surfaces as an
+            # error instead of an endless timer loop.
+            timeout_us = self.profile.tcp_rto_us
+            for _ in range(8):
+                timer = self.sim.timeout(timeout_us)
+                yield self.sim.any_of([sock._established, timer])
+                if sock._established.triggered:
+                    return sock
+                timeout_us = min(timeout_us * 2, self.profile.tcp_max_rto_us)
+                self._tx_control(dst_lid, syn)
+            raise ConnectionError(
+                f"connect to lid {dst_lid} port {dst_port} timed out")
         yield sock._established
         return sock
 
@@ -108,6 +131,13 @@ class TcpStack:
             listener = self._listeners.get(seg.dst_port)
             if listener is None:
                 return  # connection refused: SYN silently dropped here
+            existing = self._socks.get((src_lid, seg.src_port, seg.dst_port))
+            if existing is not None:
+                # Duplicate SYN: our SYN-ACK was lost.  Re-acknowledge;
+                # the connection is already established and backlogged.
+                self._tx_control(src_lid, Segment(
+                    SYNACK, seg.dst_port, seg.src_port, rwnd=existing.rwnd))
+                return
             sock = Socket(self, src_lid, seg.src_port, seg.dst_port,
                           listener.window)
             sock.peer_rwnd = seg.rwnd
@@ -175,6 +205,10 @@ class Socket:
         self._closed = False
         self.segments_sent = 0
         self.bytes_acked_in = 0
+        # loss recovery (active only on fault-injected fabrics)
+        self.retransmit = stack.retransmit
+        self.retransmits = 0
+        self._m_retx = None
         m = getattr(self.sim, "metrics", None)
         if m is not None:
             self.cc.cwnd_hist = m.histogram("tcp", "cwnd_bytes")
@@ -184,6 +218,13 @@ class Socket:
         else:
             self._m_segments = self._m_acked = self._m_wl_us = None
         self.sim.process(self._tx_pump(), name=f"sock:{local_port}")
+        if self.retransmit:
+            self._rto_us = self.profile.tcp_rto_us
+            self._last_progress_at = 0.0
+            self._dupacks = 0
+            self._rto_kick: Store = Store(self.sim)
+            self.sim.process(self._rto_pump(),
+                             name=f"sock:{local_port}.rto")
 
     # -- application interface ----------------------------------------------
     def send(self, nbytes: int, record: Any = None) -> None:
@@ -260,19 +301,27 @@ class Socket:
                 yield req
                 yield self.sim.timeout(profile.tcp_segment_fixed_us
                                        + seg_len * profile.tcp_per_byte_us)
-            end = self.snd_next + seg_len
-            records = []
-            while self._records_out and self._records_out[0][0] <= end:
-                records.append(self._records_out.popleft())
+            # Re-read snd_next after the CPU yield: a retransmission
+            # timeout may have rewound it to snd_una meanwhile.
+            seq = self.snd_next
+            end = seq + seg_len
+            # Records stay queued until cumulatively ACKed (popped in
+            # _on_segment), so a retransmitted range re-carries them.
+            records = [r for r in self._records_out if seq < r[0] <= end]
             seg = Segment(DATA, self.local_port, self.peer_port,
-                          seq=self.snd_next, ack=self.rcv_next,
+                          seq=seq, ack=self.rcv_next,
                           length=seg_len, rwnd=self.rwnd, records=records)
             self.stack.iface.send(
                 self.peer_lid, seg_len + profile.tcp_header_bytes, seg)
+            was_idle = seq == self.snd_una
             self.snd_next = end
             self.segments_sent += 1
             if self._m_segments is not None:
                 self._m_segments.inc()
+            if self.retransmit and was_idle:
+                # First unacked byte of a burst (re)starts the RTO clock.
+                self._last_progress_at = self.sim.now
+                self._rto_kick.put(None)
 
     # -- receiver / ACK processing ------------------------------------------
     def _on_segment(self, seg: Segment) -> None:
@@ -289,20 +338,51 @@ class Socket:
         if seg.ack > self.snd_una:
             newly = seg.ack - self.snd_una
             self.snd_una = seg.ack
+            while self._records_out and self._records_out[0][0] <= self.snd_una:
+                self._records_out.popleft()
             self.bytes_acked_in += newly
             if self._m_acked is not None:
                 self._m_acked.inc(newly)
             self.cc.on_ack(newly)
+            if self.retransmit:
+                self._dupacks = 0
+                self._last_progress_at = self.sim.now
+                self._rto_us = self.profile.tcp_rto_us
+                # snd_next can sit below snd_una after an RTO rewind
+                # raced a late ACK; never send already-acked bytes.
+                if self.snd_next < self.snd_una:
+                    self.snd_next = self.snd_una
             self._kick()
+        elif (self.retransmit and seg.kind == ACK
+              and seg.ack == self.snd_una and self.inflight > 0):
+            self._dupacks += 1
+            if self._dupacks >= self.profile.tcp_dupack_threshold:
+                self._dupacks = 0
+                self._retransmit()
         if seg.rwnd:
             self.peer_rwnd = seg.rwnd
         if seg.kind != DATA:
             return
-        # Lossless in-order fabric: seq always matches rcv_next.
-        assert seg.seq == self.rcv_next, "TCP reordering cannot happen here"
-        self.rcv_next += seg.length
-        for offset, obj in seg.records:
-            self._recv_records.put((offset, obj))
+        if self.retransmit:
+            end = seg.seq + seg.length
+            if end <= self.rcv_next or seg.seq > self.rcv_next:
+                # Duplicate (lost ACK / spurious RTO) or a gap after a
+                # drop: immediately re-ACK rcv_next so the sender sees
+                # dup-ACKs and fast-retransmits.
+                self._send_ack()
+                return
+            # Partial overlap: deliver only the new tail.
+            for offset, obj in seg.records:
+                if offset > self.rcv_next:
+                    self._recv_records.put((offset, obj))
+            self.rcv_next = end
+        else:
+            # Lossless in-order fabric: seq always matches rcv_next.
+            assert seg.seq == self.rcv_next, \
+                "TCP reordering cannot happen here"
+            self.rcv_next += seg.length
+            for offset, obj in seg.records:
+                self._recv_records.put((offset, obj))
         if self._rcv_watchers:
             still = []
             for target, evt in self._rcv_watchers:
@@ -317,6 +397,37 @@ class Socket:
         if (self._unacked_segs >= self.profile.tcp_ack_every
                 or self.stack.rx_backlog == 0):
             self._send_ack()
+
+    # -- loss recovery (fault-injected fabrics only) ----------------------
+    def _rto_pump(self):
+        """Retransmission timer: fires when no ACK progress for one RTO."""
+        while not self._closed:
+            if self.inflight <= 0:
+                # Idle: sleep until _tx_pump sends the first unacked byte.
+                yield self._rto_kick.get()
+                continue
+            deadline = self._last_progress_at + self._rto_us
+            if deadline > self.sim.now:
+                yield self.sim.timeout(deadline - self.sim.now)
+                continue
+            self._rto_us = min(self._rto_us * 2,
+                               self.profile.tcp_max_rto_us)
+            self._retransmit()
+
+    def _retransmit(self) -> None:
+        """Go-back-N: rewind snd_next to the first unacked byte."""
+        self.retransmits += 1
+        if self._m_retx is None:
+            m = getattr(self.sim, "metrics", None)
+            if m is not None:
+                self._m_retx = m.counter("tcp", "retransmits")
+        if self._m_retx is not None:
+            self._m_retx.inc()
+        self.cc.on_loss()
+        self._dupacks = 0
+        self.snd_next = self.snd_una
+        self._last_progress_at = self.sim.now
+        self._kick()
 
     def _send_ack(self) -> None:
         self._unacked_segs = 0

@@ -6,7 +6,7 @@ from .device import VerbsContext, create_connected_rc_pair, create_ud_pair
 from .ops import (AtomicWR, Opcode, RDMAReadWR, RDMAWriteWR, RecvWR, SendWR,
                   WCStatus, WorkCompletion, WorkRequest)
 from .qp import QPState, QueuePair
-from .rc import RCQueuePair, connect_rc_pair
+from .rc import RCQueuePair, connect_rc_pair, reconnect_rc_pair
 from .srq import SharedReceiveQueue
 from .ud import UDQueuePair
 
@@ -17,5 +17,5 @@ __all__ = [
     "RDMAWriteWR", "RDMAReadWR", "AtomicWR", "WorkCompletion",
     "QPState", "QueuePair", "RCQueuePair", "UDQueuePair",
     "SharedReceiveQueue",
-    "connect_rc_pair", "perftest",
+    "connect_rc_pair", "reconnect_rc_pair", "perftest",
 ]

@@ -33,7 +33,7 @@ from .ops import (AtomicWR, Opcode, RDMAReadWR, RDMAWriteWR, RecvWR, SendWR,
                   WCStatus, WorkCompletion, WorkRequest)
 from .qp import QPState, QueuePair
 
-__all__ = ["RCQueuePair", "connect_rc_pair"]
+__all__ = ["RCQueuePair", "connect_rc_pair", "reconnect_rc_pair"]
 
 DATA = "rc_data"
 WRITE = "rc_write"
@@ -71,6 +71,13 @@ class RCQueuePair(QueuePair):
         self.bytes_sent = 0
         self.messages_sent = 0
         self._inflight_bytes = 0
+        # error/recovery state: the event fires when the QP enters the
+        # error state (creating an unscheduled event is free, so the
+        # clean path pays nothing for it).
+        self.error_event = sim.event()
+        self.reconnects = 0
+        self._error_at: Optional[float] = None
+        self._timer_alive = True
         m = getattr(sim, "metrics", None)
         if m is not None:
             self._m_stall_events = m.counter("rc", "window_stall_events")
@@ -95,6 +102,47 @@ class RCQueuePair(QueuePair):
         self.remote_lid = remote_lid
         self.remote_qpn = remote_qpn
         self.state = QPState.RTS
+        if not self._timer_alive:
+            # The retransmit timer exited when the QP entered the error
+            # state; a reconnect needs a fresh one.
+            self._timer_alive = True
+            self.sim.process(self._retransmit_timer(),
+                             name=f"rcqp{self.qpn}.rtx")
+        if self._error_at is not None:
+            self.reconnects += 1
+            m = getattr(self.sim, "metrics", None)
+            if m is not None:
+                m.histogram("rc", "recovery_us").observe(
+                    self.sim.now - self._error_at)
+            self._error_at = None
+
+    def reset(self) -> None:
+        """``ibv_modify_qp(..., IBV_QPS_RESET)`` analogue.
+
+        Flushes anything still queued, clears all transport state (PSNs,
+        unacked messages, RNR backlog) and returns the QP to ``INIT`` so
+        :meth:`connect` can re-establish it after an error.
+        """
+        for entry in self._unacked.values():
+            self.send_cq.push(WorkCompletion(
+                entry.wr.wr_id, entry.wr.opcode, WCStatus.WR_FLUSH_ERR,
+                entry.wr.size, self.qpn, self.sim.now))
+        self._unacked.clear()
+        self._inflight_bytes = 0
+        self._next_psn = 0
+        self._max_acked = -1
+        self._expected_psn = 0
+        self._rnr_backlog.clear()
+        self.remote_lid = None
+        self.remote_qpn = None
+        self.state = QPState.INIT
+        if self.error_event.triggered:
+            self.error_event = self.sim.event()  # re-arm for the next error
+        if self._m_inflight_msgs is not None:
+            self._m_inflight_msgs.set(0)
+            self._m_inflight_bytes.set(0)
+        if not self._window_free.triggered:
+            self._window_free.succeed()
 
     # -- posting ------------------------------------------------------------
     def post_send(self, wr: WorkRequest) -> None:
@@ -142,7 +190,7 @@ class RCQueuePair(QueuePair):
         profile = self.profile
         while True:
             wr: WorkRequest = yield self._send_backlog.get()
-            if self.state is QPState.ERROR:
+            if self.state is not QPState.RTS:
                 self._flush(wr)
                 continue
             stalled_at = None
@@ -153,11 +201,11 @@ class RCQueuePair(QueuePair):
                 if self._window_free.processed or self._window_free.triggered:
                     self._window_free = self.sim.event()
                 yield self._window_free
-                if self.state is QPState.ERROR:
+                if self.state is not QPState.RTS:
                     break
             if stalled_at is not None:
                 self._m_stall_us.inc(self.sim.now - stalled_at)
-            if self.state is QPState.ERROR:
+            if self.state is not QPState.RTS:
                 self._flush(wr)
                 continue
             yield self.sim.timeout(profile.hca_send_overhead_us)
@@ -354,6 +402,7 @@ class RCQueuePair(QueuePair):
             if deadline > self.sim.now:
                 yield self.sim.timeout(deadline - self.sim.now)
             if self.state is QPState.ERROR:
+                self._timer_alive = False
                 return
             if not self._unacked:
                 continue
@@ -363,6 +412,7 @@ class RCQueuePair(QueuePair):
             entry.retries += 1
             if entry.retries > self.profile.rc_retry_count:
                 self._enter_error()
+                self._timer_alive = False
                 return
             # Go-back-N: resend every unacked message in order.
             self.retransmissions += len(self._unacked)
@@ -374,6 +424,13 @@ class RCQueuePair(QueuePair):
 
     def _enter_error(self) -> None:
         self.state = QPState.ERROR
+        self._error_at = self.sim.now
+        m = getattr(self.sim, "metrics", None)
+        if m is not None:
+            # Registered lazily: only errored runs grow this series.
+            m.counter("rc", "qp_errors").inc()
+        if not self.error_event.triggered:
+            self.error_event.succeed(self.sim.now)
         for entry in self._unacked.values():
             self.send_cq.push(WorkCompletion(
                 entry.wr.wr_id, entry.wr.opcode, WCStatus.RETRY_EXC_ERR,
@@ -410,3 +467,15 @@ def connect_rc_pair(qp_a: RCQueuePair, qp_b: RCQueuePair) -> None:
     """Out-of-band connection setup (what real apps do over sockets)."""
     qp_a.connect(qp_b.hca.lid, qp_b.qpn)
     qp_b.connect(qp_a.hca.lid, qp_a.qpn)
+
+
+def reconnect_rc_pair(qp_a: RCQueuePair, qp_b: RCQueuePair) -> None:
+    """Tear down and re-establish a connected pair after a QP error.
+
+    Both QPs are reset (flushing anything still queued) and reconnected
+    in one step, so neither side ever observes a half-connected peer.
+    Posted receive buffers survive, as on real hardware.
+    """
+    qp_a.reset()
+    qp_b.reset()
+    connect_rc_pair(qp_a, qp_b)

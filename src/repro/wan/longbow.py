@@ -47,6 +47,13 @@ class Longbow:
         self._credit_waiters: List = []
         self._to_wan: Store = Store(sim)
         self.frames_forwarded = 0
+        #: Fault injection: cap on bytes queued toward the WAN port.
+        #: ``None`` (the default) models the deep production buffer;
+        #: see :meth:`set_ingress_limit`.
+        self.ingress_limit_bytes: Optional[int] = None
+        self._ingress_bytes = 0
+        self.frames_dropped_overrun = 0
+        self._m_overrun = None
         sim.process(self._wan_pump(), name=f"{name}.pump")
 
     # -- wiring ----------------------------------------------------------
@@ -57,6 +64,22 @@ class Longbow:
         self.wan_link = link
         self.peer = peer
 
+    def set_ingress_limit(self, limit_bytes: int) -> None:
+        """Shrink the IB→WAN ingress buffer (fault injection).
+
+        Frames arriving on the IB port while ``limit_bytes`` are already
+        queued are dropped — a buffer overrun on an overdriven extender.
+        The metric series registers here, never at construction, so
+        clean runs stay byte-identical.
+        """
+        if limit_bytes <= 0:
+            raise ValueError("ingress limit must be > 0 bytes")
+        self.ingress_limit_bytes = limit_bytes
+        m = getattr(self.sim, "metrics", None)
+        if m is not None and self._m_overrun is None:
+            self._m_overrun = m.counter("faults", "frames_dropped",
+                                        longbow=self.name, cause="overrun")
+
     # -- forwarding ---------------------------------------------------------
     def receive_frame(self, frame: Frame, link: Link) -> None:
         if link is self.wan_link:
@@ -66,6 +89,14 @@ class Longbow:
             self.frames_forwarded += 1
             self._forward_after(frame, self.ib_link)
         elif link is self.ib_link:
+            if self.ingress_limit_bytes is not None:
+                if (self._ingress_bytes + frame.wire_bytes
+                        > self.ingress_limit_bytes):
+                    self.frames_dropped_overrun += 1
+                    if self._m_overrun is not None:
+                        self._m_overrun.inc()
+                    return
+                self._ingress_bytes += frame.wire_bytes
             self._to_wan.put(frame)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"{self.name}: frame from unknown link")
@@ -74,6 +105,8 @@ class Longbow:
         pool = self.profile.longbow_buffer_bytes
         while True:
             frame: Frame = yield self._to_wan.get()
+            if self.ingress_limit_bytes is not None:
+                self._ingress_bytes -= frame.wire_bytes
             # A frame larger than the whole pool streams through once the
             # buffer is fully drained (packet-granular hardware never
             # deadlocks on one big message).

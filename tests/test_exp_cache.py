@@ -14,6 +14,7 @@ import repro
 from repro.core.registry import ExperimentResult
 from repro.exp import ResultCache, run_experiments, source_digest
 from repro.exp import cache as cache_mod
+from repro.faults.context import activated
 
 
 @pytest.fixture
@@ -67,6 +68,13 @@ def test_truncated_entry_is_discarded(cache, warm):
     assert cache.load("table1", True) is None
 
 
+def test_empty_entry_is_discarded(cache, warm):
+    path = cache.path("table1", True)
+    path.write_text("")
+    assert cache.load("table1", True) is None
+    assert not path.exists()
+
+
 def test_wrong_experiment_in_entry_is_discarded(cache, warm):
     path = cache.path("table1", True)
     impostor = ExperimentResult("fig03", "t", ["c"], [(1,)], "")
@@ -100,3 +108,21 @@ def test_key_payload_is_stable(cache):
     """Same ingredients, same key — the key is a pure function."""
     assert cache.key("table1", True) == cache.key("table1", True)
     assert json.loads(ExperimentResult("x", "t", ["c"], [(1,)]).to_json())
+
+
+def test_active_fault_spec_changes_key(cache):
+    """An active --faults spec is part of the key; clearing it restores
+    the exact clean key, so historical entries survive fault runs."""
+    clean = cache.key("table1", True)
+    with activated("loss=0.1,seed=1"):
+        faulted = cache.key("table1", True)
+        assert faulted != clean
+        with activated("loss=0.2,seed=1"):
+            assert cache.key("table1", True) != faulted
+    assert cache.key("table1", True) == clean
+
+
+def test_clean_entry_not_served_under_fault_spec(cache, warm):
+    with activated("loss=0.1,seed=1"):
+        assert cache.load("table1", True) is None
+    assert cache.load("table1", True) is not None
