@@ -14,10 +14,15 @@ from typing import Optional, Protocol
 
 import itertools
 
-from ..sim import PriorityStore, Simulator
+from ..sim import PriorityStore, ReusableTimeout, Simulator, URGENT
 from .packet import Frame
 
 __all__ = ["Link", "LinkEndpoint", "CUT_THROUGH_BYTES"]
+
+#: Kill switch for the pump's direct-continue inner loop, flipped only
+#: by :func:`repro.sim._legacy.legacy_dispatch` so benchmarks and the
+#: equivalence tests can measure the pre-fast-path behaviour.
+_FAST_PUMP = True
 
 #: Bytes a cut-through device latches before forwarding (one IB MTU
 #: packet + headers).  Endpoints with a truthy ``cut_through`` attribute
@@ -77,15 +82,110 @@ class _HalfLink:
         else:
             self._m_bytes = self._m_frames = None
             self._m_busy_us = self._m_qdelay = None
-        sim.process(self._pump(), name=f"link:{name}")
+        #: Mode selection, fixed at construction: with no metrics
+        #: registry attached the pump runs as a callback state machine
+        #: (:meth:`_next_frame` / :meth:`_on_entry` / :meth:`_finish`)
+        #: that produces the exact event trajectory of the generator —
+        #: one URGENT kick-off pop, one StoreGet pop and one
+        #: serialization pop per frame, at identical ``(time, priority,
+        #: seq)`` keys — without any generator resumes.  With metrics
+        #: the generator runs so queue-depth gauges, per-process resume
+        #: counters and queue-delay histograms keep their exact
+        #: historical trajectories.
+        self._fast = _FAST_PUMP and m is None
+        self._ser_wait = ReusableTimeout(sim)
+        if self._fast:
+            # Same heap key as Process.__init__'s kick-off event.
+            sim.call_at(0.0, self._next_frame, priority=URGENT,
+                        cancellable=False)
+        else:
+            sim.process(self._pump(), name=f"link:{name}")
 
     def put(self, frame: Frame) -> None:
         self.queue.put((frame.priority, next(self._seq), frame,
                         self.sim.now))
 
-    def _pump(self):
+    # -- callback-mode pump (no metrics) --------------------------------
+    # Mirrors _pump() below step for step; every rng draw, counter
+    # update and scheduling call happens at the same simulated instant
+    # and consumes the same heap seq as the generator would, so fault
+    # trajectories and event counts stay byte-identical either way.
+
+    def _next_frame(self) -> None:
+        queue = self.queue
+        on_entry = self._on_entry
         while True:
-            _prio, _seq, frame, enqueued_at = yield self.queue.get()
+            get = queue.get()
+            if not get.triggered:
+                get.callbacks.append(self._on_get)
+                return
+            if on_entry(get._value):
+                return
+            # Instant drop (link flap): take the next frame now, same
+            # as the generator's ``continue`` — iterative, so a deep
+            # queue drained during a flap cannot blow the stack.
+
+    def _on_get(self, event) -> None:
+        if not self._on_entry(event._value):
+            self._next_frame()
+
+    def _on_entry(self, entry) -> bool:
+        """Start serializing one dequeued frame.  Returns False only on
+        the instant-drop path (caller pulls the next frame)."""
+        _prio, _seq, frame, _enqueued_at = entry
+        faults = self.faults
+        if faults is not None and faults.is_down(self.sim.now):
+            self.frames_dropped += 1
+            faults.count_flap_drop()
+            return False
+        ser = frame.wire_bytes / self.rate
+        if self.loss_rate and self.rng is not None \
+                and self.rng.random() < self.loss_rate:
+            self.sim.call_at(ser, self._drop_after_busy, cancellable=False)
+            return True
+        if faults is not None and faults.should_drop(self.name):
+            self.sim.call_at(ser, self._drop_after_busy, cancellable=False)
+            return True
+        if self.jitter_us and self.rng is not None:
+            extra = self.rng.uniform(0.0, self.jitter_us)
+        else:
+            extra = 0.0
+        if faults is not None:
+            extra += faults.extra_delay(self.sim.now)
+        if getattr(self.endpoint, "cut_through", False):
+            handoff = min(ser, CUT_THROUGH_BYTES / self.rate)
+            self._schedule_delivery(frame, handoff + self.delay_us + extra)
+            self.sim.call_at(ser, self._finish, (frame, None),
+                             cancellable=False)
+        else:
+            self.sim.call_at(ser, self._finish, (frame, extra),
+                             cancellable=False)
+        return True
+
+    def _drop_after_busy(self) -> None:
+        # The wire was busy for the frame's full serialization; the
+        # frame itself is lost.
+        self.frames_dropped += 1
+        self._next_frame()
+
+    def _finish(self, pair) -> None:
+        frame, extra = pair
+        if extra is not None:
+            # Store-and-forward: delivery starts after the last byte,
+            # reading delay_us *now* (set_delay applies to frames whose
+            # serialization ends after the change).
+            self._schedule_delivery(frame, self.delay_us + extra)
+        self.bytes_carried += frame.wire_bytes
+        self.frames_carried += 1
+        self._next_frame()
+
+    # -- generator-mode pump (metrics / legacy dispatch) ----------------
+    def _pump(self):
+        queue = self.queue
+        ser_wait = self._ser_wait
+        while True:
+            entry = yield queue.get()
+            _prio, _seq, frame, enqueued_at = entry
             faults = self.faults
             if faults is not None and faults.is_down(self.sim.now):
                 # Link flap, queue-drain semantics: the laser is off, so
@@ -99,11 +199,11 @@ class _HalfLink:
                 self._m_busy_us.inc(ser)
             if self.loss_rate and self.rng is not None \
                     and self.rng.random() < self.loss_rate:
-                yield self.sim.timeout(ser)  # the wire was still busy
+                yield ser_wait.arm(ser)  # the wire was still busy
                 self.frames_dropped += 1
                 continue
             if faults is not None and faults.should_drop(self.name):
-                yield self.sim.timeout(ser)  # the wire was still busy
+                yield ser_wait.arm(ser)  # the wire was still busy
                 self.frames_dropped += 1
                 continue
             if self.jitter_us and self.rng is not None:
@@ -119,9 +219,9 @@ class _HalfLink:
                 handoff = min(ser, CUT_THROUGH_BYTES / self.rate)
                 self._schedule_delivery(frame, handoff + self.delay_us
                                         + extra)
-                yield self.sim.timeout(ser)
+                yield ser_wait.arm(ser)
             else:
-                yield self.sim.timeout(ser)
+                yield ser_wait.arm(ser)
                 self._schedule_delivery(frame, self.delay_us + extra)
             self.bytes_carried += frame.wire_bytes
             self.frames_carried += 1
@@ -131,18 +231,17 @@ class _HalfLink:
 
     def _schedule_delivery(self, frame: Frame, delay: float) -> None:
         # Jitter must never reorder frames (RC assumes FIFO wires):
-        # delivery times are clamped to be non-decreasing.
+        # delivery times are clamped to be non-decreasing.  Delivery is
+        # a bare scheduled callback — the hottest per-frame allocation
+        # the old Event + closure pair used to pay for.
         at = max(self.sim.now + delay, self._min_next_delivery)
         self._min_next_delivery = at
-        deliver = self.sim.event()
-        deliver.callbacks.append(self._make_delivery(frame))
-        deliver.succeed(None, delay=at - self.sim.now)
+        self.sim.call_at(at - self.sim.now, self._deliver, frame,
+                         cancellable=False)
 
-    def _make_delivery(self, frame: Frame):
-        def _deliver(_event):
-            frame.hops += 1
-            self.endpoint.receive_frame(frame, self.parent)
-        return _deliver
+    def _deliver(self, frame: Frame) -> None:
+        frame.hops += 1
+        self.endpoint.receive_frame(frame, self.parent)
 
     @property
     def queued_frames(self) -> int:
@@ -191,7 +290,23 @@ class Link:
         raise ValueError(f"{endpoint!r} is not attached to {self.name}")
 
     def set_delay(self, delay_us: float) -> None:
-        """Change the propagation delay (the Longbow web-UI knob)."""
+        """Change the propagation delay (the Longbow web-UI knob).
+
+        In-flight behaviour, pinned by
+        ``tests/test_kernel_fastpath.py::test_set_delay_spares_frames_already_past_serialization``:
+
+        * A frame whose delivery is already scheduled keeps the delay it
+          was scheduled with — the change cannot recall bits on the wire.
+        * Cut-through frames read ``delay_us`` when serialization
+          *starts*; store-and-forward frames read it when serialization
+          *ends*.  A frame mid-serialization at the time of the call
+          therefore picks up the new value only in store-and-forward
+          mode.
+        * The wire stays FIFO regardless: each direction clamps delivery
+          times to be non-decreasing, so *lowering* the delay never lets
+          a later frame overtake one still in flight — it arrives
+          immediately after instead.
+        """
         if delay_us < 0:
             raise ValueError("propagation delay must be >= 0")
         self.delay_us = delay_us

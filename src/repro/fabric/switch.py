@@ -48,6 +48,9 @@ class Switch:
                 f"{self.name}: no route for LID {frame.dst_lid} "
                 f"(frame {frame!r})") from None
         self.frames_forwarded += 1
-        done = self.sim.event()
-        done.callbacks.append(lambda _e: egress.send(self, frame))
-        done.succeed(None, delay=self.latency_us)
+        self.sim.call_at(self.latency_us, self._forward, (egress, frame),
+                         cancellable=False)
+
+    def _forward(self, pair) -> None:
+        egress, frame = pair
+        egress.send(self, frame)

@@ -47,6 +47,11 @@ class RPCTimeoutError(TimeoutError):
     """An RPC exhausted its retransmissions without receiving a reply."""
 
 
+def _fire_timeout(wake) -> None:
+    if not wake.triggered:
+        wake.succeed()
+
+
 class _RetryMixin:
     """Shared client-side timeout/retransmit plumbing.
 
@@ -75,6 +80,31 @@ class _RetryMixin:
                 self._m_retries = m.counter("nfs", "rpc_retries")
         if self._m_retries is not None:
             self._m_retries.inc()
+
+    def _reply_or_timeout(self, evt, timeout_us: float):
+        """Event that fires when ``evt`` succeeds or ``timeout_us`` pass.
+
+        A cancellable kernel callback replaces the former
+        ``any_of([evt, timeout()])`` pair; the heap sees the same pushes
+        and pops at the same instants (one timer entry per attempt, one
+        wake entry on whichever side fires first), so retry timing is
+        unchanged — only the per-attempt Timeout + condition allocations
+        are gone.
+        """
+        wake = self.sim.event()
+        timer = self.sim.call_at(timeout_us, _fire_timeout, wake)
+        if evt.callbacks is None:
+            # A late reply from a previous attempt already completed it.
+            timer.cancel()
+            wake.succeed()
+            return wake
+
+        def _on_reply(_e, wake=wake, timer=timer):
+            timer.cancel()
+            if not wake.triggered:
+                wake.succeed()
+        evt.callbacks.append(_on_reply)
+        return wake
 
 
 # ---------------------------------------------------------------------------
@@ -183,8 +213,7 @@ class TcpRpcClient(_RetryMixin):
             if attempt:
                 self._count_retry()
             self.sock.send(wire_bytes, record=(xid, proc, args))
-            timer = self.sim.timeout(timeout_us)
-            yield self.sim.any_of([evt, timer])
+            yield self._reply_or_timeout(evt, timeout_us)
             if evt.triggered:
                 return evt.value
             timeout_us *= self.backoff
@@ -352,8 +381,7 @@ class RdmaRpcClient(_RetryMixin):
                 self._count_retry()
             self._ensure_connected()
             self.qp.send(wire_bytes, payload=(xid, proc, args))
-            timer = self.sim.timeout(timeout_us)
-            yield self.sim.any_of([evt, timer])
+            yield self._reply_or_timeout(evt, timeout_us)
             if evt.triggered:
                 return evt.value
             timeout_us *= self.backoff

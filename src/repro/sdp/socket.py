@@ -27,7 +27,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..calibration import HardwareProfile
 from ..fabric.node import Node
 from ..fabric.topology import Fabric
-from ..sim import Simulator, Store
+from ..sim import ReusableTimeout, Simulator, Store
 from ..verbs.cq import CompletionQueue
 from ..verbs.device import VerbsContext
 from ..verbs.ops import RecvWR
@@ -127,6 +127,8 @@ class SdpSocket:
         self._ctrl: Store = Store(self.sim)
         self._tx: Store = Store(self.sim)
         self.bytes_sent = 0
+        self._tx_wait = ReusableTimeout(self.sim)
+        self._rx_wait = ReusableTimeout(self.sim)
         self.sim.process(self._tx_pump(), name=f"sdp{local_port}.tx")
         self.sim.process(self._rx_pump(), name=f"sdp{local_port}.rx")
 
@@ -161,12 +163,12 @@ class SdpSocket:
                 chunk = min(remaining, profile.sdp_max_message)
                 if chunk < profile.sdp_zcopy_threshold:
                     # bcopy: one buffer copy on the sending CPU
-                    yield self.sim.timeout(
+                    yield self._tx_wait.arm(
                         profile.sdp_bcopy_us_per_byte * chunk
                         + profile.sdp_op_overhead_us)
                 else:
                     # zcopy: pin + post, no per-byte cost
-                    yield self.sim.timeout(profile.sdp_zcopy_setup_us)
+                    yield self._tx_wait.arm(profile.sdp_zcopy_setup_us)
                 is_last = remaining == chunk
                 self.qp.send(chunk, payload=("sdp_data", chunk,
                                              record if is_last else None))
@@ -184,7 +186,7 @@ class SdpSocket:
                 continue
             _kind, chunk, record = payload
             if chunk < profile.sdp_zcopy_threshold:
-                yield self.sim.timeout(
+                yield self._rx_wait.arm(
                     profile.sdp_bcopy_us_per_byte * chunk)
             self._rx_bytes += chunk
             if record is not None:

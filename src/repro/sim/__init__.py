@@ -1,14 +1,14 @@
 """Discrete-event simulation kernel (time unit: microseconds)."""
 
-from .core import (AllOf, AnyOf, Event, Interrupt, Process, SimulationError,
-                   Simulator, Timeout, NORMAL, URGENT)
+from .core import (AllOf, AnyOf, Event, Interrupt, Process, ReusableTimeout,
+                   SimulationError, Simulator, Timeout, NORMAL, URGENT)
 from .monitor import StatAccumulator, ThroughputMeter, TimeSeries, mbps_from_bytes
 from .resources import PriorityStore, Resource, Store
 from .rng import RngRegistry
 
 __all__ = [
-    "Simulator", "Event", "Timeout", "Process", "Interrupt", "AnyOf",
-    "AllOf", "SimulationError", "NORMAL", "URGENT",
+    "Simulator", "Event", "Timeout", "ReusableTimeout", "Process",
+    "Interrupt", "AnyOf", "AllOf", "SimulationError", "NORMAL", "URGENT",
     "Store", "PriorityStore", "Resource",
     "StatAccumulator", "ThroughputMeter", "TimeSeries", "mbps_from_bytes",
     "RngRegistry",

@@ -1,0 +1,119 @@
+"""Pre-fast-path dispatch shims — the benchmarking/equivalence harness.
+
+The kernel fast path (``Simulator.call_at`` callback records, re-armed
+timeouts, the link pump's direct-continue inner loop) is proved
+ordering-equivalent to the original allocate-an-``Event``-per-occurrence
+dispatch by *running both*: :func:`legacy_dispatch` swaps the fast
+entry points for implementations with the exact pre-fast-path cost
+profile (one ``Event`` + callback list + closure per occurrence, one
+``Timeout`` per sleep, one generator resume per pump iteration), so
+
+* ``tools/bench_kernel.py`` measures honest before/after numbers on the
+  same source tree, and
+* ``tests/test_kernel_fastpath.py`` asserts a busy multi-hop workload
+  produces identical event counts, clocks and bandwidths either way.
+
+Nothing in the simulator itself consults this module; it is patch-in,
+patch-out, and safe to nest with ordinary runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable
+
+from .core import (Event, ReusableTimeout, Simulator, Timeout, _NO_ARG,
+                   NORMAL)
+
+__all__ = ["legacy_dispatch"]
+
+
+class _LegacyHandle:
+    """Stand-in for ``_Callback``'s cancel support in legacy mode."""
+
+    __slots__ = ("active",)
+
+    def __init__(self):
+        self.active = True
+
+    def cancel(self) -> None:
+        self.active = False
+
+
+def _legacy_call_at(self: Simulator, delay: float, fn: Callable,
+                    arg: Any = _NO_ARG, priority: int = NORMAL,
+                    cancellable: bool = True):
+    """What every migrated hot site used to do: Event + list + closure."""
+    evt = Event(self)
+    handle = _LegacyHandle()
+    if arg is _NO_ARG:
+        evt.callbacks.append(lambda _e: fn() if handle.active else None)
+    else:
+        evt.callbacks.append(lambda _e: fn(arg) if handle.active else None)
+    evt.succeed(None, delay=delay, priority=priority)
+    return handle if cancellable else None
+
+
+def _legacy_arm(self: ReusableTimeout, delay: float, value: Any = None):
+    """One fresh :class:`Timeout` per sleep, as before the freelist."""
+    return Timeout(self.sim, delay, value)
+
+
+def _legacy_run(self: Simulator, until: Any = None) -> Any:
+    """The pre-fast-path ``run``: one ``step()`` method call per event,
+    no hoisted dispatch loop, no mode selection at entry."""
+    if until is None:
+        while self._queue:
+            self.step()
+        return None
+    if isinstance(until, Event):
+        if until.processed:
+            if until._ok:
+                return until._value
+            raise until._value
+        sentinel: list = []
+        until.callbacks.append(lambda e: sentinel.append(e))
+        while self._queue and not sentinel:
+            self.step()
+        if not sentinel:
+            from .core import SimulationError
+            raise SimulationError(
+                "event queue empty before awaited event triggered")
+        if until._ok:
+            return until._value
+        until._defused = True
+        raise until._value
+    limit = float(until)
+    if limit < self._now:
+        raise ValueError(f"until={limit} is in the past (now={self._now})")
+    while self._queue and self._queue[0][0] < limit:
+        self.step()
+    self._now = limit
+    return None
+
+
+@contextmanager
+def legacy_dispatch():
+    """Scope in which the kernel fast paths behave like the original
+    allocation-per-event dispatch (see module docstring)."""
+    from ..fabric import link as _link
+    from ..verbs import rc as _rc
+    from ..verbs import ud as _ud
+    from ..wan import longbow as _longbow
+
+    saved = (Simulator.call_at, ReusableTimeout.arm, Simulator.run,
+             _link._FAST_PUMP, _longbow._FAST_PUMP,
+             _rc._FAST_PUMP, _ud._FAST_PUMP)
+    Simulator.call_at = _legacy_call_at
+    ReusableTimeout.arm = _legacy_arm
+    Simulator.run = _legacy_run
+    _link._FAST_PUMP = False
+    _longbow._FAST_PUMP = False
+    _rc._FAST_PUMP = False
+    _ud._FAST_PUMP = False
+    try:
+        yield
+    finally:
+        (Simulator.call_at, ReusableTimeout.arm, Simulator.run,
+         _link._FAST_PUMP, _longbow._FAST_PUMP,
+         _rc._FAST_PUMP, _ud._FAST_PUMP) = saved

@@ -30,6 +30,7 @@ __all__ = [
     "Simulator",
     "Event",
     "Timeout",
+    "ReusableTimeout",
     "Process",
     "Interrupt",
     "AnyOf",
@@ -45,6 +46,11 @@ URGENT = 0
 NORMAL = 1
 
 _PENDING = object()
+
+#: Sentinel distinguishing "no argument" from an explicit ``None`` in
+#: :meth:`Simulator.call_at`; a callback scheduled without ``arg`` is
+#: invoked as ``fn()``.
+_NO_ARG = object()
 
 #: Filled in by :mod:`repro.obs.metrics` when the observability layer is
 #: imported: a zero-arg callable returning the process-wide default
@@ -136,7 +142,11 @@ class Event:
         return self
 
     def trigger(self, event: "Event") -> None:
-        """Trigger with the state of another (processed) event."""
+        """Trigger with the state of another (triggered) event."""
+        if event._value is _PENDING:
+            raise SimulationError(
+                f"cannot trigger {self!r} from {event!r}: the source "
+                f"event has not been triggered yet")
         if event._ok:
             self.succeed(event._value)
         else:
@@ -159,6 +169,82 @@ class Timeout(Event):
             raise ValueError(f"negative delay {delay}")
         super().__init__(sim)
         self.succeed(value, delay=delay)
+
+
+class ReusableTimeout(Event):
+    """A timeout event its owner re-arms instead of reallocating.
+
+    Generator pumps that sleep at most once per loop iteration (link
+    serialization, HCA send overhead, retransmit timers) previously
+    built a fresh :class:`Timeout` — one object plus one callback list —
+    per frame.  A ``ReusableTimeout`` is created once per pump and
+    re-armed after each trip through the event loop::
+
+        t = ReusableTimeout(sim)
+        while True:
+            ...
+            yield t.arm(serialization_us)
+
+    Scheduling behaviour is *identical* to ``Timeout`` (same heap entry,
+    same sequence-number consumption point), so swapping one in cannot
+    move an event trace.  The owner must guarantee a single outstanding
+    arm at a time; :meth:`arm` raises if the previous one is still
+    pending.
+    """
+
+    __slots__ = ()
+
+    def arm(self, delay: float, value: Any = None) -> "ReusableTimeout":
+        """(Re-)schedule this timeout ``delay`` from now; returns self."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        if self._value is not _PENDING and self.callbacks is not None:
+            raise SimulationError(f"{self!r} re-armed while still pending")
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._scheduled = True
+        sim = self.sim
+        heapq.heappush(sim._queue,
+                       (sim._now + delay, NORMAL, next(sim._seq), self))
+        return self
+
+
+class _Callback:
+    """A bare scheduled callable — the zero-allocation fast path.
+
+    Rides the same ``(time, priority, seq)`` heap as :class:`Event`
+    entries, so interleaving with events is exactly the FIFO-among-equal
+    -priorities order the kernel guarantees; but dispatch is a direct
+    call, with no callback list, no defused-failure bookkeeping and no
+    per-occurrence ``Event`` allocation.  Nothing can wait on one —
+    processes still yield events; callbacks are for fire-and-forget
+    work (frame delivery, switch forwarding, completion delivery).
+    """
+
+    __slots__ = ("fn", "arg", "active", "recycle")
+
+    def __init__(self, fn: Callable, arg: Any):
+        self.fn = fn
+        self.arg = arg
+        self.active = True
+        #: Freelist flag: set on non-cancellable callbacks, whose record
+        #: goes back to the simulator's pool right after dispatch (no
+        #: caller holds a handle that could cancel a recycled record).
+        self.recycle = False
+
+    def cancel(self) -> None:
+        """Deactivate: the heap entry stays but dispatch is a no-op.
+
+        This is the cheap timer-cancel used by retransmit/RPC timers —
+        O(1), no heap surgery; the inert entry is popped and discarded
+        at its original deadline.
+        """
+        self.active = False
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "cancelled"
+        return f"<_Callback {state} {self.fn!r} at {id(self):#x}>"
 
 
 class Process(Event):
@@ -335,6 +421,8 @@ class Simulator:
         self._active_proc: Optional[Process] = None
         self._active_gen = None
         self._event_count = 0
+        #: Freelist of dispatched non-cancellable ``_Callback`` records.
+        self._cb_pool: list = []
         #: Optional ``repro.obs.MetricsRegistry`` observing this run.
         self.metrics: Any = None
         self._m_events = None
@@ -395,12 +483,56 @@ class Simulator:
         heapq.heappush(self._queue,
                        (self._now + delay, priority, next(self._seq), event))
 
+    def call_at(self, delay: float, fn: Callable, arg: Any = _NO_ARG,
+                priority: int = NORMAL,
+                cancellable: bool = True) -> Optional[_Callback]:
+        """Schedule a bare callable ``delay`` from now (fast path).
+
+        The callback shares the event heap's ``(time, priority, seq)``
+        ordering — it fires exactly where an ``Event`` scheduled at the
+        same instant would — but costs one slotted record instead of an
+        ``Event`` plus callback list plus closure, and dispatches as a
+        direct call.  With ``arg`` given the callable is invoked as
+        ``fn(arg)``, otherwise as ``fn()``.  The returned record's
+        :meth:`~_Callback.cancel` makes the dispatch a no-op (cheap
+        retransmit-timer cancellation).
+
+        ``cancellable=False`` declares fire-and-forget use: no handle is
+        returned, and the record is recycled through a freelist after
+        dispatch, so steady-state per-packet scheduling allocates only
+        the heap tuple.  Pass it at every hot site that never cancels.
+
+        Nothing can *wait* on a callback: processes yield events.  Use
+        ``call_at`` only for fire-and-forget work.
+        """
+        if cancellable:
+            cb = _Callback(fn, arg)
+        else:
+            pool = self._cb_pool
+            if pool:
+                cb = pool.pop()
+                cb.fn = fn
+                cb.arg = arg
+            else:
+                cb = _Callback(fn, arg)
+                cb.recycle = True
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, next(self._seq), cb))
+        return cb if cancellable else None
+
+    def call_soon(self, fn: Callable, arg: Any = _NO_ARG,
+                  priority: int = NORMAL,
+                  cancellable: bool = True) -> Optional[_Callback]:
+        """:meth:`call_at` with zero delay — runs after pending events
+        already scheduled for the current instant."""
+        return self.call_at(0.0, fn, arg, priority, cancellable)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (or scheduled callback)."""
         if not self._queue:
             raise SimulationError("step() on empty event queue")
         t, _, _, event = heapq.heappop(self._queue)
@@ -411,22 +543,150 @@ class Simulator:
         if self._m_events is not None:
             self._m_events.inc()
             self._m_qdepth.set(len(self._queue))
+        if event.__class__ is _Callback:
+            if event.active:
+                arg = event.arg
+                if arg is _NO_ARG:
+                    event.fn()
+                else:
+                    event.fn(arg)
+            if event.recycle and len(self._cb_pool) < 1024:
+                self._cb_pool.append(event)
+            return
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)
         if not event._ok and not event._defused:
             raise event._value
 
+    def _dispatch_until(self, stop: Callable[[], bool]) -> None:
+        """No-metrics fast loop: :meth:`step` with the per-event metric
+        branches, defensive checks and method-call overhead hoisted out.
+        Runs until the queue drains or ``stop()`` goes true."""
+        queue = self._queue
+        pop = heapq.heappop
+        no_arg = _NO_ARG
+        cb_cls = _Callback
+        pool = self._cb_pool
+        count = 0
+        try:
+            while queue:
+                if stop():
+                    return
+                t, _, _, event = pop(queue)
+                self._now = t
+                count += 1
+                if event.__class__ is cb_cls:
+                    if event.active:
+                        arg = event.arg
+                        if arg is no_arg:
+                            event.fn()
+                        else:
+                            event.fn(arg)
+                    if event.recycle and len(pool) < 1024:
+                        pool.append(event)
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self._event_count += count
+
+    def _dispatch_until_time(self, limit: float) -> None:
+        """:meth:`_dispatch_until` specialised for a numeric horizon: the
+        stop predicate is inlined (``queue[0][0] >= limit``), saving a
+        Python-level call per dispatched event on the hottest entry point
+        (``run(until=<number>)``, which every figure sweep drives)."""
+        queue = self._queue
+        pop = heapq.heappop
+        no_arg = _NO_ARG
+        cb_cls = _Callback
+        pool = self._cb_pool
+        count = 0
+        try:
+            while queue:
+                item = queue[0]
+                if item[0] >= limit:
+                    return
+                t, _, _, event = pop(queue)
+                self._now = t
+                count += 1
+                if event.__class__ is cb_cls:
+                    if event.active:
+                        arg = event.arg
+                        if arg is no_arg:
+                            event.fn()
+                        else:
+                            event.fn(arg)
+                    if event.recycle and len(pool) < 1024:
+                        pool.append(event)
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self._event_count += count
+
+    def _run_all_fast(self) -> None:
+        """Drain the queue with no stop condition (the hottest loop)."""
+        queue = self._queue
+        pop = heapq.heappop
+        no_arg = _NO_ARG
+        cb_cls = _Callback
+        pool = self._cb_pool
+        count = 0
+        try:
+            while queue:
+                t, _, _, event = pop(queue)
+                self._now = t
+                count += 1
+                if event.__class__ is cb_cls:
+                    if event.active:
+                        arg = event.arg
+                        if arg is no_arg:
+                            event.fn()
+                        else:
+                            event.fn(arg)
+                    if event.recycle and len(pool) < 1024:
+                        pool.append(event)
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self._event_count += count
+
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
-        ``until`` may be ``None`` (run to exhaustion), a number (run until
-        simulated time reaches it), or an :class:`Event` (run until that
-        event is processed; returns its value / raises its failure).
+        ``until`` may be ``None`` (run to exhaustion), a number (run
+        until simulated time reaches it), or an :class:`Event` (run
+        until that event is processed; returns its value / raises its
+        failure).
+
+        Numeric ``until`` semantics are **strict**: events scheduled for
+        exactly ``until`` do *not* run — the loop processes events with
+        ``time < until``, then sets the clock to ``until`` and returns,
+        leaving boundary events pending for the next ``run()`` call.
+        The regression tests pin this, so rely on it.
+
+        The loop body is selected once here: with no metrics registry
+        attached the no-branch fast loop runs; an instrumented run goes
+        through :meth:`step` so every event updates the counters.
         """
+        fast = self._m_events is None
         if until is None:
-            while self._queue:
-                self.step()
+            if fast:
+                self._run_all_fast()
+            else:
+                while self._queue:
+                    self.step()
             return None
         if isinstance(until, Event):
             if until.processed:
@@ -435,8 +695,11 @@ class Simulator:
                 raise until._value
             sentinel: list = []
             until.callbacks.append(lambda e: sentinel.append(e))
-            while self._queue and not sentinel:
-                self.step()
+            if fast:
+                self._dispatch_until(sentinel.__len__)
+            else:
+                while self._queue and not sentinel:
+                    self.step()
             if not sentinel:
                 raise SimulationError(
                     "event queue empty before awaited event triggered")
@@ -447,7 +710,11 @@ class Simulator:
         limit = float(until)
         if limit < self._now:
             raise ValueError(f"until={limit} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] < limit:
-            self.step()
+        queue = self._queue
+        if fast:
+            self._dispatch_until_time(limit)
+        else:
+            while queue and queue[0][0] < limit:
+                self.step()
         self._now = limit
         return None

@@ -17,6 +17,7 @@ processes simply ``yield store.get()``.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, List, Optional
 
 from .core import Event, Simulator, SimulationError
@@ -33,8 +34,17 @@ class StorePut(Event):
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.sim)
         self.item = item
-        store._put_waiters.append(self)
-        store._dispatch()
+        # Common case inlined: room available and no queued putters ahead
+        # of us.  Succeed-order is identical to the generic loop — the
+        # put succeeds first, then any getter it unblocks.
+        if not store._put_waiters and len(store._items) < store.capacity:
+            store._do_put(item)
+            self.succeed()
+            if store._get_waiters:
+                store._dispatch()
+        else:
+            store._put_waiters.append(self)
+            store._dispatch()
 
 
 class StoreGet(Event):
@@ -44,8 +54,17 @@ class StoreGet(Event):
 
     def __init__(self, store: "Store"):
         super().__init__(store.sim)
-        store._get_waiters.append(self)
-        store._dispatch()
+        # Common case inlined: an item is ready and nobody queued ahead.
+        # Order matches the generic loop — when the store sits at
+        # capacity with blocked putters, the getter still succeeds first
+        # and the freed slot then unblocks the head putter.
+        if not store._get_waiters and store._items:
+            self.succeed(store._do_get())
+            if store._put_waiters:
+                store._dispatch()
+        else:
+            store._get_waiters.append(self)
+            store._dispatch()
 
 
 class Store:
@@ -56,9 +75,14 @@ class Store:
             raise ValueError("capacity must be positive")
         self.sim = sim
         self.capacity = capacity
-        self._items: List[Any] = []
+        self._items = self._make_items()
         self._put_waiters: List[StorePut] = []
         self._get_waiters: List[StoreGet] = []
+
+    def _make_items(self):
+        """FIFO stores keep a deque so ``get`` pops the head in O(1);
+        :class:`PriorityStore` overrides this with a list for ``heapq``."""
+        return deque()
 
     # -- public api -----------------------------------------------------
     def put(self, item: Any) -> StorePut:
@@ -75,7 +99,9 @@ class Store:
         return True
 
     @property
-    def items(self) -> List[Any]:
+    def items(self):
+        """The buffered items (a deque for FIFO stores, a heap list for
+        :class:`PriorityStore`)."""
         return self._items
 
     def __len__(self) -> int:
@@ -86,7 +112,7 @@ class Store:
         self._items.append(item)
 
     def _do_get(self) -> Any:
-        return self._items.pop(0)
+        return self._items.popleft()
 
     # -- matching -------------------------------------------------------
     def _dispatch(self) -> None:
@@ -106,6 +132,9 @@ class Store:
 
 class PriorityStore(Store):
     """A Store that always yields its smallest item (heap order)."""
+
+    def _make_items(self):
+        return []
 
     def _do_put(self, item: Any) -> None:
         heapq.heappush(self._items, item)

@@ -26,7 +26,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from typing import TYPE_CHECKING
 
 from ..calibration import HardwareProfile
-from ..sim import Resource, Simulator, Store
+from ..sim import Resource, ReusableTimeout, Simulator, Store
 
 if TYPE_CHECKING:  # avoid a tcp <-> ipoib import cycle at runtime
     from ..ipoib.interface import IPoIBInterface
@@ -59,6 +59,7 @@ class TcpStack:
         self._socks: Dict[Tuple[int, int, int], "Socket"] = {}
         self._ports = itertools.count(20000)
         self._rx_queue: Store = Store(self.sim)
+        self._rx_cpu_wait = ReusableTimeout(self.sim)
         iface.receiver = self._rx_enqueue
         self.sim.process(self._rx_pump(), name=f"tcp@{iface.node.name}")
 
@@ -120,10 +121,11 @@ class TcpStack:
             with self.cpu.request() as req:
                 yield req
                 if seg.kind == DATA:
-                    yield self.sim.timeout(profile.tcp_segment_fixed_us
-                                           + seg.length * profile.tcp_per_byte_us)
+                    yield self._rx_cpu_wait.arm(
+                        profile.tcp_segment_fixed_us
+                        + seg.length * profile.tcp_per_byte_us)
                 else:
-                    yield self.sim.timeout(profile.tcp_ack_cpu_us)
+                    yield self._rx_cpu_wait.arm(profile.tcp_ack_cpu_us)
             self._demux(src_lid, seg)
 
     def _demux(self, src_lid: int, seg: Segment) -> None:
@@ -217,12 +219,14 @@ class Socket:
             self._m_wl_us = m.counter("tcp", "window_limited_us")
         else:
             self._m_segments = self._m_acked = self._m_wl_us = None
+        self._tx_cpu_wait = ReusableTimeout(self.sim)
         self.sim.process(self._tx_pump(), name=f"sock:{local_port}")
         if self.retransmit:
             self._rto_us = self.profile.tcp_rto_us
             self._last_progress_at = 0.0
             self._dupacks = 0
             self._rto_kick: Store = Store(self.sim)
+            self._rto_wait = ReusableTimeout(self.sim)
             self.sim.process(self._rto_pump(),
                              name=f"sock:{local_port}.rto")
 
@@ -299,8 +303,9 @@ class Socket:
             seg_len = int(min(self.mss, unsent, window))
             with self.stack.cpu.request() as req:
                 yield req
-                yield self.sim.timeout(profile.tcp_segment_fixed_us
-                                       + seg_len * profile.tcp_per_byte_us)
+                yield self._tx_cpu_wait.arm(
+                    profile.tcp_segment_fixed_us
+                    + seg_len * profile.tcp_per_byte_us)
             # Re-read snd_next after the CPU yield: a retransmission
             # timeout may have rewound it to snd_una meanwhile.
             seq = self.snd_next
@@ -408,7 +413,7 @@ class Socket:
                 continue
             deadline = self._last_progress_at + self._rto_us
             if deadline > self.sim.now:
-                yield self.sim.timeout(deadline - self.sim.now)
+                yield self._rto_wait.arm(deadline - self.sim.now)
                 continue
             self._rto_us = min(self._rto_us * 2,
                                self.profile.tcp_max_rto_us)

@@ -31,7 +31,7 @@ class CompletionQueue:
         """Non-blocking poll: drain up to ``max_entries`` completions."""
         out: List[WorkCompletion] = []
         while self._store.items and len(out) < max_entries:
-            out.append(self._store.items.pop(0))
+            out.append(self._store.items.popleft())
         return out
 
     def __len__(self) -> int:

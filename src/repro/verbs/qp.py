@@ -76,9 +76,7 @@ class QueuePair:
         This models pipelined fixed-latency stages (PCIe launch, receive
         DMA) that add latency but do not consume wire or CPU throughput.
         """
-        evt = self.sim.event()
-        evt.callbacks.append(lambda _e: fn())
-        evt.succeed(None, delay=delay_us)
+        self.sim.call_at(delay_us, fn, cancellable=False)
 
     def handle_frame(self, frame: Frame) -> None:  # pragma: no cover
         raise NotImplementedError

@@ -27,7 +27,7 @@ from typing import Any, Deque, Dict, Optional, Tuple
 from ..calibration import HardwareProfile
 from ..fabric.node import HCA
 from ..fabric.packet import Frame, wire_size
-from ..sim import Simulator, Store
+from ..sim import ReusableTimeout, Simulator, Store, URGENT
 from .cq import CompletionQueue
 from .ops import (AtomicWR, Opcode, RDMAReadWR, RDMAWriteWR, RecvWR, SendWR,
                   WCStatus, WorkCompletion, WorkRequest)
@@ -42,6 +42,18 @@ READ_RESP = "rc_read_resp"
 ATOMIC_REQ = "rc_atomic_req"
 ATOMIC_RESP = "rc_atomic_resp"
 ACK = "rc_ack"
+
+_KIND_BY_OPCODE = {Opcode.SEND: DATA,
+                   Opcode.RDMA_WRITE: WRITE,
+                   Opcode.RDMA_WRITE_WITH_IMM: WRITE,
+                   Opcode.RDMA_READ: READ_REQ,
+                   Opcode.ATOMIC_FETCH_ADD: ATOMIC_REQ,
+                   Opcode.ATOMIC_CMP_SWAP: ATOMIC_REQ}
+
+#: Kill switch for the callback-mode send pump, flipped only by
+#: :func:`repro.sim._legacy.legacy_dispatch` (see
+#: ``repro.fabric.link._FAST_PUMP``).
+_FAST_PUMP = True
 
 
 class RCQueuePair(QueuePair):
@@ -91,7 +103,20 @@ class RCQueuePair(QueuePair):
             self._m_stall_events = self._m_stall_us = self._m_retx = None
             self._m_wqe = self._m_bytes = None
             self._m_inflight_msgs = self._m_inflight_bytes = None
-        sim.process(self._send_pump(), name=f"rcqp{self.qpn}.send")
+        # One reusable timeout per pump: each has at most one sleep
+        # outstanding, so re-arming the same record is heap-identical
+        # to constructing a fresh Timeout per iteration.
+        self._send_wait = ReusableTimeout(sim)
+        self._rtx_wait = ReusableTimeout(sim)
+        self._pending_wr: Optional[WorkRequest] = None
+        # Callback-mode send pump when uninstrumented (same event
+        # trajectory as the generator, no resumes); the retransmit
+        # timer stays a generator either way — it fires rarely.
+        if _FAST_PUMP and m is None:
+            sim.call_at(0.0, self._next_wr, priority=URGENT,
+                        cancellable=False)
+        else:
+            sim.process(self._send_pump(), name=f"rcqp{self.qpn}.send")
         self._timer_kick = Store(sim)
         sim.process(self._retransmit_timer(), name=f"rcqp{self.qpn}.rtx")
 
@@ -186,6 +211,72 @@ class RCQueuePair(QueuePair):
         return wr
 
     # -- sender ----------------------------------------------------------
+    # -- callback-mode send pump (no metrics) ---------------------------
+    # Mirrors _send_pump() step for step: one URGENT kick-off pop, one
+    # StoreGet pop per WR, one Event pop per window stall, one overhead
+    # pop per transmitted WR — at identical heap keys, no generator
+    # resumes.  The stall counters are metrics-only and the registry is
+    # absent here, so skipping them changes nothing observable.
+
+    def _next_wr(self) -> None:
+        backlog = self._send_backlog
+        on_wr = self._on_wr
+        while True:
+            get = backlog.get()
+            if not get.triggered:
+                get.callbacks.append(self._on_wr_event)
+                return
+            if on_wr(get._value):
+                return
+            # WR flushed instantly (QP not RTS): drain the next one now,
+            # iteratively, like the generator's ``continue``.
+
+    def _on_wr_event(self, event) -> None:
+        if not self._on_wr(event._value):
+            self._next_wr()
+
+    def _on_wr(self, wr: "WorkRequest") -> bool:
+        """Returns False only on the instant-flush path."""
+        if self.state is not QPState.RTS:
+            self._flush(wr)
+            return False
+        if len(self._unacked) >= self.send_window:
+            self._wait_window(wr)
+            return True
+        self.sim.call_at(self.profile.hca_send_overhead_us,
+                         self._post_overhead, wr, cancellable=False)
+        return True
+
+    def _wait_window(self, wr: "WorkRequest") -> None:
+        if self._window_free.processed or self._window_free.triggered:
+            self._window_free = self.sim.event()
+        self._pending_wr = wr
+        self._window_free.callbacks.append(self._on_window_free)
+
+    def _on_window_free(self, _event) -> None:
+        wr, self._pending_wr = self._pending_wr, None
+        if self.state is not QPState.RTS:
+            self._flush(wr)
+            self._next_wr()
+            return
+        if len(self._unacked) >= self.send_window:
+            self._wait_window(wr)
+            return
+        self.sim.call_at(self.profile.hca_send_overhead_us,
+                         self._post_overhead, wr, cancellable=False)
+
+    def _post_overhead(self, wr: "WorkRequest") -> None:
+        psn = self._next_psn
+        self._next_psn += 1
+        entry = _TxEntry(wr, psn, self.sim.now)
+        self._unacked[psn] = entry
+        self._inflight_bytes += wr.size
+        self._transmit(entry)
+        if len(self._unacked) == 1:
+            self._timer_kick.put(None)  # wake the retransmit timer
+        self._next_wr()
+
+    # -- generator-mode send pump (metrics / legacy dispatch) -----------
     def _send_pump(self):
         profile = self.profile
         while True:
@@ -208,7 +299,7 @@ class RCQueuePair(QueuePair):
             if self.state is not QPState.RTS:
                 self._flush(wr)
                 continue
-            yield self.sim.timeout(profile.hca_send_overhead_us)
+            yield self._send_wait.arm(profile.hca_send_overhead_us)
             psn = self._next_psn
             self._next_psn += 1
             entry = _TxEntry(wr, psn, self.sim.now)
@@ -223,12 +314,7 @@ class RCQueuePair(QueuePair):
 
     def _transmit(self, entry: "_TxEntry") -> None:
         wr = entry.wr
-        kind = {Opcode.SEND: DATA,
-                Opcode.RDMA_WRITE: WRITE,
-                Opcode.RDMA_WRITE_WITH_IMM: WRITE,
-                Opcode.RDMA_READ: READ_REQ,
-                Opcode.ATOMIC_FETCH_ADD: ATOMIC_REQ,
-                Opcode.ATOMIC_CMP_SWAP: ATOMIC_REQ}[wr.opcode]
+        kind = _KIND_BY_OPCODE[wr.opcode]
         size = (0 if wr.opcode in (Opcode.RDMA_READ,
                                    Opcode.ATOMIC_FETCH_ADD,
                                    Opcode.ATOMIC_CMP_SWAP) else wr.size)
@@ -243,8 +329,8 @@ class RCQueuePair(QueuePair):
         self.messages_sent += 1
         if self._m_bytes is not None:
             self._m_bytes.inc(size)
-        self._after(self.profile.hca_wire_latency_us,
-                    lambda: self.hca.transmit(frame))
+        self.sim.call_at(self.profile.hca_wire_latency_us,
+                         self.hca.transmit, frame, cancellable=False)
 
     # -- receiver + ACK handling ----------------------------------------------
     def handle_frame(self, frame: Frame) -> None:
@@ -321,8 +407,8 @@ class RCQueuePair(QueuePair):
                                  self.profile.rc_packet_header),
             kind=READ_RESP, src_qpn=self.qpn, dst_qpn=frame.src_qpn,
             payload=(psn, wr))
-        self._after(self.profile.hca_recv_overhead_us,
-                    lambda: self.hca.transmit(resp))
+        self.sim.call_at(self.profile.hca_recv_overhead_us,
+                         self.hca.transmit, resp, cancellable=False)
 
     def _serve_atomic(self, frame: Frame, psn: int, wr: AtomicWR) -> None:
         mem = self.hca.atomic_mem
@@ -337,8 +423,8 @@ class RCQueuePair(QueuePair):
                                  self.profile.rc_packet_header),
             kind=ATOMIC_RESP, src_qpn=self.qpn, dst_qpn=frame.src_qpn,
             payload=(psn, wr, old))
-        self._after(self.profile.hca_recv_overhead_us,
-                    lambda: self.hca.transmit(resp))
+        self.sim.call_at(self.profile.hca_recv_overhead_us,
+                         self.hca.transmit, resp, cancellable=False)
 
     def _handle_read_resp(self, frame: Frame) -> None:
         psn = frame.payload[0]
@@ -400,7 +486,7 @@ class RCQueuePair(QueuePair):
             entry = next(iter(self._unacked.values()))
             deadline = entry.sent_at + timeout_us
             if deadline > self.sim.now:
-                yield self.sim.timeout(deadline - self.sim.now)
+                yield self._rtx_wait.arm(deadline - self.sim.now)
             if self.state is QPState.ERROR:
                 self._timer_alive = False
                 return

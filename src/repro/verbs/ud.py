@@ -15,7 +15,7 @@ from typing import Any, Optional, Tuple
 from ..calibration import HardwareProfile
 from ..fabric.node import HCA
 from ..fabric.packet import Frame, wire_size
-from ..sim import Simulator, Store
+from ..sim import ReusableTimeout, Simulator, Store, URGENT
 from .cq import CompletionQueue
 from .ops import Opcode, SendWR, WCStatus, WorkCompletion
 from .qp import QPState, QueuePair
@@ -23,6 +23,11 @@ from .qp import QPState, QueuePair
 __all__ = ["UDQueuePair"]
 
 UD_DATA = "ud_data"
+
+#: Kill switch for the callback-mode send pump, flipped only by
+#: :func:`repro.sim._legacy.legacy_dispatch` (see
+#: ``repro.fabric.link._FAST_PUMP``).
+_FAST_PUMP = True
 
 
 class UDQueuePair(QueuePair):
@@ -47,7 +52,14 @@ class UDQueuePair(QueuePair):
         else:
             self._m_msgs = self._m_bytes = None
             self._m_wqe = self._m_dropped = None
-        sim.process(self._send_pump(), name=f"udqp{self.qpn}.send")
+        self._send_wait = ReusableTimeout(sim)
+        # Callback-mode pump when uninstrumented (same event trajectory
+        # as the generator, no resumes); see repro.fabric.link.
+        if _FAST_PUMP and m is None:
+            sim.call_at(0.0, self._next_send, priority=URGENT,
+                        cancellable=False)
+        else:
+            sim.process(self._send_pump(), name=f"udqp{self.qpn}.send")
 
     # -- send side -------------------------------------------------------
     def post_send(self, wr: SendWR) -> None:
@@ -65,11 +77,51 @@ class UDQueuePair(QueuePair):
         self.post_send(wr)
         return wr
 
+    # -- callback-mode pump (no metrics) --------------------------------
+    # Mirrors _send_pump() step for step; same event trajectory (one
+    # URGENT kick-off pop, one StoreGet pop and one overhead pop per
+    # datagram), no generator resumes.  See repro.fabric.link.
+
+    def _next_send(self) -> None:
+        get = self._send_backlog.get()
+        if get.triggered:
+            self._start_send(get._value)
+        else:
+            get.callbacks.append(self._on_send_wr)
+
+    def _on_send_wr(self, event) -> None:
+        self._start_send(event._value)
+
+    def _start_send(self, wr: SendWR) -> None:
+        self.sim.call_at(self.profile.hca_send_overhead_us,
+                         self._finish_send, wr, cancellable=False)
+
+    def _finish_send(self, wr: SendWR) -> None:
+        profile = self.profile
+        dst_lid, dst_qpn = wr.remote
+        frame = Frame(
+            src_lid=self.hca.lid, dst_lid=dst_lid, size=wr.size,
+            wire_bytes=wire_size(wr.size, profile.ib_mtu,
+                                 profile.ud_packet_header),
+            kind=UD_DATA, src_qpn=self.qpn, dst_qpn=dst_qpn,
+            payload=wr)
+        self.bytes_sent += wr.size
+        self.messages_sent += 1
+        self.sim.call_at(profile.hca_wire_latency_us,
+                         self.hca.transmit, frame, cancellable=False)
+        # Local completion: the datagram left the HCA; nobody waits
+        # for the far end.
+        self.send_cq.push(WorkCompletion(
+            wr.wr_id, Opcode.SEND, WCStatus.SUCCESS, wr.size,
+            self.qpn, self.sim.now))
+        self._next_send()
+
+    # -- generator-mode pump (metrics / legacy dispatch) ----------------
     def _send_pump(self):
         profile = self.profile
         while True:
             wr: SendWR = yield self._send_backlog.get()
-            yield self.sim.timeout(profile.hca_send_overhead_us)
+            yield self._send_wait.arm(profile.hca_send_overhead_us)
             dst_lid, dst_qpn = wr.remote
             frame = Frame(
                 src_lid=self.hca.lid, dst_lid=dst_lid, size=wr.size,
@@ -83,8 +135,8 @@ class UDQueuePair(QueuePair):
                 self._m_msgs.inc()
                 self._m_bytes.inc(wr.size)
                 self._m_wqe.inc()
-            self._after(profile.hca_wire_latency_us,
-                        lambda f=frame: self.hca.transmit(f))
+            self.sim.call_at(profile.hca_wire_latency_us,
+                             self.hca.transmit, frame, cancellable=False)
             # Local completion: the datagram left the HCA; nobody waits
             # for the far end.
             self.send_cq.push(WorkCompletion(
@@ -101,10 +153,14 @@ class UDQueuePair(QueuePair):
                 self._m_dropped.inc()
             return
         rwr = self._take_recv()
+        self.sim.call_at(self.profile.hca_recv_overhead_us,
+                         self._complete_recv, (rwr, frame),
+                         cancellable=False)
+
+    def _complete_recv(self, pair) -> None:
+        rwr, frame = pair
         wr: SendWR = frame.payload
-        def complete(rwr=rwr, wr=wr, src=frame.src_qpn):
-            self.recv_cq.push(WorkCompletion(
-                rwr.wr_id, Opcode.RECV, WCStatus.SUCCESS, wr.size,
-                self.qpn, self.sim.now, payload=wr.payload, src_qp=src,
-                src_lid=frame.src_lid))
-        self._after(self.profile.hca_recv_overhead_us, complete)
+        self.recv_cq.push(WorkCompletion(
+            rwr.wr_id, Opcode.RECV, WCStatus.SUCCESS, wr.size,
+            self.qpn, self.sim.now, payload=wr.payload,
+            src_qp=frame.src_qpn, src_lid=frame.src_lid))

@@ -22,9 +22,14 @@ from typing import List, Optional
 from ..calibration import HardwareProfile
 from ..fabric.link import Link
 from ..fabric.packet import Frame
-from ..sim import Simulator, Store
+from ..sim import Simulator, Store, URGENT
 
 __all__ = ["Longbow", "LongbowPair"]
+
+#: Kill switch for the WAN pump's direct-continue inner loop, flipped
+#: only by :func:`repro.sim._legacy.legacy_dispatch` (see
+#: ``repro.fabric.link._FAST_PUMP``).
+_FAST_PUMP = True
 
 
 class Longbow:
@@ -54,7 +59,21 @@ class Longbow:
         self._ingress_bytes = 0
         self.frames_dropped_overrun = 0
         self._m_overrun = None
-        sim.process(self._wan_pump(), name=f"{name}.pump")
+        self._pool = profile.longbow_buffer_bytes
+        self._pending_frame: Optional[Frame] = None
+        # Mode selection, same contract as the link pump: metrics-free
+        # runs drive the WAN port with a callback state machine that
+        # reproduces the generator's event trajectory exactly (one
+        # URGENT kick-off pop, one StoreGet pop per frame, one Event
+        # pop per credit wait); instrumented runs keep the generator so
+        # queue-depth gauges and resume counters stay on their
+        # historical trajectories.
+        self._fast = _FAST_PUMP and getattr(sim, "metrics", None) is None
+        if self._fast:
+            sim.call_at(0.0, self._next_wan_frame, priority=URGENT,
+                        cancellable=False)
+        else:
+            sim.process(self._wan_pump(), name=f"{name}.pump")
 
     # -- wiring ----------------------------------------------------------
     def attach_ib(self, link: Link) -> None:
@@ -101,10 +120,65 @@ class Longbow:
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"{self.name}: frame from unknown link")
 
-    def _wan_pump(self):
-        pool = self.profile.longbow_buffer_bytes
+    # -- callback-mode pump (no metrics) --------------------------------
+    # Mirrors _wan_pump() step for step at identical simulated instants
+    # and heap seqs; see repro.fabric.link for the pattern.
+
+    def _next_wan_frame(self) -> None:
+        to_wan = self._to_wan
+        on_frame = self._on_wan_frame
         while True:
-            frame: Frame = yield self._to_wan.get()
+            get = to_wan.get()
+            if not get.triggered:
+                get.callbacks.append(self._on_wan_get)
+                return
+            if on_frame(get._value):
+                return
+            # Frame forwarded instantly; pull the next one now, just as
+            # the generator's loop would.
+
+    def _on_wan_get(self, event) -> None:
+        if not self._on_wan_frame(event._value):
+            self._next_wan_frame()
+
+    def _on_wan_frame(self, frame: Frame) -> bool:
+        """Returns True when waiting on credit, False once forwarded."""
+        if self.ingress_limit_bytes is not None:
+            self._ingress_bytes -= frame.wire_bytes
+        needed = min(frame.wire_bytes, self._pool)
+        if self.credits < needed:
+            self._pending_frame = frame
+            waiter = self.sim.event()
+            waiter.callbacks.append(self._on_credit)
+            self._credit_waiters.append(waiter)
+            return True
+        self.credits -= frame.wire_bytes
+        self.frames_forwarded += 1
+        self._forward_after(frame, self.wan_link)
+        return False
+
+    def _on_credit(self, _event) -> None:
+        frame = self._pending_frame
+        needed = min(frame.wire_bytes, self._pool)
+        if self.credits < needed:
+            # Still short: queue another waiter, exactly like the
+            # generator's while-loop would.
+            waiter = self.sim.event()
+            waiter.callbacks.append(self._on_credit)
+            self._credit_waiters.append(waiter)
+            return
+        self._pending_frame = None
+        self.credits -= frame.wire_bytes
+        self.frames_forwarded += 1
+        self._forward_after(frame, self.wan_link)
+        self._next_wan_frame()
+
+    # -- generator-mode pump (metrics / legacy dispatch) ----------------
+    def _wan_pump(self):
+        pool = self._pool
+        to_wan = self._to_wan
+        while True:
+            frame = yield to_wan.get()
             if self.ingress_limit_bytes is not None:
                 self._ingress_bytes -= frame.wire_bytes
             # A frame larger than the whole pool streams through once the
@@ -120,9 +194,12 @@ class Longbow:
             self._forward_after(frame, self.wan_link)
 
     def _forward_after(self, frame: Frame, link: Link) -> None:
-        done = self.sim.event()
-        done.callbacks.append(lambda _e: link.send(self, frame))
-        done.succeed(None, delay=self.profile.longbow_forward_us)
+        self.sim.call_at(self.profile.longbow_forward_us, self._send_on,
+                         (link, frame), cancellable=False)
+
+    def _send_on(self, pair) -> None:
+        link, frame = pair
+        link.send(self, frame)
 
     def _release_credit(self, nbytes: int) -> None:
         self.credits += nbytes

@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Kernel scheduling benchmark: fast path vs. legacy dispatch.
+
+Measures the event-kernel fast path (``Simulator.call_at`` callback
+records with a freelist, reusable timeouts, callback-mode protocol
+pumps, the specialised dispatch loops) against the pre-fast-path
+dispatch, which :func:`repro.sim._legacy.legacy_dispatch` patches back
+in on the same source tree — so the comparison is honest
+before/after, not old-commit/new-commit.
+
+Four measurements, written to ``BENCH_kernel.json`` at the repo root:
+
+* **frame_storm** — the frame-delivery pattern every hop pays: 64
+  in-flight chains of fire-and-forget scheduled deliveries
+  (``call_at(..., cancellable=False)``), the exact shape of
+  ``_HalfLink._deliver`` / ``Switch._forward`` /
+  ``Longbow._send_on``.  Events/sec both ways; target >= 1.8x.
+* **frame_lifecycle** — the same storm with a cancellable retransmit
+  timer armed per frame and cancelled on ACK (the RC pattern); a
+  secondary, slightly adversarial number since cancellable records
+  bypass the freelist.
+* **allocations** — scheduling-footprint under ``tracemalloc``: bytes
+  and heap blocks held per *pending* scheduled operation, fast
+  (slotted ``_Callback``) vs. legacy (``Event`` + callbacks list +
+  closure).  This is the "zero-allocation" claim made concrete.
+* **figure_sweeps** — real figure regenerations (``run_experiment``,
+  quick grid, in-process, no result cache) timed both ways; target
+  >= 1.3x wall-clock on the WAN sweeps.
+
+Timing protocol: ``gc`` disabled around each run, CPU time
+(``time.process_time``) for the storms, wall clock for the sweeps,
+best-of-N per variant (noise only ever slows a run down, so the
+minimum is the least-biased estimate — the same reasoning as
+``timeit``'s ``min``).  Medians are recorded alongside for honesty on
+noisy boxes.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_kernel.py            # full run
+    PYTHONPATH=src python tools/bench_kernel.py --smoke    # CI-sized
+    PYTHONPATH=src python tools/bench_kernel.py --out x.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.sim import Simulator  # noqa: E402
+from repro.sim._legacy import legacy_dispatch  # noqa: E402
+
+TARGET_STORM_SPEEDUP = 1.8
+TARGET_SWEEP_SPEEDUP = 1.3
+
+
+# -- workloads -----------------------------------------------------------
+
+class _DeliveryChains:
+    """64 in-flight chains of fire-and-forget frame deliveries."""
+
+    def __init__(self, sim: Simulator, frames: int, chains: int = 64):
+        self.sim = sim
+        self.left = frames
+        for _ in range(min(chains, frames)):
+            self.left -= 1
+            sim.call_at(1.7, self._deliver, None, cancellable=False)
+
+    def _deliver(self, _arg) -> None:
+        if self.left > 0:
+            self.left -= 1
+            self.sim.call_at(1.7, self._deliver, None, cancellable=False)
+
+
+class _FrameLifecycles:
+    """Deliver -> arm cancellable rtx timer -> ACK cancels it."""
+
+    def __init__(self, sim: Simulator, frames: int, inflight: int = 64):
+        self.sim = sim
+        self.total = frames
+        self.timers = {}
+        self.next_id = min(inflight, frames)
+        for fid in range(self.next_id):
+            self._launch(fid)
+
+    def _launch(self, fid: int) -> None:
+        self.sim.call_at(1.7, self._deliver, fid, cancellable=False)
+
+    def _deliver(self, fid: int) -> None:
+        self.timers[fid] = self.sim.call_at(50.0, self._rtx, fid)
+        self.sim.call_at(0.9, self._ack, fid, cancellable=False)
+
+    def _ack(self, fid: int) -> None:
+        self.timers.pop(fid).cancel()
+        if self.next_id < self.total:
+            self._launch(self.next_id)
+            self.next_id += 1
+
+    def _rtx(self, fid: int) -> None:  # pragma: no cover - never fires
+        raise AssertionError("retransmit timer fired despite cancel")
+
+
+def _run_storm(workload_cls, frames: int) -> float:
+    """One storm run; returns events/sec (CPU time, gc off)."""
+    sim = Simulator()
+    workload_cls(sim, frames)
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.process_time()
+        sim.run()
+        dt = time.process_time() - t0
+    finally:
+        gc.enable()
+    return sim.event_count / dt
+
+
+def _bench_storm(workload_cls, frames: int, rounds: int) -> dict:
+    fast, legacy = [], []
+    for _ in range(rounds):  # interleaved so drift hits both sides
+        fast.append(_run_storm(workload_cls, frames))
+        with legacy_dispatch():
+            legacy.append(_run_storm(workload_cls, frames))
+    return {
+        "frames": frames,
+        "rounds": rounds,
+        "fast_events_per_sec": max(fast),
+        "legacy_events_per_sec": max(legacy),
+        "speedup": max(fast) / max(legacy),
+        "fast_median": statistics.median(fast),
+        "legacy_median": statistics.median(legacy),
+    }
+
+
+# -- allocation footprint ------------------------------------------------
+
+def _pending_footprint(n: int) -> dict:
+    """Bytes/blocks held per pending scheduled op (timers armed but not
+    yet fired — the steady state of a window of in-flight frames)."""
+
+    def _noop() -> None:  # pragma: no cover - never fires
+        pass
+
+    def measure() -> dict:
+        sim = Simulator()
+        gc.collect()
+        tracemalloc.start()
+        base_size, _ = tracemalloc.get_traced_memory()
+        for i in range(n):
+            sim.call_at(1e9 + i, _noop, cancellable=False)
+        size, _ = tracemalloc.get_traced_memory()
+        snap = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        blocks = sum(s.count for s in snap.statistics("filename"))
+        del sim
+        return {"bytes_per_op": (size - base_size) / n,
+                "blocks_total": blocks}
+
+    fast = measure()
+    with legacy_dispatch():
+        legacy = measure()
+    return {
+        "pending_ops": n,
+        "fast_bytes_per_op": round(fast["bytes_per_op"], 1),
+        "legacy_bytes_per_op": round(legacy["bytes_per_op"], 1),
+        "bytes_ratio": round(legacy["bytes_per_op"]
+                             / fast["bytes_per_op"], 2),
+        "fast_blocks": fast["blocks_total"],
+        "legacy_blocks": legacy["blocks_total"],
+    }
+
+
+# -- figure sweeps -------------------------------------------------------
+
+def _time_experiment(exp_id: str) -> float:
+    from repro.core.registry import run_experiment
+    gc.collect()
+    t0 = time.perf_counter()
+    run_experiment(exp_id, quick=True)
+    return time.perf_counter() - t0
+
+
+def _bench_sweep(exp_id: str, rounds: int) -> dict:
+    fast = min(_time_experiment(exp_id) for _ in range(rounds))
+    with legacy_dispatch():
+        legacy = min(_time_experiment(exp_id) for _ in range(rounds))
+    return {
+        "experiment": exp_id,
+        "rounds": rounds,
+        "fast_seconds": round(fast, 3),
+        "legacy_seconds": round(legacy, 3),
+        "speedup": round(legacy / fast, 2),
+    }
+
+
+# -- main ----------------------------------------------------------------
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small sizes, storm + fig05a only (CI)")
+    ap.add_argument("--out", default=str(REPO / "BENCH_kernel.json"))
+    args = ap.parse_args(argv)
+
+    frames = 20_000 if args.smoke else 120_000
+    rounds = 3 if args.smoke else 7
+
+    print(f"frame storm: {frames} frames x {rounds} rounds ...")
+    storm = _bench_storm(_DeliveryChains, frames, rounds)
+    print(f"  fast {storm['fast_events_per_sec']:,.0f} ev/s  "
+          f"legacy {storm['legacy_events_per_sec']:,.0f} ev/s  "
+          f"speedup {storm['speedup']:.2f}x")
+
+    lifecycle = _bench_storm(_FrameLifecycles,
+                             frames // 3 if args.smoke else 40_000, rounds)
+    print(f"frame lifecycle: speedup {lifecycle['speedup']:.2f}x")
+
+    alloc = _pending_footprint(10_000 if args.smoke else 50_000)
+    print(f"pending-op footprint: fast {alloc['fast_bytes_per_op']} B/op, "
+          f"legacy {alloc['legacy_bytes_per_op']} B/op "
+          f"({alloc['bytes_ratio']}x)")
+
+    sweeps = []
+    sweep_ids = ["fig05a"] if args.smoke else ["fig05a", "fig06a", "fig07a"]
+    for exp_id in sweep_ids:
+        res = _bench_sweep(exp_id, rounds=1 if args.smoke else 3)
+        sweeps.append(res)
+        print(f"{exp_id} quick cold: fast {res['fast_seconds']}s  "
+              f"legacy {res['legacy_seconds']}s  "
+              f"speedup {res['speedup']:.2f}x")
+
+    doc = {
+        "protocol": {
+            "storm_metric": "events/sec, CPU time, gc disabled, "
+                            "best-of-N interleaved",
+            "sweep_metric": "wall-clock seconds, quick grid, in-process, "
+                            "best-of-N",
+            "smoke": args.smoke,
+        },
+        "targets": {
+            "frame_storm_speedup": TARGET_STORM_SPEEDUP,
+            "figure_sweep_speedup": TARGET_SWEEP_SPEEDUP,
+        },
+        "frame_storm": storm,
+        "frame_lifecycle": lifecycle,
+        "allocations": alloc,
+        "figure_sweeps": sweeps,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    ok_storm = storm["speedup"] >= TARGET_STORM_SPEEDUP
+    ok_sweep = any(s["speedup"] >= TARGET_SWEEP_SPEEDUP for s in sweeps)
+    if not args.smoke:
+        print(f"targets: storm {'MET' if ok_storm else 'MISSED'}, "
+              f"sweep {'MET' if ok_sweep else 'MISSED'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
