@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from ..fabric.topology import Fabric
 from ..mpi.collectives import allreduce, alltoall, barrier

@@ -28,8 +28,8 @@ Data-volume derivations (class B, P ranks):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 __all__ = ["NASProfile", "nas_profile", "NAS_BENCHMARKS",
            "message_size_distribution"]

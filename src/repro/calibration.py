@@ -24,7 +24,7 @@ Rates are in bytes/µs (== MB/s), times in µs, sizes in bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["HardwareProfile", "DEFAULT_PROFILE", "KB", "MB", "US_PER_KM"]
 

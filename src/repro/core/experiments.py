@@ -26,21 +26,31 @@ from __future__ import annotations
 
 from typing import List
 
-from ..calibration import DEFAULT_PROFILE, KB, MB
 from ..apps.nas import run_nas
+from ..calibration import DEFAULT_PROFILE, KB, MB
 from ..ipoib import netperf
-from ..mpi.benchmarks import (run_osu_bcast, run_osu_bibw, run_osu_bw,
-                              run_osu_latency, run_osu_mbw_mr)
-from ..mpi.tuning import DEFAULT_TUNING, MPITuning
+from ..mpi.benchmarks import (
+    run_osu_bcast,
+    run_osu_bibw,
+    run_osu_bw,
+    run_osu_mbw_mr,
+)
+from ..mpi.tuning import DEFAULT_TUNING
 from ..nfs.iozone import run_iozone_read
 from ..verbs import perftest
 from ..wan.delaymap import table1
 from . import scenario
-from .adaptive import auto_tune, probe_path, recommend_tuning
+from .adaptive import probe_path, recommend_tuning
 from .optimizations import coalesced_message_rate
-from .registry import (CELL_PLANS, EXPERIMENTS, CellPlan, ExperimentResult,
-                       UnknownExperimentError, experiment, run_all,
-                       run_experiment)
+from .registry import (
+    CELL_PLANS,
+    EXPERIMENTS,
+    CellPlan,
+    ExperimentResult,
+    experiment,
+    run_all,
+    run_experiment,
+)
 from .scenario import back_to_back, lan, wan_clusters, wan_pair
 
 __all__ = ["ExperimentResult", "EXPERIMENTS", "CELL_PLANS",

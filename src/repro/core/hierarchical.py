@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..mpi.collectives import _bcast_binomial, _coll_tag, barrier, bcast, reduce
+from ..mpi.collectives import _bcast_binomial, _coll_tag, barrier, reduce
 from ..mpi.process import MPIProcess
 
 __all__ = ["hierarchical_allreduce", "hierarchical_barrier"]

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, List, Optional, Tuple
 
 from ..mpi.process import MPIProcess, MPIRequest
-from ..tcp.socket import Socket, TcpStack
+from ..tcp.socket import Socket
 
 __all__ = ["MessageCoalescer", "striped_send", "coalesced_message_rate"]
 

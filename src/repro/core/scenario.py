@@ -9,7 +9,6 @@ Fig. 3 baseline and the NFS "LAN" reference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 from ..calibration import DEFAULT_PROFILE, HardwareProfile
 from ..fabric.topology import (Fabric, build_back_to_back, build_cluster,

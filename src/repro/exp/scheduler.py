@@ -46,9 +46,9 @@ Long sweeps survive misbehaving workers:
 from __future__ import annotations
 
 import contextlib
+import os
 import signal
 import threading
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool

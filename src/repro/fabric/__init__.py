@@ -5,9 +5,9 @@ from .node import HCA, Node
 from .packet import Frame, wire_size
 from .subnet import SubnetManager
 from .switch import Switch
-from .trace import FrameTracer, TraceRecord
 from .topology import (Fabric, build_back_to_back, build_cluster,
                        build_cluster_of_clusters)
+from .trace import FrameTracer, TraceRecord
 
 __all__ = ["Frame", "wire_size", "Link", "Switch", "HCA", "Node",
            "FrameTracer", "TraceRecord",

@@ -10,11 +10,10 @@ frames pipeline exactly as on a real wire.
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional, Protocol
 
-import itertools
-
-from ..sim import PriorityStore, ReusableTimeout, Simulator, URGENT
+from ..sim import URGENT, PriorityStore, ReusableTimeout, Simulator
 from .packet import Frame
 
 __all__ = ["Link", "LinkEndpoint", "CUT_THROUGH_BYTES"]

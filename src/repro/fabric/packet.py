@@ -10,7 +10,7 @@ while using ~1000x fewer events for large transfers (see DESIGN.md §5.1).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["Frame", "wire_size"]
 

@@ -16,17 +16,15 @@ ARP analogue) so peers can be resolved by LID.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
 
 from ..calibration import HardwareProfile
 from ..fabric.node import Node
 from ..fabric.topology import Fabric
 from ..sim import Simulator
-from ..verbs.cq import CompletionQueue
 from ..verbs.device import VerbsContext
 from ..verbs.ops import RecvWR
 from ..verbs.rc import RCQueuePair, connect_rc_pair
-from ..verbs.ud import UDQueuePair
 
 __all__ = ["IPoIBNetwork", "IPoIBInterface"]
 

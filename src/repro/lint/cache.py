@@ -1,0 +1,112 @@
+"""Incremental lint cache.
+
+Same content-addressed scheme as :mod:`repro.exp.cache`: the key is a
+SHA-256 over everything that can change a file's verdict — the file's
+source, the enabled rule set, the engine version and a digest of the
+linter's own source — so editing a rule, flipping ``--select`` or
+touching the file all invalidate exactly the affected entries.  Entries
+live under ``<cache-root>/lint/`` next to the experiment results, one
+JSON file per (file, configuration) pair; a corrupted entry is a miss,
+never an error.
+
+Project-scope rules (the PAR family) are *not* cached: their verdicts
+depend on pairs of files, which a per-file digest cannot key, and they
+are cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .violations import Violation
+
+__all__ = ["DEFAULT_CACHE_DIR", "LintCache", "lint_source_digest"]
+
+#: Shared with :data:`repro.exp.cache.DEFAULT_CACHE_DIR` by value; the
+#: lint entries live in a ``lint/`` subdirectory so ``repro.exp``'s
+#: ``clear()`` (which globs the top level) and this cache never collide.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_digest_memo: Optional[str] = None
+
+
+def lint_source_digest() -> str:
+    """SHA-256 over the linter's own source files.
+
+    The analogue of :func:`repro.exp.cache.source_digest`: editing any
+    rule or engine module changes this digest and therefore every key,
+    so a stale verdict can never survive a linter change.
+    """
+    global _digest_memo
+    if _digest_memo is None:
+        pkg = Path(__file__).parent
+        h = hashlib.sha256()
+        for path in sorted(pkg.rglob("*.py")):
+            h.update(path.relative_to(pkg).as_posix().encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+        _digest_memo = h.hexdigest()
+    return _digest_memo
+
+
+class LintCache:
+    """Content-addressed per-file lint verdicts under ``root``."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root) / "lint"
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, rel: str, source: str,
+            enabled_rules: Sequence[str]) -> str:
+        from .engine import ENGINE_VERSION
+        payload = {
+            "path": rel,
+            "source": hashlib.sha256(source.encode()).hexdigest(),
+            "rules": sorted(enabled_rules),
+            "engine": ENGINE_VERSION,
+            "lint_digest": lint_source_digest(),
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+    def path(self, rel: str, source: str,
+             enabled_rules: Sequence[str]) -> Path:
+        stem = Path(rel).stem or "file"
+        return self.root / f"{stem}-{self.key(rel, source, enabled_rules)[:16]}.json"
+
+    def load(self, rel: str, source: str,
+             enabled_rules: Sequence[str]) -> Optional[List[Violation]]:
+        """Cached violations, or ``None`` on miss/corruption."""
+        path = self.path(rel, source, enabled_rules)
+        try:
+            data = json.loads(path.read_text())
+            out = [Violation.from_dict(d) for d in data["violations"]]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return out
+
+    def save(self, rel: str, source: str, enabled_rules: Sequence[str],
+             violations: Sequence[Violation]) -> Path:
+        """Atomically persist one file's verdict (temp write + rename)."""
+        path = self.path(rel, source, enabled_rules)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(
+            {"violations": [v.to_dict() for v in violations]},
+            sort_keys=True))
+        tmp.replace(path)
+        return path

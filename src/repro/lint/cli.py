@@ -1,0 +1,101 @@
+"""``python -m repro.lint`` — the CI lint gate.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error (unknown rule in
+``--select``/``--ignore``, no files found).  ``--incremental`` reuses
+the ``.repro-cache`` content-addressed digest scheme so re-linting an
+unchanged tree re-checks nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .cache import DEFAULT_CACHE_DIR, LintCache
+from .engine import LintEngine, discover_files
+from .registry import SelectionError, load_builtin_rules
+from .report import render_json, render_rule_table, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism & simulation-safety static analysis "
+                    "for the repro codebase.")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src and tools "
+             "when they exist, else the current directory)")
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids or family prefixes to enable "
+             "(e.g. DET,SIM203); default: all rules")
+    parser.add_argument(
+        "--ignore", default="", metavar="RULES",
+        help="comma-separated rule ids or family prefixes to disable")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the report to FILE (CI artifact)")
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="reuse per-file verdicts from the content-addressed cache")
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"cache root for --incremental (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit")
+    return parser
+
+
+def _default_paths() -> List[Path]:
+    paths = [Path(p) for p in ("src", "tools") if Path(p).is_dir()]
+    return paths or [Path(".")]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    load_builtin_rules()
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else []
+    cache = LintCache(args.cache_dir) if args.incremental else None
+    try:
+        engine = LintEngine(select=select, ignore=ignore, cache=cache)
+    except SelectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths] or _default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): "
+              f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+    files = discover_files(paths)
+    if not files:
+        print("error: no python files found", file=sys.stderr)
+        return 2
+
+    report = engine.run(files)
+    rendered = (render_json(report) if args.format == "json"
+                else render_text(report) + "\n")
+    sys.stdout.write(rendered)
+    if args.out:
+        Path(args.out).write_text(rendered)
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Reporters: human text and machine JSON.
+
+The JSON schema is part of the CI contract (the workflow uploads it as
+an artifact) and is pinned by ``tests/test_lint.py``::
+
+    {
+      "tool": "repro.lint",
+      "version": "<engine version>",
+      "files_checked": <int>,
+      "violations": [{"rule", "name", "path", "line", "col", "message"}],
+      "counts": {"<rule id>": <int>, ...},
+      "cache": {"incremental": <bool>, "hits": <int>, "misses": <int>}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .engine import ENGINE_VERSION, LintReport
+from .registry import RULES
+
+__all__ = ["render_text", "render_json", "render_rule_table"]
+
+
+def render_text(report: LintReport) -> str:
+    lines = [f"{v.path}:{v.line}:{v.col}: {v.rule} [{v.name}] {v.message}"
+             for v in report.violations]
+    counts = report.counts
+    if counts:
+        per_rule = ", ".join(f"{rid}={n}" for rid, n in sorted(counts.items()))
+        lines.append(f"{len(report.violations)} violation(s) in "
+                     f"{report.files_checked} file(s): {per_rule}")
+    else:
+        lines.append(f"clean: {report.files_checked} file(s), 0 violations")
+    if report.incremental:
+        lines.append(f"cache: {report.cache_hits} hit(s), "
+                     f"{report.cache_misses} miss(es)")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    doc: Dict = {
+        "tool": "repro.lint",
+        "version": ENGINE_VERSION,
+        "files_checked": report.files_checked,
+        "violations": [v.to_dict() for v in report.violations],
+        "counts": report.counts,
+        "cache": {"incremental": report.incremental,
+                  "hits": report.cache_hits,
+                  "misses": report.cache_misses},
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_rule_table() -> str:
+    """The ``--list-rules`` output: one line per registered rule."""
+    lines = []
+    for rid, rule in RULES.items():
+        lines.append(f"{rid}  {rule.name:32s} [{rule.scope:7s}] "
+                     f"{rule.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Built-in rule packages; importing a module registers its rules."""
+
+from . import det, par, sim  # noqa: F401
+
+__all__ = ["det", "par", "sim"]

@@ -1,0 +1,188 @@
+"""DET — determinism rules.
+
+Replay in this project means: same seed, same event trace, byte for
+byte.  Anything that injects state from outside the simulation — the
+wall clock, the OS entropy pool, the interpreter's hash-randomized set
+order, CPython object addresses — breaks that silently, usually far
+downstream in a golden-trace diff.  These rules ban the injection
+points at the source level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext
+from ..registry import Rule, register
+from ..violations import Violation
+
+__all__ = ["WallClock", "Entropy", "UnseededRandom", "IdOrdering",
+           "SetOrderLeak"]
+
+#: Wall-clock readers.  ``time.sleep`` is deliberately absent: the
+#: host-side experiment scheduler sleeps between retries, which delays
+#: work but never feeds a value into a result.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_ENTROPY = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
+
+#: Files (path suffixes) where module-level :mod:`random` use is the
+#: point: the seeded-stream factory itself.
+_RNG_FACTORY_SUFFIX = "repro/sim/rng.py"
+
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register
+class WallClock(Rule):
+    id = "DET101"
+    name = "wall-clock"
+    summary = ("no wall-clock reads (time.time/monotonic/perf_counter, "
+               "datetime.now, ...): simulated time is Simulator.now")
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for call in _calls(ctx.tree):
+            chain = ctx.resolved_call_chain(call.func)
+            if chain in _WALL_CLOCK:
+                yield self.violation(
+                    ctx, call,
+                    f"wall-clock read `{chain}()` — simulation code must "
+                    f"use `sim.now`; host-side tooling needs a justified "
+                    f"suppression")
+
+
+@register
+class Entropy(Rule):
+    id = "DET102"
+    name = "entropy"
+    summary = ("no OS entropy (os.urandom, uuid.uuid1/uuid4, secrets.*): "
+               "identifiers and draws must derive from the master seed")
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for call in _calls(ctx.tree):
+            chain = ctx.resolved_call_chain(call.func)
+            if chain is None:
+                continue
+            if chain in _ENTROPY or chain.startswith("secrets."):
+                yield self.violation(
+                    ctx, call,
+                    f"entropy source `{chain}()` — derive ids and draws "
+                    f"from RngRegistry named streams instead")
+
+
+@register
+class UnseededRandom(Rule):
+    id = "DET103"
+    name = "unseeded-random"
+    summary = ("no module-level random.* calls or direct random.Random() "
+               "outside repro/sim/rng.py: draw from RngRegistry streams")
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.rel.endswith(_RNG_FACTORY_SUFFIX):
+            return
+        for call in _calls(ctx.tree):
+            chain = ctx.resolved_call_chain(call.func)
+            if chain is None or not chain.startswith("random."):
+                continue
+            # `rng.random()` on a stream object resolves to None (root
+            # is a variable, not the module) and is the blessed path.
+            yield self.violation(
+                ctx, call,
+                f"`{chain}()` bypasses the seeded stream registry — "
+                f"route every draw through "
+                f"`repro.sim.rng.RngRegistry.stream(name)`")
+
+
+@register
+class IdOrdering(Rule):
+    id = "DET104"
+    name = "id-ordering"
+    summary = ("no ordering or <-comparison by id(): CPython addresses "
+               "differ across runs and processes")
+    scope = "file"
+
+    _ORDER_FNS = {"sorted", "min", "max", "sort"}
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                fn_name = (fn.id if isinstance(fn, ast.Name)
+                           else fn.attr if isinstance(fn, ast.Attribute)
+                           else None)
+                if fn_name in self._ORDER_FNS:
+                    for kw in node.keywords:
+                        if (kw.arg == "key"
+                                and isinstance(kw.value, ast.Name)
+                                and kw.value.id == "id"):
+                            yield self.violation(
+                                ctx, node,
+                                f"`{fn_name}(..., key=id)` orders by "
+                                f"object address — order by a stable "
+                                f"field (sequence number, name) instead")
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                ranked = any(isinstance(op, (ast.Lt, ast.LtE, ast.Gt,
+                                             ast.GtE))
+                             for op in node.ops)
+                if ranked and any(
+                        isinstance(o, ast.Call)
+                        and isinstance(o.func, ast.Name)
+                        and o.func.id == "id" for o in operands):
+                    yield self.violation(
+                        ctx, node,
+                        "ordering comparison on `id(...)` — object "
+                        "addresses are not stable across runs")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+@register
+class SetOrderLeak(Rule):
+    id = "DET105"
+    name = "set-order-leak"
+    summary = ("no iterating (or list()/tuple()/enumerate()-ing) a set "
+               "expression: hash order is run-dependent — sorted() it")
+    scope = "file"
+
+    _MATERIALIZERS = {"list", "tuple", "enumerate", "iter"}
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        msg = ("iteration order of a set is hash-randomized across "
+               "interpreter runs — wrap it in `sorted(...)` before it "
+               "can feed event scheduling")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield self.violation(ctx, node.iter, msg)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield self.violation(ctx, gen.iter, msg)
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Name)
+                  and node.func.id in self._MATERIALIZERS
+                  and node.args and _is_set_expr(node.args[0])):
+                yield self.violation(ctx, node.args[0], msg)

@@ -1,0 +1,276 @@
+"""SIM — simulation-safety rules.
+
+The kernel's contract is narrow: processes yield :class:`Event`\\ s,
+``call_at``/``call_soon`` take plain callables, hot-path records are
+slotted, and nothing mutates a container it is iterating.  Each rule
+here catches one way of violating that contract that fails *silently*
+or far from the cause at runtime (a generator handed to ``call_soon``
+is created and never advanced; an unslotted ``Event`` subclass quietly
+grows a ``__dict__`` and the zero-allocation claim rots).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..engine import FileContext
+from ..registry import Rule, register
+from ..violations import Violation
+
+__all__ = ["YieldNonEvent", "GeneratorCallback", "MissingSlots",
+           "MutateDuringIteration"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SKIP_SCOPES = _FUNC_NODES + (ast.Lambda, ast.ClassDef)
+
+
+def _own_statements(fn: ast.AST, *, skip_dead: bool = False):
+    """Nodes belonging to ``fn``'s own body — nested defs/lambdas/classes
+    are opaque.  With ``skip_dead``, statically-false ``if`` arms are
+    skipped (the ``if False: yield`` keep-me-a-generator idiom)."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SKIP_SCOPES):
+            continue
+        if (skip_dead and isinstance(node, ast.If)
+                and isinstance(node.test, ast.Constant)
+                and not node.test.value):
+            stack.extend(node.orelse)
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(fn: ast.AST) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in _own_statements(fn))
+
+
+def _function_index(tree: ast.Module) -> Dict[str, List[ast.AST]]:
+    """Every function/method definition in the module, by bare name.
+
+    Nested functions are included — perftest-style experiments define
+    their process generators inline.  Collisions keep all candidates;
+    callers treat a hit on *any* candidate as a finding (rare in
+    practice, and suppressible).
+    """
+    index: Dict[str, List[ast.AST]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNC_NODES):
+            index.setdefault(node.name, []).append(node)
+    return index
+
+
+def _callee_name(expr: ast.AST) -> Optional[str]:
+    """Bare name of a callback/generator reference: ``pump`` or
+    ``self._pump`` (any attribute chain resolves to its last part)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+@register
+class YieldNonEvent(Rule):
+    id = "SIM201"
+    name = "yield-non-event"
+    summary = ("a generator registered via sim.process() must yield "
+               "event expressions — never bare `yield` or literals")
+    scope = "file"
+
+    _LITERALS = (ast.Constant, ast.Tuple, ast.List, ast.Set, ast.Dict,
+                 ast.JoinedStr)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        registered: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "process" and node.args):
+                gen = node.args[0]
+                if isinstance(gen, ast.Call):
+                    name = _callee_name(gen.func)
+                    if name:
+                        registered.add(name)
+        if not registered:
+            return
+        index = _function_index(ctx.tree)
+        for name in sorted(registered):
+            for fn in index.get(name, ()):
+                if not _is_generator(fn):
+                    continue
+                for node in _own_statements(fn, skip_dead=True):
+                    if not isinstance(node, ast.Yield):
+                        continue
+                    if node.value is None:
+                        yield self.violation(
+                            ctx, node,
+                            f"process generator {name!r} has a bare "
+                            f"`yield` — the kernel rejects non-event "
+                            f"yields at runtime, long after the cause")
+                    elif isinstance(node.value, self._LITERALS):
+                        yield self.violation(
+                            ctx, node,
+                            f"process generator {name!r} yields a "
+                            f"literal — processes wait by yielding "
+                            f"events (e.g. `yield sim.timeout(delay)`)")
+
+
+@register
+class GeneratorCallback(Rule):
+    id = "SIM202"
+    name = "generator-callback"
+    summary = ("call_soon/call_at must get a plain callable: passing a "
+               "generator function creates a generator that never runs")
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        index = _function_index(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("call_soon", "call_at")):
+                continue
+            fn_pos = 0 if node.func.attr == "call_soon" else 1
+            cb: Optional[ast.AST] = None
+            if len(node.args) > fn_pos:
+                cb = node.args[fn_pos]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "fn":
+                        cb = kw.value
+            if cb is None:
+                continue
+            name = _callee_name(cb)
+            if name is None:
+                continue
+            if any(_is_generator(fn) for fn in index.get(name, ())):
+                yield self.violation(
+                    ctx, node,
+                    f"{node.func.attr}() given generator function "
+                    f"{name!r}: the call returns a suspended generator "
+                    f"and the callback body never executes — register "
+                    f"it with sim.process() instead")
+
+
+#: Classes whose subclasses ride the event heap / hot path: leaving
+#: ``__slots__`` off a subclass silently re-grows a per-instance
+#: ``__dict__`` and voids the kernel's zero-allocation accounting.
+_SLOTTED_BASES = {
+    "Event", "Timeout", "ReusableTimeout", "Process", "_Callback",
+    "_Condition", "AnyOf", "AllOf", "StorePut", "StoreGet",
+    "ResourceRequest", "Frame",
+}
+
+
+@register
+class MissingSlots(Rule):
+    id = "SIM203"
+    name = "missing-slots"
+    summary = ("hot-path record classes (Event/Frame subclasses, and "
+               "subclasses of in-module slotted classes) must declare "
+               "__slots__")
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        classes = [n for n in ast.walk(ctx.tree)
+                   if isinstance(n, ast.ClassDef)]
+        slotted_local = {c.name for c in classes if self._has_slots(c)}
+        bases_needing_slots = _SLOTTED_BASES | slotted_local
+        for cls in classes:
+            base_names = {b.id if isinstance(b, ast.Name)
+                          else b.attr if isinstance(b, ast.Attribute)
+                          else "" for b in cls.bases}
+            hit = base_names & bases_needing_slots
+            if hit and not self._has_slots(cls):
+                yield self.violation(
+                    ctx, cls,
+                    f"class {cls.name!r} extends slotted hot-path "
+                    f"record {sorted(hit)[0]!r} without declaring "
+                    f"__slots__ — instances grow a __dict__ and the "
+                    f"zero-allocation fast path rots (use "
+                    f"`__slots__ = ()` when adding no fields)")
+
+    @staticmethod
+    def _has_slots(cls: ast.ClassDef) -> bool:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                       for t in stmt.targets):
+                    return True
+            elif isinstance(stmt, ast.AnnAssign):
+                if (isinstance(stmt.target, ast.Name)
+                        and stmt.target.id == "__slots__"):
+                    return True
+        return False
+
+
+_MUTATORS = {
+    "append", "appendleft", "add", "insert", "extend", "remove",
+    "discard", "pop", "popleft", "popitem", "clear", "update",
+    "setdefault",
+}
+
+
+def _simple_target(expr: ast.AST) -> Optional[str]:
+    """Canonical form of a plain name / dotted-attribute chain, or
+    ``None`` for anything with calls or subscripts in it."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register
+class MutateDuringIteration(Rule):
+    id = "SIM204"
+    name = "mutate-during-iteration"
+    summary = ("no structural mutation of a container inside its own "
+               "for-loop: iterate a copy (`list(c)`) or collect-then-"
+               "apply")
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                continue
+            target = _simple_target(loop.iter)
+            if target is None:  # iterating a copy/call — safe
+                continue
+            for node in self._loop_body_nodes(loop):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _MUTATORS
+                        and _simple_target(node.func.value) == target):
+                    yield self.violation(
+                        ctx, node,
+                        f"`{target}.{node.func.attr}(...)` mutates "
+                        f"`{target}` while iterating it — resize during "
+                        f"iteration skips or repeats elements "
+                        f"nondeterministically")
+                elif isinstance(node, ast.Delete):
+                    for tgt in node.targets:
+                        if (isinstance(tgt, ast.Subscript)
+                                and _simple_target(tgt.value) == target):
+                            yield self.violation(
+                                ctx, node,
+                                f"`del {target}[...]` inside the loop "
+                                f"iterating `{target}`")
+
+    @staticmethod
+    def _loop_body_nodes(loop: ast.AST):
+        stack: List[ast.AST] = list(loop.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _SKIP_SCOPES):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,120 @@
+"""Suppression comments.
+
+Two scopes, both requiring a justification after ``--``:
+
+* line scope — trailing comment suppresses the named rules on its own
+  physical line; a comment on a line of its own suppresses them on the
+  next code line::
+
+      t0 = time.process_time()  # repro-lint: disable=DET101 -- host-side bench timing
+
+      # repro-lint: disable=SIM201 -- guarded unreachable yield keeps this a generator
+      if False:
+          yield
+
+* file scope — ``disable-file=`` anywhere in the file suppresses the
+  rules for the whole file::
+
+      # repro-lint: disable-file=DET103 -- this IS the seeded-stream factory
+
+A suppression without a ``-- <reason>`` justification is **inert** and
+itself reported as ``LNT001``; an unknown rule id in the list is
+reported as ``LNT002`` (the remaining ids still apply).  Comments are
+found with :mod:`tokenize`, so a ``#`` inside a string never parses as
+a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+from .registry import RULES
+from .violations import Violation
+
+__all__ = ["SuppressionSet", "parse_suppressions"]
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)\s*(?:--\s*(?P<reason>\S.*?)\s*)?$")
+
+
+class SuppressionSet:
+    """Parsed suppressions for one file."""
+
+    __slots__ = ("file_rules", "line_rules")
+
+    def __init__(self):
+        #: Rule ids suppressed for the whole file.
+        self.file_rules: Set[str] = set()
+        #: line number -> rule ids suppressed on that line.
+        self.line_rules: Dict[int, Set[str]] = {}
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, ())
+
+
+def _comment_tokens(source: str):
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    comments: List[Tuple[int, int, str]] = []  # (line, col, text)
+    code_lines: Set[int] = set()
+    try:
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.start[1], tok.string))
+            elif tok.type not in (tokenize.NL, tokenize.NEWLINE,
+                                  tokenize.INDENT, tokenize.DEDENT,
+                                  tokenize.ENCODING, tokenize.ENDMARKER):
+                for ln in range(tok.start[0], tok.end[0] + 1):
+                    code_lines.add(ln)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST pass reports the syntax error; comments seen so far
+        # still count.
+        pass
+    return comments, code_lines
+
+
+def parse_suppressions(
+        rel: str, source: str) -> Tuple[SuppressionSet, List[Violation]]:
+    """Extract suppressions and their meta-violations from ``source``."""
+    supp = SuppressionSet()
+    meta: List[Violation] = []
+    comments, code_lines = _comment_tokens(source)
+    for line, col, text in comments:
+        m = _PRAGMA.search(text)
+        if m is None:
+            continue
+        if not m.group("reason"):
+            meta.append(Violation(
+                "LNT001", "suppression-needs-justification", rel, line, col,
+                "suppression has no `-- <reason>` justification; it is "
+                "inert until one is added"))
+            continue
+        rules: Set[str] = set()
+        for rid in m.group("rules").split(","):
+            rid = rid.strip()
+            if not rid:
+                continue
+            if rid not in RULES:
+                meta.append(Violation(
+                    "LNT002", "suppression-unknown-rule", rel, line, col,
+                    f"suppression names unknown rule {rid!r}"))
+                continue
+            rules.add(rid)
+        if not rules:
+            continue
+        if m.group("kind") == "disable-file":
+            supp.file_rules |= rules
+        elif line in code_lines:
+            supp.line_rules.setdefault(line, set()).update(rules)
+        else:
+            # Standalone comment: applies to the next code line.
+            target = min((ln for ln in code_lines if ln > line),
+                         default=None)
+            if target is not None:
+                supp.line_rules.setdefault(target, set()).update(rules)
+    return supp, meta

@@ -1,0 +1,54 @@
+"""The unit of lint output.
+
+A :class:`Violation` is one (rule, location, message) triple.  Rules
+yield them; the engine filters them against suppressions and hands the
+survivors to a reporter.  The class is slotted and value-like so reports
+are cheap to build, sort and serialize, and so cached lint results
+round-trip exactly through :meth:`to_dict` / :meth:`from_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["Violation"]
+
+
+class Violation:
+    """One rule hit at one source location."""
+
+    __slots__ = ("rule", "name", "path", "line", "col", "message")
+
+    def __init__(self, rule: str, name: str, path: str, line: int,
+                 col: int, message: str):
+        self.rule = rule          #: rule id, e.g. ``"DET101"``
+        self.name = name          #: rule slug, e.g. ``"wall-clock"``
+        self.path = path          #: posix-style path as given to the engine
+        self.line = line          #: 1-based line number
+        self.col = col            #: 0-based column
+        self.message = message
+
+    # -- ordering / equality (stable report order) -----------------------
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Violation)
+                and self.sort_key() == other.sort_key())
+
+    def __hash__(self) -> int:
+        return hash(self.sort_key())
+
+    def __repr__(self) -> str:
+        return (f"Violation({self.rule} {self.path}:{self.line}:"
+                f"{self.col} {self.message!r})")
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rule": self.rule, "name": self.name, "path": self.path,
+                "line": self.line, "col": self.col, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Violation":
+        return cls(d["rule"], d["name"], d["path"], int(d["line"]),
+                   int(d["col"]), d["message"])

@@ -14,7 +14,7 @@ Implemented to match the originals' measurement loops:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..fabric.topology import Fabric
 from ..sim import Simulator

@@ -19,8 +19,7 @@ Broadcast comes in the three flavours the paper compares:
 from __future__ import annotations
 
 import functools
-
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from .process import MPIProcess
 

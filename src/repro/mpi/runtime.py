@@ -8,7 +8,7 @@ crossings of every collective depends on it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from ..fabric.node import Node
 from ..fabric.topology import Fabric

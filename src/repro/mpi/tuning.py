@@ -8,7 +8,6 @@ its §3.4 broadcast experiment a change of :attr:`MPITuning.bcast_algorithm`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from ..calibration import KB
 

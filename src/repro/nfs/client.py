@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from ..calibration import HardwareProfile
 from ..sim import Simulator

@@ -23,8 +23,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..calibration import HardwareProfile
 from ..fabric.node import Node
-from ..sim import Simulator, Store
-from ..tcp.socket import Listener, Socket, TcpStack
+from ..tcp.socket import Socket, TcpStack
 from ..verbs.device import VerbsContext
 from ..verbs.ops import RecvWR
 from ..verbs.qp import QPState

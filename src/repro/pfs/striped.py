@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..calibration import HardwareProfile, MB
+from ..calibration import MB
 from ..fabric.node import Node
 from ..fabric.topology import Fabric
 from ..nfs.rpc import RdmaRpcClient, RdmaRpcServer

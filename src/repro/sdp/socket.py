@@ -22,13 +22,12 @@ RC window dynamics over WAN — it beats IPoIB at LAN distances but is
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from ..calibration import HardwareProfile
 from ..fabric.node import Node
 from ..fabric.topology import Fabric
 from ..sim import ReusableTimeout, Simulator, Store
-from ..verbs.cq import CompletionQueue
 from ..verbs.device import VerbsContext
 from ..verbs.ops import RecvWR
 from ..verbs.rc import RCQueuePair, connect_rc_pair

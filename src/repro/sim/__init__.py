@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel (time unit: microseconds)."""
 
-from .core import (AllOf, AnyOf, Event, Interrupt, Process, ReusableTimeout,
-                   SimulationError, Simulator, Timeout, NORMAL, URGENT)
+from .core import (NORMAL, URGENT, AllOf, AnyOf, Event, Interrupt, Process,
+                   ReusableTimeout, SimulationError, Simulator, Timeout)
 from .monitor import StatAccumulator, ThroughputMeter, TimeSeries, mbps_from_bytes
 from .resources import PriorityStore, Resource, Store
 from .rng import RngRegistry

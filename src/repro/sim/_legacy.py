@@ -22,8 +22,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable
 
-from .core import (Event, ReusableTimeout, Simulator, Timeout, _NO_ARG,
-                   NORMAL)
+from .core import (_NO_ARG, NORMAL, Event, ReusableTimeout, Simulator,
+                   Timeout)
 
 __all__ = ["legacy_dispatch"]
 

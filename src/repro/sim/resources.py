@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, List, Optional
+from typing import Any, List
 
-from .core import Event, Simulator, SimulationError
+from .core import Event, Simulator
 
 __all__ = ["Store", "PriorityStore", "Resource", "StorePut", "StoreGet",
            "ResourceRequest"]

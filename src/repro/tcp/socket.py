@@ -21,9 +21,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
-
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
 from ..calibration import HardwareProfile
 from ..sim import Resource, ReusableTimeout, Simulator, Store

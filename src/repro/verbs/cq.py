@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..sim import Simulator, Store
 from .ops import WorkCompletion

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..calibration import HardwareProfile
 from ..fabric.node import Node
 from .cq import CompletionQueue, MemoryRegion, ProtectionDomain
 from .rc import RCQueuePair, connect_rc_pair

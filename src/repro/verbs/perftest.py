@@ -19,9 +19,8 @@ from typing import Optional
 from ..fabric.node import Node
 from ..sim import Simulator
 from .device import create_connected_rc_pair, create_ud_pair
-from .ops import RecvWR, SendWR
+from .ops import RecvWR
 from .qp import QueuePair
-from .rc import RCQueuePair
 from .ud import UDQueuePair
 
 __all__ = ["run_send_lat", "run_send_bw", "run_bidir_bw", "run_write_bw",

@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque
 
 from ..calibration import HardwareProfile
 from ..fabric.node import HCA
 from ..fabric.packet import Frame
-from ..sim import Simulator, Store
+from ..sim import Simulator
 from .cq import CompletionQueue
-from .ops import RecvWR, WorkCompletion
+from .ops import RecvWR
 
 __all__ = ["QPState", "QueuePair"]
 

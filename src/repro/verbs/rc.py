@@ -22,15 +22,23 @@ Model notes
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Any, Deque, Dict, Optional, Tuple
+from typing import Any, Deque, Optional
 
 from ..calibration import HardwareProfile
 from ..fabric.node import HCA
 from ..fabric.packet import Frame, wire_size
-from ..sim import ReusableTimeout, Simulator, Store, URGENT
+from ..sim import URGENT, ReusableTimeout, Simulator, Store
 from .cq import CompletionQueue
-from .ops import (AtomicWR, Opcode, RDMAReadWR, RDMAWriteWR, RecvWR, SendWR,
-                  WCStatus, WorkCompletion, WorkRequest)
+from .ops import (
+    AtomicWR,
+    Opcode,
+    RDMAReadWR,
+    RDMAWriteWR,
+    SendWR,
+    WCStatus,
+    WorkCompletion,
+    WorkRequest,
+)
 from .qp import QPState, QueuePair
 
 __all__ = ["RCQueuePair", "connect_rc_pair", "reconnect_rc_pair"]

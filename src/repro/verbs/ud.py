@@ -10,12 +10,12 @@ construction (and the test-suite checks it stays that way).
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, Tuple
 
 from ..calibration import HardwareProfile
 from ..fabric.node import HCA
 from ..fabric.packet import Frame, wire_size
-from ..sim import ReusableTimeout, Simulator, Store, URGENT
+from ..sim import URGENT, ReusableTimeout, Simulator, Store
 from .cq import CompletionQueue
 from .ops import Opcode, SendWR, WCStatus, WorkCompletion
 from .qp import QPState, QueuePair

@@ -22,7 +22,7 @@ from typing import List, Optional
 from ..calibration import HardwareProfile
 from ..fabric.link import Link
 from ..fabric.packet import Frame
-from ..sim import Simulator, Store, URGENT
+from ..sim import URGENT, Simulator, Store
 
 __all__ = ["Longbow", "LongbowPair"]
 

@@ -1,0 +1,10 @@
+"""BAD: reads the wall clock inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event(record):
+    record.host_time = time.time()
+    record.created = datetime.now()
+    return record

@@ -1,0 +1,13 @@
+"""GOOD: timestamps come from the simulator clock; time.sleep is a
+host-side backoff, not a clock read."""
+
+import time
+
+
+def stamp_event(sim, record):
+    record.sim_time = sim.now
+    return record
+
+
+def backoff(seconds):
+    time.sleep(seconds)

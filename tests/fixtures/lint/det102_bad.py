@@ -1,0 +1,12 @@
+"""BAD: identifiers drawn from the OS entropy pool."""
+
+import os
+import uuid
+
+
+def fresh_request_id():
+    return uuid.uuid4()
+
+
+def fresh_cookie():
+    return os.urandom(8)

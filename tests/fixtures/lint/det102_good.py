@@ -1,0 +1,13 @@
+"""GOOD: identifiers derive from counters and the master seed."""
+
+import itertools
+
+_ids = itertools.count()
+
+
+def fresh_request_id():
+    return next(_ids)
+
+
+def fresh_cookie(rng):
+    return rng.getrandbits(64)

@@ -1,0 +1,12 @@
+"""BAD: module-level random calls and a hand-rolled Random instance."""
+
+import random
+from random import Random
+
+
+def jitter(base):
+    return base + random.uniform(0.0, 1.0)
+
+
+def make_rng():
+    return Random(42)

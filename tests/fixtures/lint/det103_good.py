@@ -1,0 +1,6 @@
+"""GOOD: every draw goes through a named registry stream object."""
+
+
+def jitter(registry, base):
+    rng = registry.stream("link.jitter")
+    return base + rng.uniform(0.0, 1.0)

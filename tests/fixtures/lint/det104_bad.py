@@ -1,0 +1,9 @@
+"""BAD: orders objects by their CPython addresses."""
+
+
+def stable_order(events):
+    return sorted(events, key=id)
+
+
+def first_wins(a, b):
+    return a if id(a) < id(b) else b

@@ -1,0 +1,10 @@
+"""BAD: set iteration order leaks into scheduling."""
+
+
+def kick_all(sim, procs):
+    for proc in set(procs):
+        sim.call_soon(proc.resume)
+
+
+def snapshot(frames):
+    return list({f.frame_id for f in frames})

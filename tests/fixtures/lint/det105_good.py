@@ -1,0 +1,10 @@
+"""GOOD: sets are sorted before their order can matter."""
+
+
+def kick_all(sim, procs):
+    for proc in sorted(set(procs), key=lambda p: p.name):
+        sim.call_soon(proc.resume)
+
+
+def snapshot(frames):
+    return sorted({f.frame_id for f in frames})

@@ -1,0 +1,39 @@
+"""Fixture legacy shims, intentionally rotten two ways:
+
+* ``Simulator.call_later`` is patched but the kernel defines no such
+  method (the fast path was renamed and the shim was not);
+* ``_legacy_arm`` dropped the ``value`` parameter the real ``arm``
+  still has.
+"""
+
+from contextlib import contextmanager
+
+from .core import NORMAL, ReusableTimeout, Simulator
+
+
+def _legacy_call_at(self, delay, fn, arg=None, priority=NORMAL,
+                    cancellable=True):
+    return fn
+
+
+def _legacy_arm(self, delay):
+    return self
+
+
+def _legacy_run(self, until=None):
+    return until
+
+
+@contextmanager
+def legacy_dispatch():
+    from ..fabric import link as _link
+
+    saved = (ReusableTimeout.arm, Simulator.run, _link._FAST_PUMP)
+    Simulator.call_later = _legacy_call_at
+    ReusableTimeout.arm = _legacy_arm
+    Simulator.run = _legacy_run
+    _link._FAST_PUMP = False
+    try:
+        yield
+    finally:
+        (ReusableTimeout.arm, Simulator.run, _link._FAST_PUMP) = saved

@@ -1,0 +1,17 @@
+"""Fixture kernel for the broken-parity tree (same as the good one)."""
+
+NORMAL = 1
+
+
+class Simulator:
+    def call_at(self, delay, fn, arg=None, priority=NORMAL,
+                cancellable=True):
+        return fn
+
+    def run(self, until=None):
+        return until
+
+
+class ReusableTimeout:
+    def arm(self, delay, value=None):
+        return self

@@ -1,0 +1,10 @@
+"""Fixture pump module, rotten two ways: it declares a fast-pump
+switch that legacy_dispatch never flips, and its generator-mode twin
+was deleted when the callback pump landed."""
+
+_FAST_PUMP = True
+
+
+class HalfLink:
+    def _next_frame(self):
+        pass

@@ -1,0 +1,6 @@
+"""Fixture kernel for the missing-twin tree."""
+
+
+class Simulator:
+    def run(self, until=None):
+        return until

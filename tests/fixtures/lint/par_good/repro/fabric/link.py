@@ -1,0 +1,13 @@
+"""Fixture pump module: fast switch plus its generator-mode twin."""
+
+_FAST_PUMP = True
+
+
+class HalfLink:
+    def _next_frame(self):
+        pass
+
+    def _pump(self):
+        while True:
+            entry = yield self.queue.get()
+            self.deliver(entry)

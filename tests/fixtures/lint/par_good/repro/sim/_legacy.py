@@ -1,0 +1,36 @@
+"""Fixture legacy shims: every patch target exists, signatures match,
+and the fast-pump module is flipped."""
+
+from contextlib import contextmanager
+
+from .core import NORMAL, ReusableTimeout, Simulator
+
+
+def _legacy_call_at(self, delay, fn, arg=None, priority=NORMAL,
+                    cancellable=True):
+    return fn
+
+
+def _legacy_arm(self, delay, value=None):
+    return self
+
+
+def _legacy_run(self, until=None):
+    return until
+
+
+@contextmanager
+def legacy_dispatch():
+    from ..fabric import link as _link
+
+    saved = (Simulator.call_at, ReusableTimeout.arm, Simulator.run,
+             _link._FAST_PUMP)
+    Simulator.call_at = _legacy_call_at
+    ReusableTimeout.arm = _legacy_arm
+    Simulator.run = _legacy_run
+    _link._FAST_PUMP = False
+    try:
+        yield
+    finally:
+        (Simulator.call_at, ReusableTimeout.arm, Simulator.run,
+         _link._FAST_PUMP) = saved

@@ -1,0 +1,17 @@
+"""Fixture kernel: the fast entry points legacy_dispatch swaps."""
+
+NORMAL = 1
+
+
+class Simulator:
+    def call_at(self, delay, fn, arg=None, priority=NORMAL,
+                cancellable=True):
+        return fn
+
+    def run(self, until=None):
+        return until
+
+
+class ReusableTimeout:
+    def arm(self, delay, value=None):
+        return self

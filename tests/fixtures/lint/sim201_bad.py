@@ -1,0 +1,11 @@
+"""BAD: a registered process yields a bare value and a literal."""
+
+
+def driver(sim, qp):
+    def client():
+        yield
+        qp.send(1)
+        yield 3.0
+
+    done = sim.process(client(), name="client")
+    return done

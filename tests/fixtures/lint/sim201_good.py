@@ -1,0 +1,17 @@
+"""GOOD: processes yield event expressions; the guarded unreachable
+yield that keeps a non-waiting body a generator is tolerated."""
+
+
+def driver(sim, qp):
+    def client():
+        yield sim.timeout(3.0)
+        qp.send(1)
+        yield qp.recv_cq.wait()
+
+    def sender():
+        qp.send(2)
+        if False:  # pragma: no cover - keeps this a generator
+            yield
+
+    sim.process(sender(), name="sender")
+    return sim.process(client(), name="client")

@@ -1,0 +1,17 @@
+"""BAD: hands a generator function to call_soon/call_at — the callback
+creates a suspended generator and its body never executes."""
+
+
+class Pump:
+    def __init__(self, sim):
+        self.sim = sim
+        sim.call_soon(self._pump)
+
+    def _pump(self):
+        while True:
+            entry = yield self.queue.get()
+            self.deliver(entry)
+
+
+def arm_timer(sim, pump):
+    sim.call_at(5.0, pump._pump)

@@ -1,0 +1,21 @@
+"""GOOD: callbacks are plain callables; the generator pump is
+registered as a process."""
+
+
+class Pump:
+    def __init__(self, sim):
+        self.sim = sim
+        sim.process(self._pump(), name="pump")
+        sim.call_soon(self._kick)
+
+    def _kick(self):
+        self.deliver(None)
+
+    def _pump(self):
+        while True:
+            entry = yield self.queue.get()
+            self.deliver(entry)
+
+
+def arm_timer(sim, pump):
+    sim.call_at(5.0, pump._kick)

@@ -1,0 +1,11 @@
+"""BAD: hot-path record subclasses without __slots__ regrow a
+per-instance __dict__."""
+
+
+class Event:
+    __slots__ = ("sim", "callbacks")
+
+
+class CompletionEvent(Event):
+    def __init__(self, sim, wr_id):
+        self.wr_id = wr_id

@@ -1,0 +1,24 @@
+"""GOOD: every record subclass stays slotted (empty tuple when it adds
+no fields)."""
+
+
+class Event:
+    __slots__ = ("sim", "callbacks")
+
+
+class CompletionEvent(Event):
+    __slots__ = ("wr_id",)
+
+    def __init__(self, sim, wr_id):
+        self.wr_id = wr_id
+
+
+class BarrierEvent(Event):
+    __slots__ = ()
+
+
+class PlainHelper:
+    """Not a hot-path record; a __dict__ is fine here."""
+
+    def __init__(self):
+        self.notes = []

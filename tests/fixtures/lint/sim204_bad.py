@@ -1,0 +1,13 @@
+"""BAD: resizes containers while iterating them."""
+
+
+def drain(waiters):
+    for req in waiters:
+        if req.done:
+            waiters.remove(req)
+
+
+def expire(self):
+    for key in self.pending:
+        if self.pending[key].stale:
+            del self.pending[key]

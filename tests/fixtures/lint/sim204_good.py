@@ -1,0 +1,13 @@
+"""GOOD: iterates a copy, or collects then applies."""
+
+
+def drain(waiters):
+    for req in list(waiters):
+        if req.done:
+            waiters.remove(req)
+
+
+def expire(self):
+    stale = [k for k, v in self.pending.items() if v.stale]
+    for key in stale:
+        del self.pending[key]

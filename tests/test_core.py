@@ -10,7 +10,6 @@ from repro.core import (EXPERIMENTS, MessageCoalescer, PathEstimate,
                         recommend_tuning, run_experiment, wan_clusters,
                         wan_pair)
 from repro.mpi import MPIJob
-from repro.sim import Simulator
 
 
 # ---------------------------------------------------------------------------

@@ -9,7 +9,6 @@ them — every delay in Table 1.
 """
 
 import pytest
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

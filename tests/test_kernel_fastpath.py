@@ -15,8 +15,8 @@ import pytest
 from repro.fabric import build_cluster_of_clusters
 from repro.fabric.link import Link
 from repro.fabric.packet import Frame
-from repro.sim import (AllOf, AnyOf, ReusableTimeout, SimulationError,
-                       Simulator, URGENT)
+from repro.sim import (URGENT, AllOf, AnyOf, ReusableTimeout,
+                       SimulationError, Simulator)
 from repro.sim._legacy import legacy_dispatch
 from repro.verbs import perftest
 

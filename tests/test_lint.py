@@ -1,0 +1,299 @@
+"""Test wall for :mod:`repro.lint`.
+
+Four layers, mirroring the engine's own structure:
+
+* fixture pairs — every rule catches its bad fixture and stays silent
+  on the good one, and each bad fixture triggers *exactly* its rule;
+* suppression parsing — line/file scope, standalone-comment targeting,
+  mandatory-justification rejection, unknown-rule reporting;
+* engine plumbing — JSON report schema, selection expansion, exit
+  codes, incremental cache reuse and invalidation;
+* the PAR family against intentionally broken ``_legacy`` fixture
+  trees, so the parity rules are proved to *fail* when parity rots.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (RULES, LintCache, LintEngine, Violation,
+                        discover_files, load_builtin_rules,
+                        parse_suppressions)
+from repro.lint.registry import SelectionError, expand_selection
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+load_builtin_rules()
+
+#: rule id -> fixture stem; PAR rules use whole fixture trees instead.
+FILE_RULES = ["DET101", "DET102", "DET103", "DET104", "DET105",
+              "SIM201", "SIM202", "SIM203", "SIM204"]
+PAR_RULES = ["PAR301", "PAR302"]
+
+
+def lint_paths(*paths, select=None, ignore=(), cache=None, root=None):
+    engine = LintEngine(select=select, ignore=ignore, cache=cache)
+    return engine.run(discover_files([Path(p) for p in paths]),
+                      root=root or Path.cwd())
+
+
+# ---------------------------------------------------------------------------
+# fixture pairs
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("rule", FILE_RULES)
+def test_bad_fixture_triggers_exactly_its_rule(rule):
+    report = lint_paths(FIXTURES / f"{rule.lower()}_bad.py")
+    assert report.violations, f"{rule} bad fixture produced no violations"
+    assert {v.rule for v in report.violations} == {rule}
+
+
+@pytest.mark.parametrize("rule", FILE_RULES)
+def test_good_fixture_is_clean(rule):
+    report = lint_paths(FIXTURES / f"{rule.lower()}_good.py")
+    assert report.violations == [], (
+        f"{rule} good fixture flagged: {report.violations}")
+
+
+@pytest.mark.parametrize("tree,rule", [("par301_bad", "PAR301"),
+                                       ("par302_bad", "PAR302")])
+def test_par_bad_tree_triggers_exactly_its_rule(tree, rule):
+    report = lint_paths(FIXTURES / tree, root=FIXTURES / tree)
+    assert report.violations
+    assert {v.rule for v in report.violations} == {rule}
+
+
+def test_par_good_tree_is_clean():
+    report = lint_paths(FIXTURES / "par_good", root=FIXTURES / "par_good")
+    assert report.violations == []
+
+
+def test_par301_catches_both_rot_modes():
+    report = lint_paths(FIXTURES / "par301_bad",
+                        root=FIXTURES / "par301_bad", select=["PAR301"])
+    messages = "\n".join(v.message for v in report.violations)
+    assert "call_later" in messages          # patch of a missing method
+    assert "signature" in messages           # shim/fast signature drift
+    assert len(report.violations) == 2
+
+
+def test_par302_catches_unflipped_and_twinless_pump():
+    report = lint_paths(FIXTURES / "par302_bad",
+                        root=FIXTURES / "par302_bad", select=["PAR302"])
+    messages = "\n".join(v.message for v in report.violations)
+    assert "never" in messages and "flips" in messages
+    assert "generator-mode pump" in messages
+    assert len(report.violations) == 2
+
+
+def test_at_least_eight_rules_have_fixture_coverage():
+    # The acceptance bar: >= 8 distinct rules demonstrably catch their
+    # bad fixture.  9 file rules + 2 project rules are covered above.
+    assert len(FILE_RULES) + len(PAR_RULES) >= 8
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+def test_trailing_suppression_silences_its_line(tmp_path):
+    path = _write(tmp_path, "mod.py", (
+        "import time\n"
+        "t0 = time.time()  # repro-lint: disable=DET101 -- bench timing\n"
+        "t1 = time.time()\n"))
+    report = lint_paths(path)
+    assert [v.line for v in report.violations] == [3]
+
+
+def test_standalone_suppression_applies_to_next_code_line(tmp_path):
+    path = _write(tmp_path, "mod.py", (
+        "import time\n"
+        "# repro-lint: disable=DET101 -- startup stamp, logged only\n"
+        "t0 = time.time()\n"
+        "t1 = time.time()\n"))
+    report = lint_paths(path)
+    assert [v.line for v in report.violations] == [4]
+
+
+def test_file_scope_suppression(tmp_path):
+    path = _write(tmp_path, "mod.py", (
+        "# repro-lint: disable-file=DET101 -- host-side tool, wall clock ok\n"
+        "import time\n"
+        "t0 = time.time()\n"
+        "t1 = time.time()\n"))
+    assert lint_paths(path).violations == []
+
+
+def test_suppression_without_justification_is_inert_and_reported(tmp_path):
+    path = _write(tmp_path, "mod.py", (
+        "import time\n"
+        "t0 = time.time()  # repro-lint: disable=DET101\n"))
+    report = lint_paths(path)
+    assert {v.rule for v in report.violations} == {"DET101", "LNT001"}
+
+
+def test_suppression_of_unknown_rule_reports_lnt002(tmp_path):
+    path = _write(tmp_path, "mod.py", (
+        "import time\n"
+        "t0 = time.time()  # repro-lint: disable=DET999,DET101 -- legacy\n"))
+    report = lint_paths(path)
+    # DET101 is known and justified, so it is suppressed; DET999 is not.
+    assert {v.rule for v in report.violations} == {"LNT002"}
+
+
+def test_suppression_comment_inside_string_is_ignored():
+    supp, meta = parse_suppressions("m.py", (
+        's = "# repro-lint: disable=DET101 -- not a comment"\n'))
+    assert not supp.file_rules and not supp.line_rules and not meta
+
+
+def test_multi_rule_suppression(tmp_path):
+    path = _write(tmp_path, "mod.py", (
+        "import time, uuid\n"
+        "x = (time.time(), uuid.uuid4())"
+        "  # repro-lint: disable=DET101,DET102 -- fixture exercising both\n"))
+    assert lint_paths(path).violations == []
+
+
+def test_syntax_error_reported_as_lnt003(tmp_path):
+    path = _write(tmp_path, "mod.py", "def broken(:\n")
+    report = lint_paths(path)
+    assert [v.rule for v in report.violations] == ["LNT003"]
+    assert report.exit_code == 1
+
+
+# ---------------------------------------------------------------------------
+# selection, report schema, CLI
+# ---------------------------------------------------------------------------
+
+def test_selection_expands_families_and_rejects_unknown():
+    det = expand_selection(["DET"])
+    assert det == [r for r in RULES if r.startswith("DET")]
+    assert expand_selection(["SIM203"]) == ["SIM203"]
+    with pytest.raises(SelectionError):
+        expand_selection(["NOPE"])
+
+
+def test_select_and_ignore_narrow_the_run(tmp_path):
+    path = _write(tmp_path, "mod.py", (
+        "import time, uuid\n"
+        "x = time.time()\n"
+        "y = uuid.uuid4()\n"))
+    assert {v.rule for v in lint_paths(path, select=["DET101"]).violations} \
+        == {"DET101"}
+    assert {v.rule for v in lint_paths(path, ignore=["DET101"]).violations} \
+        == {"DET102"}
+
+
+def test_json_report_schema(tmp_path):
+    bad = FIXTURES / "det101_bad.py"
+    out = tmp_path / "report.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(bad), "--format", "json",
+         "--out", str(out)],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    assert proc.returncode == 1
+    doc = json.loads(out.read_text())
+    assert json.loads(proc.stdout) == doc
+    assert doc["tool"] == "repro.lint"
+    assert set(doc) == {"tool", "version", "files_checked", "violations",
+                        "counts", "cache"}
+    assert doc["files_checked"] == 1
+    assert doc["counts"] == {"DET101": 2}
+    for v in doc["violations"]:
+        assert set(v) == {"rule", "name", "path", "line", "col", "message"}
+        assert v["rule"] == "DET101"
+    assert set(doc["cache"]) == {"incremental", "hits", "misses"}
+
+
+def test_cli_exit_codes(tmp_path):
+    clean = _write(tmp_path, "clean.py", "x = 1\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(clean)],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    assert proc.returncode == 0, proc.stderr
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(clean),
+         "--select", "BOGUS"],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    assert proc.returncode == 2
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(tmp_path / "missing")],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    assert proc.returncode == 2
+
+
+def test_cli_list_rules(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--list-rules"],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    assert proc.returncode == 0
+    for rid in FILE_RULES + PAR_RULES + ["LNT001", "LNT002", "LNT003"]:
+        assert rid in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# incremental cache
+# ---------------------------------------------------------------------------
+
+def test_incremental_cache_hits_and_invalidation(tmp_path):
+    src = _write(tmp_path, "mod.py", "import time\nx = time.time()\n")
+    cache_dir = tmp_path / "cache"
+
+    first = lint_paths(src, cache=LintCache(cache_dir))
+    assert (first.cache_hits, first.cache_misses) == (0, 1)
+    second = lint_paths(src, cache=LintCache(cache_dir))
+    assert (second.cache_hits, second.cache_misses) == (1, 0)
+    assert second.violations == first.violations
+
+    # Editing the file invalidates its entry.
+    src.write_text("import time\ny = 1\nx = time.time()\n")
+    third = lint_paths(src, cache=LintCache(cache_dir))
+    assert (third.cache_hits, third.cache_misses) == (0, 1)
+    assert [v.line for v in third.violations] == [3]
+
+    # Changing the enabled rule set changes the key too.
+    fourth = lint_paths(src, cache=LintCache(cache_dir),
+                        select=["DET101"])
+    assert fourth.cache_misses == 1
+
+
+def test_corrupted_cache_entry_is_a_miss(tmp_path):
+    src = _write(tmp_path, "mod.py", "import time\nx = time.time()\n")
+    cache_dir = tmp_path / "cache"
+    lint_paths(src, cache=LintCache(cache_dir))
+    entries = list((cache_dir / "lint").glob("*.json"))
+    assert len(entries) == 1
+    entries[0].write_text("{ truncated")
+    report = lint_paths(src, cache=LintCache(cache_dir))
+    assert (report.cache_hits, report.cache_misses) == (0, 1)
+    assert [v.rule for v in report.violations] == ["DET101"]
+
+
+def test_violation_round_trip():
+    v = Violation("DET101", "wall-clock", "a/b.py", 3, 7, "msg")
+    assert Violation.from_dict(v.to_dict()) == v
+
+
+# ---------------------------------------------------------------------------
+# the gate itself
+# ---------------------------------------------------------------------------
+
+def test_repo_tree_lints_clean():
+    """The merged tree must satisfy its own gate (acceptance criterion)."""
+    report = lint_paths(REPO_ROOT / "src", REPO_ROOT / "tools",
+                        root=REPO_ROOT)
+    assert report.violations == [], "\n".join(
+        f"{v.path}:{v.line}: {v.rule} {v.message}"
+        for v in report.violations)
+    assert report.files_checked > 80

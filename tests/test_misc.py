@@ -1,11 +1,10 @@
 """Tests for measurement helpers, OSU collectives, LU profile,
 calibration and experiment plumbing."""
 
-import math
 
 import pytest
 
-from repro.calibration import DEFAULT_PROFILE, KB, HardwareProfile
+from repro.calibration import DEFAULT_PROFILE, KB
 from repro.core import wan_clusters
 from repro.sim import Simulator, ThroughputMeter, TimeSeries, mbps_from_bytes
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.calibration import KB
 from repro.fabric import build_cluster_of_clusters
-from repro.mpi import MPIJob, MPITuning
+from repro.mpi import MPIJob
 from repro.mpi.collectives import (allgather, allreduce, alltoall, alltoallv,
                                    barrier, bcast, reduce)
 from repro.sim import Simulator

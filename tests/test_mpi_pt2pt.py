@@ -3,7 +3,7 @@
 import pytest
 
 from repro.calibration import KB, MB
-from repro.fabric import build_cluster, build_cluster_of_clusters
+from repro.fabric import build_cluster_of_clusters
 from repro.mpi import ANY_SOURCE, ANY_TAG, MPIJob, MPITuning
 from repro.sim import Simulator
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.calibration import DEFAULT_PROFILE, KB, MB
 from repro.fabric import build_cluster, build_cluster_of_clusters
-from repro.nfs import NFSServer, mount, run_iozone_read
+from repro.nfs import mount, run_iozone_read
 from repro.sim import Simulator
 
 

@@ -17,8 +17,7 @@ import json
 
 import pytest
 
-from repro.obs import (Counter, Gauge, Histogram, MetricsRegistry,
-                       to_json, to_json_lines)
+from repro.obs import Histogram, MetricsRegistry, to_json, to_json_lines
 from repro.obs.metrics import key_str
 from repro.sim.rng import RngRegistry
 

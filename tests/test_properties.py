@@ -2,7 +2,6 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.calibration import DEFAULT_PROFILE
 from repro.fabric import build_back_to_back, wire_size
 from repro.sim import PriorityStore, Simulator, StatAccumulator, Store
 from repro.tcp import CongestionControl

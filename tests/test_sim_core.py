@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.sim import (AllOf, AnyOf, Event, Interrupt, Process,
-                       SimulationError, Simulator)
+from repro.sim import Interrupt, SimulationError, Simulator
 
 
 # ---------------------------------------------------------------------------

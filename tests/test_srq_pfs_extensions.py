@@ -6,8 +6,7 @@ import pytest
 from repro.calibration import KB, MB
 from repro.fabric import build_back_to_back, build_cluster_of_clusters
 from repro.sim import Simulator
-from repro.verbs import (RecvWR, SharedReceiveQueue, VerbsContext,
-                         connect_rc_pair)
+from repro.verbs import RecvWR, VerbsContext, connect_rc_pair
 
 
 # ---------------------------------------------------------------------------

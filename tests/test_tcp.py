@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.calibration import DEFAULT_PROFILE, KB, MB
-from repro.fabric import build_back_to_back, build_cluster_of_clusters
+from repro.calibration import KB, MB
+from repro.fabric import build_cluster_of_clusters
 from repro.ipoib.interface import IPoIBNetwork
 from repro.sim import Simulator
 from repro.tcp import CongestionControl, TcpStack

@@ -1,6 +1,5 @@
 """Frame tracing tests plus edge-case coverage across layers."""
 
-import pytest
 
 from repro.calibration import DEFAULT_PROFILE, KB, MB
 from repro.core import wan_pair

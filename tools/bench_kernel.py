@@ -115,8 +115,10 @@ def _run_storm(workload_cls, frames: int) -> float:
     gc.collect()
     gc.disable()
     try:
+        # repro-lint: disable=DET101 -- host-side benchmark timing
         t0 = time.process_time()
         sim.run()
+        # repro-lint: disable=DET101 -- host-side benchmark timing
         dt = time.process_time() - t0
     finally:
         gc.enable()
@@ -183,8 +185,10 @@ def _pending_footprint(n: int) -> dict:
 def _time_experiment(exp_id: str) -> float:
     from repro.core.registry import run_experiment
     gc.collect()
+    # repro-lint: disable=DET101 -- wall-clock sweep timing, not sim state
     t0 = time.perf_counter()
     run_experiment(exp_id, quick=True)
+    # repro-lint: disable=DET101 -- wall-clock sweep timing, not sim state
     return time.perf_counter() - t0
 
 
