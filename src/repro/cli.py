@@ -58,7 +58,7 @@ def _cmd_perftest(args) -> int:
               f"delay {args.delay_us:g}us: {lat:.2f} us")
     elif args.test == "bw":
         bw = perftest.run_send_bw(sim, a, b, args.size, args.iters,
-                                  transport=args.transport)
+                                  transport=args.transport, fabric=fabric)
         print(f"{args.transport.upper()} send bandwidth, {args.size}B, "
               f"delay {args.delay_us:g}us: {bw:.1f} MB/s")
     elif args.test == "write_bw":
@@ -67,7 +67,7 @@ def _cmd_perftest(args) -> int:
               f"delay {args.delay_us:g}us: {bw:.1f} MB/s")
     else:
         bw = perftest.run_bidir_bw(sim, a, b, args.size, args.iters,
-                                   transport=args.transport)
+                                   transport=args.transport, fabric=fabric)
         print(f"{args.transport.upper()} bidirectional bandwidth, "
               f"{args.size}B, delay {args.delay_us:g}us: {bw:.1f} MB/s")
     return 0
@@ -120,7 +120,8 @@ def _cmd_experiments(args) -> int:
                                   retries=args.retries,
                                   keep_going=args.keep_going,
                                   failures=failures,
-                                  faults_spec=args.faults)
+                                  faults_spec=args.faults,
+                                  flow_mode=args.flow)
     except UnknownExperimentError as exc:
         print(f"repro experiments: {exc}", file=sys.stderr)
         return 2
@@ -154,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_help = "collect metrics and print a summary table after the run"
     faults_help = ("WAN fault-injection spec (see repro.faults.FaultPlan), "
                    "e.g. 'loss=0.02,flap@5000:2000,seed=7'")
+    flow_help = ("flow-level acceleration for bulk transfers (see "
+                 "repro.flow): 'auto'/'on' collapse proved steady-state "
+                 "tails analytically, 'off' forces packet mode; "
+                 "automatically disabled under --faults/--metrics")
 
     p = sub.add_parser("perftest", help="verbs microbenchmarks")
     p.add_argument("test", choices=["lat", "bw", "bibw", "write_bw"])
@@ -164,6 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None, metavar="SPEC",
                    help=faults_help)
     p.add_argument("--metrics", action="store_true", help=metrics_help)
+    p.add_argument("--flow", choices=["auto", "on", "off"], default=None,
+                   help=flow_help)
     p.set_defaults(fn=_cmd_perftest)
 
     p = sub.add_parser("netperf", help="socket throughput (IPoIB / SDP)")
@@ -176,6 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None, metavar="SPEC",
                    help=faults_help)
     p.add_argument("--metrics", action="store_true", help=metrics_help)
+    p.add_argument("--flow", choices=["auto", "on", "off"], default=None,
+                   help=flow_help)
     p.set_defaults(fn=_cmd_netperf)
 
     p = sub.add_parser("iozone", help="NFS read throughput")
@@ -215,6 +224,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report failed experiments and exit 1 instead of "
                         "aborting the whole sweep")
     p.add_argument("--metrics", action="store_true", help=metrics_help)
+    p.add_argument("--flow", choices=["auto", "on", "off"], default=None,
+                   help=flow_help + "; keyed into the cache when set")
     p.set_defaults(fn=_cmd_experiments)
 
     return parser
@@ -222,17 +233,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from .flow.context import activated as flow_activated
     from .sim import SimulationError
     try:
-        if getattr(args, "metrics", False):
-            from .obs import MetricsRegistry, format_summary, use_registry
-            registry = MetricsRegistry()
-            with use_registry(registry):
-                status = args.fn(args)
-            print()
-            print(format_summary(registry))
-            return status
-        return args.fn(args)
+        with flow_activated(getattr(args, "flow", None)):
+            if getattr(args, "metrics", False):
+                from .obs import MetricsRegistry, format_summary, use_registry
+                registry = MetricsRegistry()
+                with use_registry(registry):
+                    status = args.fn(args)
+                print()
+                print(format_summary(registry))
+                return status
+            return args.fn(args)
     except SimulationError as exc:
         # Typically a closed-loop benchmark starved by injected faults
         # (every in-flight message dropped, nothing left to wake it).

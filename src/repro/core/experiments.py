@@ -107,7 +107,7 @@ def _verbs_bw_row(size, transport, bidir):
         s = wan_pair(d)
         fn = perftest.run_bidir_bw if bidir else perftest.run_send_bw
         row.append(fn(s.sim, s.a, s.b, size, iters=_bw_iters(size),
-                      transport=transport))
+                      transport=transport, fabric=s.fabric))
     return tuple(row)
 
 
@@ -184,7 +184,7 @@ def _fig06a_windows(quick):
 
 def _fig06a_cell(quick, i):
     w = _fig06a_windows(quick)[i]
-    total = 4 * MB if quick else 16 * MB
+    total = 4 * MB if quick else 64 * MB
     label = "default" if w is None else f"{w // KB}K"
     row = [label]
     for d in _ipoib_delays(quick):
@@ -212,7 +212,7 @@ def _fig06b_delays(quick):
 
 def _fig06b_cell(quick, i):
     n = _fig06b_streams(quick)[i]
-    total = 8 * MB if quick else 16 * MB
+    total = 8 * MB if quick else 64 * MB
     row = [n]
     for d in _fig06b_delays(quick):
         s = wan_pair(d)
@@ -235,7 +235,7 @@ def _fig07a_mtus(quick):
 
 def _fig07a_cell(quick, i):
     mtu = _fig07a_mtus(quick)[i]
-    total = 8 * MB if quick else 16 * MB
+    total = 8 * MB if quick else 64 * MB
     row = [f"{(mtu + 4) // 1024}K MTU"]
     for d in _ipoib_delays(quick):
         s = wan_pair(d)
@@ -254,7 +254,7 @@ def _fig07a(quick, rows):
 
 def _fig07b_cell(quick, i):
     n = _fig06b_streams(quick)[i]
-    total = 8 * MB if quick else 16 * MB
+    total = 8 * MB if quick else 64 * MB
     row = [n]
     for d in _fig06b_delays(quick):
         s = wan_pair(d)
@@ -845,13 +845,19 @@ def main(argv=None):
                         help="full sweeps instead of quick ones")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (default 1 = in-process)")
+    parser.add_argument("--flow", choices=["auto", "on", "off"],
+                        default=None,
+                        help="flow-level acceleration for bulk sweeps "
+                             "(default packet mode)")
     args = parser.parse_args(argv)
-    if args.jobs > 1:
-        from ..exp import run_experiments
-        results = run_experiments(ids=args.ids, quick=not args.full,
-                                  jobs=args.jobs)
-    else:
-        results = run_all(quick=not args.full, ids=args.ids)
+    from ..flow.context import activated as flow_activated
+    with flow_activated(args.flow):
+        if args.jobs > 1:
+            from ..exp import run_experiments
+            results = run_experiments(ids=args.ids, quick=not args.full,
+                                      jobs=args.jobs, flow_mode=args.flow)
+        else:
+            results = run_all(quick=not args.full, ids=args.ids)
     for res in results:
         print(res.to_text())
         print()

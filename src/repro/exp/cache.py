@@ -11,7 +11,9 @@ key:
 * a source digest of the experiment's functions (the registered body
   plus, for cell-decomposed sweeps, the cell-plan functions);
 * the process-wide fault-injection spec, when one is active (clean runs
-  keep their historical keys).
+  keep their historical keys);
+* the flow-acceleration mode, when set to ``auto``/``on`` (``off`` and
+  unset are both exact packet mode and share the clean key).
 
 Any of those changing — editing an experiment, bumping the package
 version, flipping quick to full — changes the key, so stale entries are
@@ -87,6 +89,14 @@ class ResultCache:
         spec = get_active_spec()
         if spec:
             payload["faults"] = spec
+        # Same deal for flow-level acceleration: "auto"/"on" produce
+        # shape-identical but not byte-identical numbers, so they get
+        # their own keys; "off" (and unset) IS packet mode and must
+        # share the clean key.
+        from ..flow.context import get_flow_mode
+        flow_mode = get_flow_mode()
+        if flow_mode and flow_mode != "off":
+            payload["flow"] = flow_mode
         return hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode()).hexdigest()
 

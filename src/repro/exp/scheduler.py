@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core import registry
 from ..core.registry import ExperimentResult
 from ..faults.context import activated
+from ..flow.context import activated as flow_activated
 from .cache import ResultCache
 
 __all__ = ["run_experiments", "ExperimentFailure"]
@@ -85,16 +86,19 @@ def _raise_timeout(signum, frame):
 
 
 @contextlib.contextmanager
-def _worker_env(faults_spec: Optional[str], timeout_s: Optional[float]):
-    """Worker-side task context: fault spec + wall-clock alarm.
+def _worker_env(faults_spec: Optional[str], timeout_s: Optional[float],
+                flow_mode: Optional[str] = None):
+    """Worker-side task context: fault spec, flow mode + wall-clock alarm.
 
-    The fault spec is always (re)applied — pool workers are reused
-    across tasks, so leftover state from a previous task must never
-    leak.  The alarm uses ``SIGALRM`` where available (main thread on
-    POSIX); elsewhere tasks simply run unbounded.
+    The fault spec and flow mode are always (re)applied — pool workers
+    are reused across tasks, so leftover state from a previous task must
+    never leak.  The alarm uses ``SIGALRM`` where available (main thread
+    on POSIX); elsewhere tasks simply run unbounded.
     """
     from ..faults.context import set_active_spec
+    from ..flow.context import set_flow_mode
     previous = set_active_spec(faults_spec)
+    previous_flow = set_flow_mode(flow_mode)
     use_alarm = (timeout_s is not None and hasattr(signal, "setitimer")
                  and threading.current_thread() is threading.main_thread())
     if use_alarm:
@@ -106,6 +110,7 @@ def _worker_env(faults_spec: Optional[str], timeout_s: Optional[float]):
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, *old_timer)
             signal.signal(signal.SIGALRM, old_handler)
+        set_flow_mode(previous_flow)
         set_active_spec(previous)
 
 
@@ -120,8 +125,9 @@ def _observed(fn, *args):
 
 def _worker_experiment(exp_id: str, quick: bool, observe: bool,
                        faults_spec: Optional[str] = None,
-                       timeout_s: Optional[float] = None):
-    with _worker_env(faults_spec, timeout_s):
+                       timeout_s: Optional[float] = None,
+                       flow_mode: Optional[str] = None):
+    with _worker_env(faults_spec, timeout_s, flow_mode):
         if observe:
             result, snap = _observed(registry.run_experiment, exp_id, quick)
             return result.to_json(), snap
@@ -130,8 +136,9 @@ def _worker_experiment(exp_id: str, quick: bool, observe: bool,
 
 def _worker_cell(exp_id: str, quick: bool, index: int, observe: bool,
                  faults_spec: Optional[str] = None,
-                 timeout_s: Optional[float] = None):
-    with _worker_env(faults_spec, timeout_s):
+                 timeout_s: Optional[float] = None,
+                 flow_mode: Optional[str] = None):
+    with _worker_env(faults_spec, timeout_s, flow_mode):
         if observe:
             return _observed(registry.run_cell, exp_id, quick, index)
         return registry.run_cell(exp_id, quick, index), None
@@ -147,6 +154,7 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
                     keep_going: bool = False,
                     failures: Optional[List[ExperimentFailure]] = None,
                     faults_spec: Optional[str] = None,
+                    flow_mode: Optional[str] = None,
                     ) -> List[ExperimentResult]:
     """Run experiments, optionally cached, in parallel, and hardened.
 
@@ -168,7 +176,9 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
     ``faults_spec`` activates a process-wide
     :class:`~repro.faults.FaultPlan` spec for the duration of the run —
     in this process *and* in every worker — and becomes part of the
-    result-cache key.
+    result-cache key.  ``flow_mode`` does the same for flow-level
+    acceleration (:mod:`repro.flow`): ``"auto"``/``"on"`` are keyed
+    into the cache, ``"off"``/``None`` keep the clean packet-mode key.
     """
     keys = registry.resolve_ids(ids)
     if jobs is None:
@@ -177,7 +187,7 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
-    with activated(faults_spec):
+    with activated(faults_spec), flow_activated(flow_mode):
         results: Dict[str, ExperimentResult] = {}
         to_run: List[str] = []
         for exp_id in keys:
@@ -191,11 +201,12 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
         n_tasks = sum(max(1, registry.n_cells(k, quick)) for k in to_run)
         if jobs == 1 or n_tasks <= 1:
             _run_serial(to_run, quick, results, cache, faults_spec,
-                        timeout_s, retries, backoff_s, keep_going, failed)
+                        flow_mode, timeout_s, retries, backoff_s,
+                        keep_going, failed)
         else:
             _run_pool(to_run, quick, min(jobs, n_tasks), results, cache,
-                      faults_spec, timeout_s, retries, backoff_s,
-                      keep_going, failed)
+                      faults_spec, flow_mode, timeout_s, retries,
+                      backoff_s, keep_going, failed)
         if failures is not None:
             failures.extend(failed)
         return [results[k] for k in keys if k in results]
@@ -204,6 +215,7 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
 def _run_serial(to_run: Sequence[str], quick: bool,
                 results: Dict[str, ExperimentResult],
                 cache: Optional[ResultCache], faults_spec: Optional[str],
+                flow_mode: Optional[str],
                 timeout_s: Optional[float], retries: int, backoff_s: float,
                 keep_going: bool,
                 failed: List[ExperimentFailure]) -> None:
@@ -213,7 +225,7 @@ def _run_serial(to_run: Sequence[str], quick: bool,
             if attempt:
                 time.sleep(backoff_s * 2 ** (attempt - 1))
             try:
-                with _worker_env(faults_spec, timeout_s):
+                with _worker_env(faults_spec, timeout_s, flow_mode):
                     results[exp_id] = registry.run_experiment(exp_id, quick)
                 if cache is not None:
                     cache.save(exp_id, quick, results[exp_id])
@@ -231,6 +243,7 @@ def _run_serial(to_run: Sequence[str], quick: bool,
 def _run_pool(to_run: Sequence[str], quick: bool, jobs: int,
               results: Dict[str, ExperimentResult],
               cache: Optional[ResultCache], faults_spec: Optional[str],
+              flow_mode: Optional[str],
               timeout_s: Optional[float], retries: int, backoff_s: float,
               keep_going: bool,
               failed: List[ExperimentFailure]) -> None:
@@ -264,11 +277,11 @@ def _run_pool(to_run: Sequence[str], quick: bool, jobs: int,
                 if index is None:
                     futures[task] = pool.submit(
                         _worker_experiment, exp_id, quick, observe,
-                        faults_spec, timeout_s)
+                        faults_spec, timeout_s, flow_mode)
                 else:
                     futures[task] = pool.submit(
                         _worker_cell, exp_id, quick, index, observe,
-                        faults_spec, timeout_s)
+                        faults_spec, timeout_s, flow_mode)
             # Collect in submission (= request) order, never completion
             # order, so results and merged metrics stay deterministic.
             for task in pending:

@@ -50,6 +50,11 @@ class _HalfLink:
             raise ValueError("propagation delay must be >= 0")
         self.sim = sim
         self.rate = rate
+        #: Capacity (MB/s) reserved by flow-level traffic; packet frames
+        #: serialize at ``rate - flow_reserved`` so flow and packet
+        #: traffic share the wire honestly.
+        self.flow_reserved = 0.0
+        self._eff_rate = rate
         self.delay_us = delay_us
         #: Fault injection: probability a frame is silently dropped
         #: after serialization (bit-error model; exercises RC recovery).
@@ -137,7 +142,7 @@ class _HalfLink:
             self.frames_dropped += 1
             faults.count_flap_drop()
             return False
-        ser = frame.wire_bytes / self.rate
+        ser = frame.wire_bytes / self._eff_rate
         if self.loss_rate and self.rng is not None \
                 and self.rng.random() < self.loss_rate:
             self.sim.call_at(ser, self._drop_after_busy, cancellable=False)
@@ -152,7 +157,7 @@ class _HalfLink:
         if faults is not None:
             extra += faults.extra_delay(self.sim.now)
         if getattr(self.endpoint, "cut_through", False):
-            handoff = min(ser, CUT_THROUGH_BYTES / self.rate)
+            handoff = min(ser, CUT_THROUGH_BYTES / self._eff_rate)
             self._schedule_delivery(frame, handoff + self.delay_us + extra)
             self.sim.call_at(ser, self._finish, (frame, None),
                              cancellable=False)
@@ -192,7 +197,7 @@ class _HalfLink:
                 self.frames_dropped += 1
                 faults.count_flap_drop()
                 continue
-            ser = frame.wire_bytes / self.rate
+            ser = frame.wire_bytes / self._eff_rate
             if self._m_qdelay is not None:
                 self._m_qdelay.observe(self.sim.now - enqueued_at)
                 self._m_busy_us.inc(ser)
@@ -215,7 +220,7 @@ class _HalfLink:
             if getattr(self.endpoint, "cut_through", False):
                 # Hand off after one packet's worth of bytes; the wire
                 # stays busy for the full serialization below.
-                handoff = min(ser, CUT_THROUGH_BYTES / self.rate)
+                handoff = min(ser, CUT_THROUGH_BYTES / self._eff_rate)
                 self._schedule_delivery(frame, handoff + self.delay_us
                                         + extra)
                 yield ser_wait.arm(ser)
@@ -280,6 +285,52 @@ class Link:
             self._ba.put(frame)
         else:
             raise ValueError(f"{sender!r} is not attached to {self.name}")
+
+    # -- flow-reservation interface --------------------------------------
+    def _half_from(self, sender: LinkEndpoint) -> _HalfLink:
+        if sender is self.a:
+            return self._ab
+        if sender is self.b:
+            return self._ba
+        raise ValueError(f"{sender!r} is not attached to {self.name}")
+
+    def reserve_flow(self, sender: LinkEndpoint, rate: float) -> None:
+        """Reserve ``rate`` MB/s away from ``sender`` for flow traffic.
+
+        Packet frames on that direction then serialize at the residual
+        rate, so coexisting packet traffic sees the contention the
+        collapsed flow would have caused.
+        """
+        if rate <= 0:
+            raise ValueError("flow reservation must be positive")
+        half = self._half_from(sender)
+        if half.flow_reserved + rate >= half.rate:
+            raise ValueError(
+                f"{half.name}: reserving {rate} MB/s would exceed the "
+                f"{half.rate} MB/s link rate "
+                f"({half.flow_reserved} already reserved)")
+        half.flow_reserved += rate
+        half._eff_rate = half.rate - half.flow_reserved
+
+    def release_flow(self, sender: LinkEndpoint, rate: float) -> None:
+        """Release a reservation made with :meth:`reserve_flow`."""
+        half = self._half_from(sender)
+        if rate <= 0 or rate > half.flow_reserved + 1e-9:
+            raise ValueError(
+                f"{half.name}: releasing {rate} MB/s but only "
+                f"{half.flow_reserved} reserved")
+        half.flow_reserved = max(0.0, half.flow_reserved - rate)
+        half._eff_rate = half.rate - half.flow_reserved
+
+    def account_flow_bytes(self, sender: LinkEndpoint, nbytes: int,
+                           frames: int = 0) -> None:
+        """Account wire bytes a flow-mode collapse skipped simulating,
+        so link byte-conservation invariants hold in either mode."""
+        if nbytes < 0 or frames < 0:
+            raise ValueError("flow accounting cannot be negative")
+        half = self._half_from(sender)
+        half.bytes_carried += nbytes
+        half.frames_carried += frames
 
     def other(self, endpoint: LinkEndpoint) -> LinkEndpoint:
         if endpoint is self.a:

@@ -1,0 +1,25 @@
+"""Flow-level hybrid acceleration.
+
+Packet-mode simulation pays one event per frame; the paper's bulk
+transfers (Figs. 5-7) spend almost all of those events in analytically
+known steady states — RC window pipelining, UD streaming, TCP
+cwnd-capped ACK clocking.  This package collapses the *tail* of such a
+transfer into one analytically computed completion event once a
+:class:`~repro.flow.crossover.PeriodDetector` has *proved* the steady
+state from observed completions, and falls back to packet mode the
+moment anything (window change, cwnd transition, retransmission,
+fault-plan arm, Longbow buffer crossover) breaks the proof.
+
+Entry points:
+
+* :mod:`repro.flow.context` — process-wide ``--flow auto|on|off`` mode;
+* :mod:`repro.flow.dispatch` — the engagement gate (off under metrics
+  or faults, always);
+* :mod:`repro.flow.verbs` / :mod:`repro.flow.tcp` — the flow twins of
+  ``repro.verbs.perftest`` and ``repro.ipoib.netperf``.
+"""
+
+from .context import activated, get_flow_mode, set_flow_mode
+from .dispatch import engaged
+
+__all__ = ["activated", "get_flow_mode", "set_flow_mode", "engaged"]

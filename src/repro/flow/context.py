@@ -1,0 +1,53 @@
+"""Process-wide flow-acceleration mode.
+
+The CLI (``--flow auto|on|off``) and the experiment scheduler set the
+active mode here; the verbs/netperf runners read it through
+:func:`repro.flow.dispatch.engaged`, and
+:class:`repro.exp.cache.ResultCache` folds it into cache keys **only
+when set to an accelerating mode**, so packet-mode cache entries keep
+their exact historical keys.
+
+Import-light on purpose (no simulator dependencies), mirroring
+:mod:`repro.faults.context`: the cache and scheduler can import it
+without pulling the flow machinery in.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["VALID_MODES", "get_flow_mode", "set_flow_mode", "activated"]
+
+#: Accepted mode values; ``None`` (the default) behaves like ``"off"``
+#: but is distinguishable, so cache keys only change when a user asked
+#: for acceleration explicitly.
+VALID_MODES = (None, "auto", "on", "off")
+
+_flow_mode: Optional[str] = None
+
+
+def get_flow_mode() -> Optional[str]:
+    """The flow mode currently in force, or ``None``."""
+    return _flow_mode
+
+
+def set_flow_mode(mode: Optional[str]) -> Optional[str]:
+    """Install ``mode`` (empty/None clears it); returns the previous one."""
+    if mode not in VALID_MODES and mode != "":
+        raise ValueError(
+            f"flow mode must be one of auto/on/off, not {mode!r}")
+    global _flow_mode
+    previous = _flow_mode
+    _flow_mode = mode or None
+    return previous
+
+
+@contextmanager
+def activated(mode: Optional[str]) -> Iterator[None]:
+    """Scope with ``mode`` active; restores the previous mode on exit."""
+    previous = set_flow_mode(mode)
+    try:
+        yield
+    finally:
+        set_flow_mode(previous)

@@ -1,0 +1,193 @@
+"""Steady-state proof: the crossover detector.
+
+Flow mode never *assumes* a transfer has reached steady state — it
+proves it from the completion series itself.  :class:`PeriodDetector`
+is fed one ``(time, fingerprint)`` sample per completion quantum and
+confirms a period ``p`` only when the last ``K`` gaps taken ``p``
+samples apart are mutually equal within a period-scaled jitter
+tolerance *and* the protocol fingerprints repeat exactly at the same
+separation.  The fingerprint carries every piece of state whose change
+must force a crossover back to packet mode — send window, cwnd
+generation, retransmission counters, Longbow credits — so a confirmed
+period is simultaneously a proof that none of those transitions
+happened inside the window the extrapolation is built from.
+
+The ``K`` compared gaps start at ``K`` consecutive phases, so together
+they cover every phase of the period from samples spanning more than
+one full cycle — a burst pattern (equal cycle time, unequal intra-burst
+spacing) passes, while any drift or embedded stall larger than the
+tolerance breaks every gap that straddles it.  The tolerance itself is
+the caller's model of benign jitter: sampling thresholds that are not
+segment-aligned slide across segment boundaries (a Sturmian rotation),
+making consecutive gaps differ by up to one segment service time
+without the underlying rate changing.  ``jitter_unit_us`` scales with
+the period (nearby phases share almost the same rotation) and
+``jitter_cap_us`` bounds it (the rotation never exceeds one segment).
+
+Confirmation is re-verified on every subsequent sample and withdrawn
+the moment it breaks, so a detector that confirmed during a transient
+coincidence un-confirms before anyone extrapolates from it.
+Mis-detection therefore costs speed (the run stays packet-level), never
+accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+__all__ = ["PeriodDetector"]
+
+
+class PeriodDetector:
+    """Detects a periodic completion pattern and extrapolates it.
+
+    ``window_quanta`` is the protocol's natural burst length measured in
+    sampling quanta (the RC send window for per-message sampling; the
+    TCP send window for threshold sampling).  Candidate periods are the
+    powers of two up to ``2 * window_quanta`` plus ``window_quanta`` and
+    ``2 * window_quanta`` themselves — every pattern the modelled
+    protocols can produce divides one of these.
+    """
+
+    def __init__(self, window_quanta: int = 1, atol_us: float = 1e-3,
+                 rtol: float = 1e-9, max_samples: Optional[int] = None,
+                 extra_periods: Optional[List[int]] = None,
+                 confirm_streak: int = 2, jitter_unit_us: float = 0.0,
+                 jitter_cap_us: float = 0.0, min_samples: int = 0):
+        wq = max(1, int(window_quanta))
+        hyps = {wq, 2 * wq}
+        p = 1
+        while p <= 2 * wq:
+            hyps.add(p)
+            p *= 2
+        for p in (extra_periods or ()):
+            if p >= 1:
+                hyps.add(int(p))
+        self.window_quanta = wq
+        self.hypotheses: List[int] = sorted(hyps)
+        self.atol_us = atol_us
+        self.rtol = rtol
+        self.jitter_unit_us = max(0.0, float(jitter_unit_us))
+        self.jitter_cap_us = max(0.0, float(jitter_cap_us))
+        self.max_samples = max_samples or 4 * self.hypotheses[-1] + 32
+        #: Consecutive confirmations (at an unchanged period) required
+        #: before :attr:`stable` — a confirmation must survive fresh
+        #: samples before anyone extrapolates from it.
+        self.confirm_streak = max(1, int(confirm_streak))
+        #: Absolute sample floor for :attr:`stable` — short series give
+        #: the gap mean too little averaging depth to extrapolate far.
+        self.min_samples = max(0, int(min_samples))
+        self.streak = 0
+        self.times: List[float] = []
+        self.prints: List[Any] = []
+        self.period: Optional[int] = None
+        self.gap: Optional[float] = None
+        self.confirmed = False
+        #: Samples validated by the current confirmation run (grows by
+        #: one per consecutive re-confirmation) — the averaging window
+        #: for :meth:`predict`, guaranteed free of breaking events.
+        self.valid_n = 0
+        self._ever_confirmed = False
+        #: Set when ``max_samples`` arrived without a single
+        #: confirmation — the pattern is not periodic at any candidate;
+        #: stop sampling.  A pattern that *has* confirmed keeps being
+        #: tracked through later breaks (e.g. periodic stalls).
+        self.gave_up = False
+
+    @property
+    def stable(self) -> bool:
+        """Confirmed, survived a streak of further samples at the same
+        period, and enough samples for the gap mean to be trusted."""
+        return (self.confirmed and self.streak >= self.confirm_streak
+                and len(self.times) >= self.min_samples)
+
+    def tolerance(self, period: int) -> float:
+        """Gap-equality tolerance for a candidate ``period``."""
+        t = self.times[-1] if self.times else 0.0
+        return (self.atol_us + self.rtol * abs(t)
+                + min(self.jitter_cap_us, period * self.jitter_unit_us))
+
+    def _required(self, period: int) -> int:
+        # Sub-window periods must be verified across more than a full
+        # burst, or the even spacing *inside* one window burst would
+        # alias as period 1 during pipe fill.
+        if period >= self.window_quanta:
+            return 4
+        return max(4, self.window_quanta + 2)
+
+    def add(self, t: float, fingerprint: Any) -> bool:
+        """Feed one sample; returns the (re)computed ``confirmed``."""
+        if self.gave_up:
+            return False
+        times = self.times
+        prints = self.prints
+        times.append(float(t))
+        prints.append(fingerprint)
+        # Re-verify from scratch every sample: confirmation is a claim
+        # about the *latest* window, never a sticky flag.
+        previous_period = self.period if self.confirmed else None
+        self.confirmed = False
+        self.period = None
+        self.gap = None
+        n = len(times)
+        last = n - 1
+        for p in self.hypotheses:
+            k = self._required(p)
+            if n < p + k:
+                continue
+            if any(prints[last - i] != prints[last - i - p]
+                   for i in range(k)):
+                continue
+            # Cross-phase confirmation: the k gaps start at k distinct
+            # consecutive phases and each spans one full cycle, so
+            # mutual equality proves the cycle time is phase-independent
+            # over the whole window — and any stall, reshuffle or drift
+            # inside it larger than the jitter tolerance breaks at
+            # least one of them.
+            gaps = [times[last - i] - times[last - i - p]
+                    for i in range(k)]
+            if min(gaps) <= 0.0:
+                continue
+            if max(gaps) - min(gaps) > self.tolerance(p):
+                continue
+            self.period = p
+            self.confirmed = True
+            self._ever_confirmed = True
+            if p == previous_period:
+                self.streak += 1
+                self.valid_n = min(n, self.valid_n + 1)
+            else:
+                self.streak = 1
+                self.valid_n = p + k
+            # Mean cycle time over the validated window: averaging over
+            # c full cycles shrinks the Sturmian sampling jitter of a
+            # single gap by 1/c in the extrapolation.
+            c = max(1, (self.valid_n - 1) // p)
+            self.gap = (times[last] - times[last - c * p]) / c
+            return True
+        self.streak = 0
+        self.valid_n = 0
+        if n >= self.max_samples and not self._ever_confirmed:
+            self.gave_up = True
+        return False
+
+    def predict(self, m: int) -> float:
+        """Predicted time of the sample ``m`` quanta after the last one.
+
+        Phase-anchored: ``m`` is decomposed as ``q * p + r`` and the
+        prediction extrapolates from the observed sample congruent to
+        the target modulo ``p``, so burst-internal spacing (RC sends a
+        window burst then waits an RTT) is preserved — but the advance
+        per cycle is the *mean* validated gap, whose sampling jitter is
+        averaged down rather than multiplied out.
+        """
+        if not self.confirmed:
+            raise RuntimeError("predict() before confirmation")
+        if m < 0:
+            raise ValueError("m must be >= 0")
+        p = self.period
+        n = len(self.times)
+        q, r = divmod(m, p)
+        anchor = n - 1 if r == 0 else n - 1 - (p - r)
+        steps = q if r == 0 else q + 1
+        return self.times[anchor] + steps * self.gap

@@ -1,0 +1,116 @@
+"""Analytic wire-byte and steady-state accounting for flow mode.
+
+When a collapse skips simulating the tail of a bulk transfer, the bytes
+that *would* have crossed each link still have to be accounted (link
+``bytes_carried`` totals feed the conservation properties and the
+Longbow buffer-headroom gate).  The formulas here mirror the packet
+path exactly:
+
+* verbs messages serialize as one frame of
+  ``wire_size(size, ib_mtu, header)`` with the RC/UD per-IB-packet
+  header (see :mod:`repro.verbs.rc` / :mod:`repro.verbs.ud`), RC adds
+  one ``rc_ack_bytes`` ACK frame per delivered message;
+* TCP segments ride IPoIB: the interface prepends ``ipoib_header_bytes``
+  to ``seg_len + tcp_header_bytes`` and ships one UD datagram or RC
+  message per segment; delayed ACKs flow back every ``tcp_ack_every``
+  segments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..calibration import HardwareProfile
+from ..fabric.packet import wire_size
+
+__all__ = [
+    "tcp_quantum",
+    "verbs_data_wire_bytes",
+    "verbs_ack_wire_bytes",
+    "tcp_segment_wire_bytes",
+    "tcp_ack_wire_bytes",
+    "tcp_stream_wire_bytes",
+    "longbow_headroom_ok",
+]
+
+
+def tcp_quantum(mss: int) -> int:
+    """Sampling quantum for the TCP crossover detector, in bytes.
+
+    A whole number of MSS-sized segments close to 64 KiB: thresholds
+    spaced by the quantum land exactly on segment boundaries, so in a
+    warm steady state (pure-MSS segments, delayed ACK every other one)
+    consecutive crossings are an *integer* number of identical
+    segment-service periods apart — which is what lets the detector
+    prove periodicity with exact gap equality instead of a fit.
+    """
+    if mss <= 0:
+        raise ValueError("mss must be positive")
+    return mss * max(1, round(65536 / mss))
+
+
+def verbs_data_wire_bytes(profile: HardwareProfile, size: int,
+                          transport: str) -> int:
+    """Wire bytes of one verbs message of ``size`` payload bytes."""
+    header = (profile.rc_packet_header if transport == "rc"
+              else profile.ud_packet_header)
+    return wire_size(size, profile.ib_mtu, header)
+
+
+def verbs_ack_wire_bytes(profile: HardwareProfile, transport: str) -> int:
+    """Reverse-direction wire bytes per delivered verbs message."""
+    return profile.rc_ack_bytes if transport == "rc" else 0
+
+
+def tcp_segment_wire_bytes(profile: HardwareProfile, seg_len: int,
+                           mode: str) -> int:
+    """Wire bytes of one TCP data segment over IPoIB (``ud``/``rc``)."""
+    wire_payload = (seg_len + profile.tcp_header_bytes
+                    + profile.ipoib_header_bytes)
+    header = (profile.rc_packet_header if mode == "rc"
+              else profile.ud_packet_header)
+    return wire_size(wire_payload, profile.ib_mtu, header)
+
+
+def tcp_ack_wire_bytes(profile: HardwareProfile, mode: str) -> int:
+    """Wire bytes of one bare TCP ACK over IPoIB."""
+    return tcp_segment_wire_bytes(profile, 0, mode)
+
+
+def tcp_stream_wire_bytes(profile: HardwareProfile, nbytes: int, mss: int,
+                          mode: str, acks: Optional[int] = None) -> tuple:
+    """``(forward_bytes, reverse_bytes, segments, acks)`` for ``nbytes``
+    of stream payload sent as full-MSS segments plus one remainder.
+
+    ``acks`` is the number of pure TCP ACKs the receiver will emit;
+    when not supplied it falls back to the nominal delayed-ACK cadence
+    (every ``tcp_ack_every``-th segment).  The actual cadence is
+    regime-dependent — a CPU-paced receiver drains its backlog after
+    every segment and ACKs each one — so callers that have observed a
+    live prefix should pass the measured count instead.
+
+    Over IPoIB-RC every delivered RC message is acknowledged at the IB
+    level too, so each data segment adds an RC ACK to the reverse path
+    and each TCP ACK (itself an RC message) adds one to the forward
+    path.
+    """
+    full, rem = divmod(nbytes, mss)
+    segments = full + (1 if rem else 0)
+    forward = full * tcp_segment_wire_bytes(profile, mss, mode)
+    if rem:
+        forward += tcp_segment_wire_bytes(profile, rem, mode)
+    if acks is None:
+        acks = -(-segments // profile.tcp_ack_every)  # ceil
+    reverse = acks * tcp_ack_wire_bytes(profile, mode)
+    if mode == "rc":
+        reverse += segments * profile.rc_ack_bytes
+        forward += acks * profile.rc_ack_bytes
+    return forward, reverse, segments, acks
+
+
+def longbow_headroom_ok(profile: HardwareProfile,
+                        window_wire_bytes: float) -> bool:
+    """True while the in-flight window stays clear of the Longbow
+    buffer-crossover regime (flow mode must not extrapolate across a
+    credit-exhaustion transition the detector has not seen)."""
+    return window_wire_bytes < 0.9 * profile.longbow_buffer_bytes

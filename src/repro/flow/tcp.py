@@ -1,0 +1,488 @@
+"""Flow twin of the :mod:`repro.ipoib.netperf` stream runner.
+
+The controller watches every (client, server) socket pair of a netperf
+run from the *outside*: it arms one receive-progress watcher at a time
+on the server socket, spaced :func:`~repro.flow.models.tcp_quantum`
+bytes apart and anchored at the stream total.  Each crossing feeds a
+:class:`~repro.flow.crossover.PeriodDetector` whose fingerprint
+carries the send window, retransmit counters, cwnd generation and
+Longbow credits — the full list of crossover conditions under which
+extrapolation must stop.
+
+Which periodic structure the receive process settles into depends on
+the binding constraint, and the controller works it out analytically
+before sampling starts:
+
+* **rwnd-limited** — the process repeats every send window of bytes
+  (each window burst is clocked by the previous one's ACK train), so
+  the detector's burst length is the window in quanta;
+* **CPU/link-limited** — uniform segment cadence, period one, with a
+  bounded Sturmian sampling jitter because thresholds that are not
+  segment-aligned slide across segment boundaries;
+* **RC-window-limited** (IPoIB connected mode) — the 16-message RC QP
+  send window stalls the sender every ``rc_send_window * mss`` bytes, a
+  grid incommensurate with the sampling quantum; the integer part of
+  stalls-per-quantum is part of every gap and the fractional part
+  ``alpha`` surfaces as an extra stall in an analytically known
+  fraction of quanta (:class:`_StallTrain`).
+
+Once *every* stream of the run is simultaneously confirmed-periodic,
+stall-accounted and has enough unsent bytes beyond the in-flight set
+(collapse is atomic across streams — halting one would shift CPU and
+link contention for the rest), each client is halted via
+``Socket.flow_halt``, the skipped bytes' wire footprint is accounted
+on the WAN link, and one analytic completion per stream forces the
+server's receive cursor to the stream total at the predicted time of
+the final threshold crossing.  The measurement code in the packet twin
+is untouched: its ``recv_bytes(total)`` watcher resolves exactly as if
+the last segment had arrived.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..sim import Simulator
+from ..tcp.socket import Socket, TcpStack
+from . import models
+from .crossover import PeriodDetector
+
+__all__ = ["flow_stream_controller", "FlowStreamController", "PACKET_TWIN"]
+
+#: The packet-mode module this one must stay in lockstep with (PAR304).
+PACKET_TWIN = "repro.ipoib.netperf"
+
+#: Unsent bytes required beyond in-flight + this many send windows
+#: before collapse: everything already committed must drain naturally
+#: strictly before the analytic completion fires.
+_DRAIN_WINDOWS = 2
+
+#: Sample floor for :attr:`PeriodDetector.stable` — gives the gap mean
+#: enough averaging depth before extrapolating hundreds of quanta.
+_MIN_SAMPLES = 12
+
+#: Minimum analytic tail, in segments.  Collapse skips the final-drain
+#: and teardown end effects (a few segment times of error); requiring
+#: this many extrapolated segments keeps that fixed cost under ~0.1%
+#: of the skipped span.
+_MIN_COLLAPSE_SEGMENTS = 256
+
+#: Hop overhead added to the propagation delay when estimating the RTT
+#: that clocks RC window returns (HCA send/recv, switch, Longbow).
+_RTT_FIXED_US = 10.0
+
+
+def flow_stream_controller(sim: Simulator, stack_a: TcpStack,
+                           stack_b: TcpStack,
+                           n_streams: int) -> "FlowStreamController":
+    """Factory hook the netperf twin calls when flow mode is engaged."""
+    return FlowStreamController(sim, stack_a, stack_b, n_streams)
+
+
+class _StallTrain:
+    """Analytic model of the RC-window stall beat under IPoIB-RC.
+
+    When the RC QP send window is the binding constraint, the sender
+    stalls once per ``rc_send_window * mss`` bytes.  Each sampling
+    quantum therefore contains ``floor(spacing / cycle)`` or
+    ``ceil(...)`` stalls; the extra-stall quanta form a Beatty sequence
+    with density exactly ``alpha = frac(spacing / cycle)``.  The base
+    detector proves the floor pattern between extra stalls; this
+    tracker spots the ceil outliers (*sightings*), checks their excess
+    is reproducible, and extrapolates the remaining ones analytically —
+    refining ``alpha`` from the observed sighting spacing once two have
+    been seen.
+    """
+
+    def __init__(self, alpha: float, beta_hint_us: float):
+        self.alpha = alpha
+        #: Analytic cost of one extra stall: an RTT of window-credit
+        #: wait minus the CPU time the sender would have spent anyway.
+        self.beta_hint_us = beta_hint_us
+        #: ``(sample_index, excess_us)`` per spotted extra-stall quantum.
+        self.sightings: List[Tuple[int, float]] = []
+        self._recent: Deque[float] = deque(maxlen=9)
+
+    def observe(self, idx: int, gap: float) -> None:
+        """Classify one consecutive-sample gap against the clean base.
+
+        The base is the median of recent gaps — robust against the
+        (minority) stall outliers and against the short pipe-fill
+        transient, which ages out of the window before classification
+        starts.
+        """
+        if len(self._recent) >= 5:
+            base = sorted(self._recent)[len(self._recent) // 2]
+            if gap > base * 1.3:
+                self.sightings.append((idx, gap - base))
+                gap = base  # keep the rolling window stall-free
+        self._recent.append(gap)
+
+    def steady(self, tol_us: float) -> bool:
+        """The stall cost is proven reproducible: either a single
+        sighting whose excess matches the analytic window-stall cost
+        (the mechanism is confirmed, no need to wait for a second), or
+        two-plus sightings whose excesses agree with each other.  A
+        drifting excess (beat nearly commensurate with the RC cycle)
+        fails here forever and the stream stays packet-mode."""
+        if not self.sightings:
+            return False
+        excesses = [e for _, e in self.sightings]
+        if len(excesses) == 1:
+            margin = max(0.1 * self.beta_hint_us, 10.0 * tol_us)
+            return abs(excesses[0] - self.beta_hint_us) <= margin
+        return max(excesses) - min(excesses) <= 10.0 * tol_us
+
+    def excess_after(self, final_idx: int) -> float:
+        """Total extra-stall time expected between the last observed
+        sample and ``final_idx``, from the Beatty density anchored at
+        the first sighting.
+
+        The analytic density is exact when the RC-window mechanism is
+        really what drives the stalls, so it is preferred whenever the
+        observed sighting spacing is consistent with it; the measured
+        density only takes over when the observations contradict the
+        model."""
+        if not self.sightings:
+            return 0.0
+        alpha = self.alpha
+        if len(self.sightings) >= 2:
+            span = self.sightings[-1][0] - self.sightings[0][0]
+            measured = (len(self.sightings) - 1) / span
+            if abs(measured - alpha) > 0.3 * alpha:
+                alpha = measured
+        beta = sum(e for _, e in self.sightings) / len(self.sightings)
+        expected = 1.0 + (final_idx - self.sightings[0][0]) * alpha
+        remaining = max(0.0, round(expected) - len(self.sightings))
+        return remaining * beta
+
+
+class _Stream:
+    """One client->server stream: thresholds, detector, collapse."""
+
+    def __init__(self, ctl: "FlowStreamController", server: Socket):
+        self.ctl = ctl
+        self.server = server
+        self.client: Optional[Socket] = None
+        # Replaced with the tuned detector in attach_client.
+        self.detector = PeriodDetector(window_quanta=1)
+        self.stall: Optional[_StallTrain] = None
+        self._stall_possible = False
+        self._jitter_tol = 0.0
+        self._dense_resid_us = 0.0
+        self.total = 0
+        self.thresholds: List[int] = []
+        self.next_idx = 0
+        self.sampled_idx = -1
+        self.samples = 0
+        self._prev_time: Optional[float] = None
+        #: (acks_sent, rcv_next) at each threshold — the ACK-cadence
+        #: series the wire accounting extrapolates from.
+        self._snaps: List[tuple] = []
+        self.halted = False
+
+    # -- pairing / arming -------------------------------------------------
+    def attach_client(self, client: Socket) -> None:
+        self.client = client
+        self.total = client.snd_total
+        self.thresholds = self._make_thresholds(client)
+        self._arm()
+
+    def _make_thresholds(self, client: Socket) -> List[int]:
+        """Sampling thresholds whose byte offsets repeat every window,
+        plus the analytically derived detector tuning (burst length,
+        jitter tolerance, RC stall train) for this stream's regime.
+
+        Thresholds laid out as ``total - a*W - i*W//n`` with ``n``
+        cycles per send window sample a series that is exactly periodic
+        with period ``n`` in the rwnd-limited steady state — whatever
+        the segmentation (runt segments included).  ``n`` is chosen so
+        the spacing stays near one
+        :func:`~repro.flow.models.tcp_quantum` but never below one MSS
+        (a single segment must not cross two thresholds).
+        """
+        q0 = models.tcp_quantum(client.mss)
+        w = int(client.send_window)
+        if w <= 0:
+            w, n = q0, 1
+        else:
+            n = max(1, int(round(w / q0)))
+            while n > 1 and w // n < client.mss:
+                n -= 1
+        spacing = w // n
+        profile = client.profile
+        # Per-segment service time of the CPU-side send path — the
+        # cadence unit of every non-idle gap, and the size of the
+        # Sturmian sampling jitter when thresholds are not
+        # segment-aligned (misalignment ``mis`` is how far the spacing
+        # sits from a whole number of segments).
+        seg_us = (profile.tcp_segment_fixed_us
+                  + client.mss * profile.tcp_per_byte_us)
+        r = (spacing % client.mss) / client.mss
+        mis = 2.0 * min(r, 1.0 - r)
+        self._jitter_tol = min(2.5 * seg_us, 8.0 * seg_us * mis)
+        wq = n
+        self.stall = None
+        self._stall_possible = False
+        if self.ctl.mode == "rc":
+            rc_cycle = profile.rc_send_window * client.mss
+            if 0 < rc_cycle <= w:
+                # The RC QP window binds before (or with) the TCP
+                # window: the burst grid is the RC cycle, and the
+                # stall-per-quantum count beats against the sampling
+                # grid with fractional density alpha.
+                x = spacing / rc_cycle
+                alpha = x - int(x)
+                wan = self.ctl.wan
+                delay = (wan.delay_us if wan is not None else 0.0)
+                rtt_us = 2.0 * (delay + _RTT_FIXED_US)
+                beta_hint = rtt_us - rc_cycle * seg_us / client.mss
+                if alpha > 1e-9:
+                    beat = 1.0 / alpha
+                    if beat <= 8.0:
+                        # Dense beat: the extra stall recurs within the
+                        # hypothesis range and is part of the base
+                        # period itself — but only the rational part
+                        # 1/wq of the density is; the remainder is a
+                        # second-level stall train the extrapolation
+                        # would silently drop.  Its per-quantum cost is
+                        # checked against the observed gap at
+                        # eligibility time.
+                        wq = max(1, int(round(beat)))
+                        self._dense_resid_us = (abs(alpha - 1.0 / wq)
+                                                * max(0.0, beta_hint))
+                    else:
+                        wq = 1
+                        self.stall = _StallTrain(alpha, max(0.0, beta_hint))
+                        # Stalls only exist if the RC window drains
+                        # slower than the CPU can fill it; when the
+                        # estimate says they cannot, an empty sighting
+                        # list needs no waiting period (any surprise
+                        # sighting still blocks collapse via steady()).
+                        rc_rate = rc_cycle / rtt_us
+                        cpu_rate = client.mss / seg_us
+                        self._stall_possible = rc_rate < 2.0 * cpu_rate
+                else:
+                    wq = 1
+        self.detector = PeriodDetector(
+            window_quanta=wq,
+            jitter_unit_us=8.0 * seg_us * mis,
+            jitter_cap_us=2.5 * seg_us,
+            min_samples=_MIN_SAMPLES)
+        thresholds = set()
+        a = 0
+        while self.total - a * w > 0:
+            for i in range(n):
+                t = self.total - a * w - i * w // n
+                if t > 0:
+                    thresholds.add(t)
+            a += 1
+        return sorted(thresholds)
+
+    def _arm(self) -> None:
+        # Skip thresholds already crossed (their crossing time was never
+        # observed, so they contribute no sample) and arm the next one.
+        server = self.server
+        while (self.next_idx < len(self.thresholds)
+               and server.rcv_next >= self.thresholds[self.next_idx]):
+            self.next_idx += 1
+        if self.next_idx >= len(self.thresholds):
+            return
+        evt = self.ctl.sim.event()
+        server._rcv_watchers.append((self.thresholds[self.next_idx], evt))
+        evt.callbacks.append(self._on_threshold)
+
+    def _on_threshold(self, _evt) -> None:
+        if self.halted:
+            return
+        self.sampled_idx = self.next_idx
+        self.next_idx += 1
+        now = self.ctl.sim.now
+        if self.stall is not None and self._prev_time is not None:
+            self.stall.observe(self.samples, now - self._prev_time)
+        self._prev_time = now
+        self.samples += 1
+        self._snaps.append((self.server.acks_sent, self.server.rcv_next))
+        if not self.detector.gave_up:
+            self.detector.add(now, self._fingerprint())
+        self._arm()
+        self.ctl.maybe_collapse()
+
+    def _fingerprint(self) -> tuple:
+        c, s = self.client, self.server
+        fp = [c.send_window, c.retransmits, s.retransmits,
+              c.cc.generation, c._closed, s._closed]
+        wan = self.ctl.wan
+        if wan is not None:
+            # Raw credit counters fluctuate with every in-flight frame;
+            # the crossover that matters is buffer *pressure*.  Quantize
+            # to a low-credit flag (below 1/8th of the Longbow pool) so
+            # healthy steady states fingerprint identically while credit
+            # starvation still forces packet mode.
+            for unit in (wan.a, wan.b):
+                fp.append(unit.credits * 8
+                          < unit.profile.longbow_buffer_bytes)
+        return tuple(fp)
+
+    # -- collapse ---------------------------------------------------------
+    @property
+    def _remaining_quanta(self) -> int:
+        return len(self.thresholds) - 1 - self.sampled_idx
+
+    def _stall_accounted(self) -> bool:
+        """The RC stall train (if one can exist) is either proven
+        reproducible or proven absent."""
+        if self.stall is None:
+            return True
+        if self.stall.sightings:
+            return self.stall.steady(self._jitter_tol)
+        if not self._stall_possible:
+            return True
+        # Stalls are plausible but none seen yet: wait until the Beatty
+        # density says two should have appeared, then conclude the
+        # regime is genuinely stall-free (e.g. link-limited after all).
+        return self.samples * self.stall.alpha >= 2.0
+
+    def eligible(self) -> bool:
+        if self.halted or self.client is None:
+            return False
+        # Parallel streams share the WAN link: each detector learns the
+        # *contended* spacing, but the phase interleaving between
+        # streams drifts over the extrapolated horizon in a way no
+        # single-stream period model captures.  Measured deviation sits
+        # above the 1% equivalence budget, so multi-stream runs always
+        # stay in packet mode.
+        if self.ctl.n_streams != 1:
+            return False
+        if not self.detector.stable or self._remaining_quanta < 1:
+            return False
+        if not self._stall_accounted():
+            return False
+        # Dense-beat RC cells: the unmodelled residual stall density
+        # must be negligible against the proven per-quantum gap, or the
+        # extrapolation error would grow with the horizon (the bound is
+        # deliberately tight — near-rational beats also creep).
+        if (self._dense_resid_us > 0.002
+                * self.detector.gap / self.detector.period):
+            return False
+        c = self.client
+        unsent = c.snd_total - c.snd_next
+        inflight = c.snd_next - self.server.rcv_next
+        if unsent < inflight + _DRAIN_WINDOWS * c.send_window:
+            return False
+        # End effects (final window drain, teardown handshake) cost a
+        # few segment times regardless of transfer size; amortize them
+        # over a long enough analytic tail that they stay well inside
+        # the 1% bandwidth budget.
+        if unsent < _MIN_COLLAPSE_SEGMENTS * c.mss:
+            return False
+        segs = -(-int(c.send_window) // c.mss)
+        window_wire = segs * models.tcp_segment_wire_bytes(
+            c.profile, c.mss, self.ctl.mode)
+        return models.longbow_headroom_ok(c.profile, window_wire)
+
+    def collapse(self) -> None:
+        self.halted = True
+        c = self.client
+        m = self._remaining_quanta
+        t_end = self.detector.predict(m)
+        if self.stall is not None:
+            t_end += self.stall.excess_after(self.samples - 1 + m)
+        skipped = c.snd_total - c.snd_next
+        c.flow_halt()
+        self._account(skipped)
+        self.ctl.sim.schedule_flow_completion(
+            max(0.0, t_end - self.ctl.sim.now), self._force)
+
+    def _ack_ratio(self) -> float:
+        """Pure TCP ACKs per delivered segment, measured over whole
+        confirmed periods of the sampled steady state.
+
+        Delayed ACKs coalesce every ``tcp_ack_every`` segments only
+        while the RX backlog stays non-empty; a CPU-paced receiver
+        drains per segment and ACKs every one, and mixed regimes sit in
+        between with a cadence periodic in the window.  Measuring over
+        ``c`` whole periods (like the detector's gap mean) excludes the
+        slow-start prefix, whose cadence differs from steady state.
+        """
+        det, snaps = self.detector, self._snaps
+        span = 0
+        if det.period:
+            span = max(1, (det.valid_n - 1) // det.period) * det.period
+        if not 0 < span < len(snaps):
+            span = len(snaps) - 1
+        a1, d1 = snaps[-1]
+        a0, d0 = snaps[-1 - span] if span else (0, 0)
+        segs = max(1.0, (d1 - d0) / self.client.mss)
+        return min(1.0, (a1 - a0) / segs)
+
+    def _account(self, skipped: int) -> None:
+        wan = self.ctl.wan
+        if wan is None or skipped <= 0:
+            return
+        c = self.client
+        profile = c.profile
+        ratio = self._ack_ratio()
+        skipped_segs = -(-skipped // c.mss)
+        forward, reverse, segments, acks = models.tcp_stream_wire_bytes(
+            profile, skipped, c.mss, self.ctl.mode,
+            acks=max(1, round(skipped_segs * ratio)))
+        rc_acks = segments if self.ctl.mode == "rc" else 0
+        link = wan.wan_link
+        link.account_flow_bytes(
+            link.a, forward,
+            frames=segments + (acks if rc_acks else 0))
+        link.account_flow_bytes(link.b, reverse, frames=acks + rc_acks)
+
+    def _force(self) -> None:
+        """Analytic completion: the last skipped byte 'arrives' now."""
+        server = self.server
+        server.rcv_next = self.total
+        if server._rcv_watchers:
+            still = []
+            for target, evt in server._rcv_watchers:
+                if server.rcv_next >= target:
+                    evt.succeed(server.rcv_next)
+                else:
+                    still.append((target, evt))
+            server._rcv_watchers = still
+
+
+class FlowStreamController:
+    """Per-run flow controller over all streams of one netperf run."""
+
+    def __init__(self, sim: Simulator, stack_a: TcpStack,
+                 stack_b: TcpStack, n_streams: int):
+        self.sim = sim
+        self.stack_a = stack_a
+        self.stack_b = stack_b
+        self.n_streams = n_streams
+        fabric = getattr(stack_a.iface.network, "fabric", None)
+        self.wan = getattr(fabric, "wan", None)
+        self.mode = stack_a.iface.network.mode
+        self.streams: List[_Stream] = []
+        self._by_port: Dict[int, _Stream] = {}
+        self.done = False
+
+    def watch_server(self, sock: Socket) -> None:
+        """Register a freshly accepted server-side socket."""
+        stream = _Stream(self, sock)
+        self.streams.append(stream)
+        # The server socket's peer port is the client's local port.
+        self._by_port[sock.peer_port] = stream
+
+    def watch_client(self, sock: Socket) -> None:
+        """Register a client socket once its stream is fully queued."""
+        stream = self._by_port.get(sock.local_port)
+        if stream is not None and stream.client is None:
+            stream.attach_client(sock)
+
+    def maybe_collapse(self) -> None:
+        if self.done or len(self.streams) < self.n_streams:
+            return
+        if not all(s.eligible() for s in self.streams):
+            return
+        self.done = True
+        for stream in self.streams:
+            stream.collapse()

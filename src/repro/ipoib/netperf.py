@@ -67,11 +67,24 @@ def _run(sim: Simulator, stack_a: TcpStack, stack_b: TcpStack,
     port = 5001
     listener = stack_b.listen(port, window=window)
     t_done = {}
+    # Flow-mode hook: when engaged, a controller watches every stream
+    # from outside and may collapse the proved steady-state tail into
+    # one analytic completion per stream (see repro.flow.tcp).  The
+    # measurement below is identical either way.
+    from ..flow.dispatch import engaged
+    if engaged(sim, getattr(stack_a.iface.network, "fabric", None)):
+        from ..flow.tcp import flow_stream_controller
+        flow = flow_stream_controller(sim, stack_a, stack_b,
+                                      len(stream_bytes))
+    else:
+        flow = None
 
     def server(n_streams: int):
         waiters = []
         for _ in range(n_streams):
             sock = yield listener.accept()
+            if flow is not None:
+                flow.watch_server(sock)
             waiters.append(sim.process(_drain(sock)))
         yield sim.all_of(waiters)
         t_done["t1"] = sim.now
@@ -89,6 +102,11 @@ def _run(sim: Simulator, stack_a: TcpStack, stack_b: TcpStack,
             chunk = min(msg_bytes, remaining)
             sock.send(chunk)
             remaining -= chunk
+        if flow is not None:
+            # Registered only after the whole stream is queued, so the
+            # controller sees the final snd_total when anchoring its
+            # sampling thresholds.
+            flow.watch_client(sock)
         return sock
 
     t0 = sim.now

@@ -421,6 +421,10 @@ class Simulator:
         self._active_proc: Optional[Process] = None
         self._active_gen = None
         self._event_count = 0
+        #: Analytic completions scheduled by flow mode (see
+        #: :meth:`schedule_flow_completion`); packet-mode purity tests
+        #: assert this stays zero.
+        self.flow_events = 0
         #: Freelist of dispatched non-cancellable ``_Callback`` records.
         self._cb_pool: list = []
         #: Optional ``repro.obs.MetricsRegistry`` observing this run.
@@ -526,6 +530,20 @@ class Simulator:
         """:meth:`call_at` with zero delay — runs after pending events
         already scheduled for the current instant."""
         return self.call_at(0.0, fn, arg, priority, cancellable)
+
+    def schedule_flow_completion(self, delay: float, fn: Callable,
+                                 arg: Any = _NO_ARG) -> None:
+        """Schedule an analytically computed flow-mode completion.
+
+        The hybrid dispatch hook: :mod:`repro.flow` collapses a proved
+        steady state into one of these instead of simulating its
+        packets.  Semantically a fire-and-forget :meth:`call_at` on the
+        freelist fast path; counted separately in :attr:`flow_events`
+        so packet-fidelity invariants (``--faults``/``--metrics`` runs,
+        the equivalence wall's packet side) can assert none fired.
+        """
+        self.flow_events += 1
+        self.call_at(delay, fn, arg, cancellable=False)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -24,6 +24,12 @@ class CongestionControl:
         self.mss = mss
         self.cwnd = float(init_segments * mss)
         self.ssthresh = ssthresh
+        #: Congestion-state generation: bumped on every loss reaction
+        #: and on the slow-start -> congestion-avoidance transition.
+        #: Flow-mode fingerprints carry it so a cwnd state transition
+        #: always breaks a detected steady state (a crossover
+        #: condition), without pinning the unbounded raw cwnd value.
+        self.generation = 0
         #: Optional ``repro.obs`` histogram sampling cwnd after every
         #: update (set by the owning socket when metrics are attached).
         self.cwnd_hist = None
@@ -38,6 +44,8 @@ class CongestionControl:
             return
         if self.in_slow_start:
             self.cwnd += acked_bytes  # exponential: +1 MSS per MSS acked
+            if not self.in_slow_start:
+                self.generation += 1
         else:
             # Congestion avoidance: +1 MSS per cwnd of acked data.
             self.cwnd += self.mss * (acked_bytes / self.cwnd)
@@ -48,5 +56,6 @@ class CongestionControl:
         """Multiplicative decrease (fast-recovery style)."""
         self.ssthresh = max(2 * self.mss, self.cwnd / 2)
         self.cwnd = self.ssthresh
+        self.generation += 1
         if self.cwnd_hist is not None:
             self.cwnd_hist.observe(self.cwnd)

@@ -199,6 +199,10 @@ class Socket:
         self._rcv_watchers: List[Tuple[int, Any]] = []
         self._unacked_segs = 0
         self._last_ack_sent = 0
+        #: Pure ACKs emitted; flow-mode accounting extrapolates the
+        #: observed ACK cadence from it (delayed ACKs coalesce less in
+        #: CPU-paced regimes, where the backlog drains every segment).
+        self.acks_sent = 0
         # plumbing
         self._established = self.sim.event()
         self._tx_wakeup = self.sim.event()
@@ -258,6 +262,17 @@ class Socket:
     def recv_record(self):
         """Event yielding the next application record ``(nbytes, obj)``."""
         return self._recv_records.get()
+
+    def flow_halt(self) -> None:
+        """Cap the stream at what is already committed for transmission.
+
+        Flow-mode collapse hook: the analytic tail replaces the bytes
+        between ``snd_next`` and the old ``snd_total``, so the sender
+        must stop producing them.  One segment whose length was fixed
+        before a CPU yield may still depart afterwards — harmless, the
+        cap only ever shrinks the stream.
+        """
+        self.snd_total = min(self.snd_total, self.snd_next)
 
     def close(self) -> None:
         if not self._closed:
@@ -435,6 +450,7 @@ class Socket:
     def _send_ack(self) -> None:
         self._unacked_segs = 0
         self._last_ack_sent = self.rcv_next
+        self.acks_sent += 1
         self.stack._tx_control(self.peer_lid, Segment(
             ACK, self.local_port, self.peer_port, ack=self.rcv_next,
             rwnd=self.rwnd))

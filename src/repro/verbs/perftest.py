@@ -112,10 +112,23 @@ def run_write_lat(sim: Simulator, node_a: Node, node_b: Node, size: int,
 
 def run_send_bw(sim: Simulator, node_a: Node, node_b: Node, size: int,
                 iters: int = 64, transport: str = "rc",
-                window: Optional[int] = None) -> float:
-    """Unidirectional send/recv bandwidth in MB/s, receiver-observed."""
+                window: Optional[int] = None, fabric=None) -> float:
+    """Unidirectional send/recv bandwidth in MB/s, receiver-observed.
+
+    With flow mode engaged (see :mod:`repro.flow.dispatch`) the run is
+    delegated to the flow twin, which pays per-message events only
+    until the steady state is proved and completes the tail
+    analytically.  ``fabric`` is only consulted by that gate (fault
+    plans force packet mode) and for WAN wire-byte accounting.
+    """
     if iters < 2:
         raise ValueError("need at least 2 iterations")
+    from ..flow.dispatch import engaged
+    if engaged(sim, fabric):
+        from ..flow.verbs import flow_send_bw
+        return flow_send_bw(sim, node_a, node_b, size, iters=iters,
+                            transport=transport, window=window,
+                            fabric=fabric)
     qp_a, qp_b = _make_pair(node_a, node_b, transport, window)
     result = {}
 
@@ -141,10 +154,16 @@ def run_send_bw(sim: Simulator, node_a: Node, node_b: Node, size: int,
 
 def run_bidir_bw(sim: Simulator, node_a: Node, node_b: Node, size: int,
                  iters: int = 64, transport: str = "rc",
-                 window: Optional[int] = None) -> float:
+                 window: Optional[int] = None, fabric=None) -> float:
     """Bidirectional send/recv bandwidth in MB/s (sum of both directions)."""
     if iters < 2:
         raise ValueError("need at least 2 iterations")
+    from ..flow.dispatch import engaged
+    if engaged(sim, fabric):
+        from ..flow.verbs import flow_bidir_bw
+        return flow_bidir_bw(sim, node_a, node_b, size, iters=iters,
+                             transport=transport, window=window,
+                             fabric=fabric)
     qp_a, qp_b = _make_pair(node_a, node_b, transport, window)
     result = {}
 

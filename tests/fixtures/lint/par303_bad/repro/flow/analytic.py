@@ -1,0 +1,8 @@
+"""Fixture flow model reading a field calibration no longer defines."""
+
+
+def service_time(profile, nbytes):
+    # ``wire_rate`` was renamed to ``link_rate_mbps``; the packet layer
+    # was updated but this analytic twin was not.
+    per_byte = 8.0 / profile.wire_rate
+    return nbytes * per_byte + profile.mtu_bytes * 0.0

@@ -1,0 +1,7 @@
+"""Fixture flow module whose twin pointer names a retired module."""
+
+PACKET_TWIN = "repro.gone.runner"
+
+
+def collapse(nbytes):
+    return nbytes

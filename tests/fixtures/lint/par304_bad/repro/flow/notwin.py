@@ -1,0 +1,7 @@
+"""Fixture flow module shadowing a packet protocol with no twin pointer."""
+
+from ..tcp.socket import StreamSocket
+
+
+def collapse(sock: StreamSocket, nbytes):
+    return sock.queue_send(nbytes)

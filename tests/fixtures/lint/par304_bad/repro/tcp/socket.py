@@ -1,0 +1,6 @@
+"""Fixture packet module the flow twins shadow."""
+
+
+class StreamSocket:
+    def queue_send(self, nbytes):
+        return nbytes

@@ -1,0 +1,9 @@
+"""Fixture calibration schema matching the flow model's reads."""
+
+
+class HardwareProfile:
+    link_rate_mbps: float = 1000.0
+    mtu_bytes: int = 2048
+
+    def link_rate(self, port):
+        return self.link_rate_mbps

@@ -1,0 +1,14 @@
+"""Fixture flow twin: declared pointer, schema-valid profile reads."""
+
+from ..tcp.socket import StreamSocket
+
+PACKET_TWIN = "repro.tcp.socket"
+
+
+def service_time(profile, nbytes):
+    per_byte = 8.0 / profile.link_rate_mbps
+    return nbytes * per_byte + (nbytes // profile.mtu_bytes)
+
+
+def collapse(sock: StreamSocket, profile, nbytes):
+    return sock.queue_send(nbytes) * service_time(profile, nbytes)

@@ -1,0 +1,6 @@
+"""Fixture packet module; the flow twin points back at it."""
+
+
+class StreamSocket:
+    def queue_send(self, nbytes):
+        return nbytes

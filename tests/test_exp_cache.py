@@ -15,6 +15,7 @@ from repro.core.registry import ExperimentResult
 from repro.exp import ResultCache, run_experiments, source_digest
 from repro.exp import cache as cache_mod
 from repro.faults.context import activated
+from repro.flow.context import activated as flow_activated
 
 
 @pytest.fixture
@@ -124,5 +125,27 @@ def test_active_fault_spec_changes_key(cache):
 
 def test_clean_entry_not_served_under_fault_spec(cache, warm):
     with activated("loss=0.1,seed=1"):
+        assert cache.load("table1", True) is None
+    assert cache.load("table1", True) is not None
+
+
+def test_flow_mode_changes_key_only_when_accelerating(cache):
+    """``--flow auto``/``on`` are part of the key; ``off`` and unset
+    share the exact historical packet-mode key, so flow runs never
+    collide with (or shadow) packet-mode entries."""
+    clean = cache.key("table1", True)
+    with flow_activated("auto"):
+        auto = cache.key("table1", True)
+        assert auto != clean
+    with flow_activated("on"):
+        on = cache.key("table1", True)
+        assert on != clean and on != auto
+    with flow_activated("off"):
+        assert cache.key("table1", True) == clean
+    assert cache.key("table1", True) == clean
+
+
+def test_packet_entry_not_served_under_flow_mode(cache, warm):
+    with flow_activated("auto"):
         assert cache.load("table1", True) is None
     assert cache.load("table1", True) is not None

@@ -1,0 +1,109 @@
+"""Differential equivalence wall: flow acceleration vs packet truth.
+
+Every quick-grid cell of the bulk-transfer figures (fig05 verbs RC/UD,
+fig06 IPoIB-UD windows/streams, fig07 IPoIB-RC MTUs) is computed twice
+— once in packet mode, once under ``--flow auto`` — and the two tables
+must agree cell-by-cell within the 1% bandwidth budget.  On top of the
+per-cell bound, the *ordering* of the figure's curves at every delay
+point must be identical: flow mode may shift a bandwidth by a fraction
+of a percent, but it must never reorder which window/MTU/stream-count
+wins at a given wire length, because curve crossovers are the paper's
+actual findings.
+
+A direct netperf probe additionally sweeps every Table-1 delay
+(including 10 µs, which the quick grids skip) so the wall covers the
+full delay axis the paper measures.
+"""
+
+import pytest
+
+from repro.core.registry import run_experiment
+from repro.core.scenario import wan_pair
+from repro.flow.context import activated
+from repro.ipoib import netperf
+
+KB, MB = 1024, 1024 * 1024
+
+#: Bulk-transfer figures the flow path accelerates.
+SWEEPS = ["fig05a", "fig05b", "fig06a", "fig06b", "fig07a", "fig07b"]
+
+#: Max |flow - packet| / packet per cell.
+BW_TOLERANCE = 0.01
+
+#: Packet-mode differences below this are ties: ordering may not be
+#: asserted inside the equivalence budget's own noise floor.
+ORDERING_MARGIN = 2 * BW_TOLERANCE
+
+#: Table 1 delay axis (one-way, µs).
+TABLE1_DELAYS = (0.0, 10.0, 100.0, 1000.0, 10000.0)
+
+
+@pytest.fixture(scope="module", params=SWEEPS)
+def sweep_pair(request):
+    """(experiment id, packet rows, flow rows) for one quick sweep."""
+    exp_id = request.param
+    packet = run_experiment(exp_id, quick=True)
+    with activated("auto"):
+        flow = run_experiment(exp_id, quick=True)
+    assert flow.columns == packet.columns
+    assert len(flow.rows) == len(packet.rows)
+    return exp_id, packet.rows, flow.rows
+
+
+def _numeric_cells(row):
+    return [v for v in row if isinstance(v, (int, float))
+            and not isinstance(v, bool)]
+
+
+def test_every_cell_within_one_percent(sweep_pair):
+    exp_id, packet_rows, flow_rows = sweep_pair
+    for prow, frow in zip(packet_rows, flow_rows):
+        assert prow[0] == frow[0]
+        pvals, fvals = _numeric_cells(prow[1:]), _numeric_cells(frow[1:])
+        assert len(pvals) == len(fvals) > 0
+        for col, (p, f) in enumerate(zip(pvals, fvals)):
+            err = abs(f - p) / p
+            assert err <= BW_TOLERANCE, (
+                f"{exp_id} row {prow[0]!r} col {col}: packet {p:.2f} "
+                f"flow {f:.2f} ({err:.2%} > {BW_TOLERANCE:.0%})")
+
+
+def test_curve_crossover_ordering_is_identical(sweep_pair):
+    """At every delay point, curves must rank the same in both modes
+    (whenever packet mode separates them beyond the tie margin)."""
+    exp_id, packet_rows, flow_rows = sweep_pair
+    n_cols = len(_numeric_cells(packet_rows[0][1:]))
+    for col in range(n_cols):
+        pcol = [_numeric_cells(r[1:])[col] for r in packet_rows]
+        fcol = [_numeric_cells(r[1:])[col] for r in flow_rows]
+        for i in range(len(pcol)):
+            for j in range(i + 1, len(pcol)):
+                gap = abs(pcol[i] - pcol[j]) / max(pcol[i], pcol[j])
+                if gap <= ORDERING_MARGIN:
+                    continue  # a tie in packet mode — no ordering claim
+                assert ((pcol[i] > pcol[j]) == (fcol[i] > fcol[j])), (
+                    f"{exp_id} col {col}: packet orders "
+                    f"{packet_rows[i][0]!r} vs {packet_rows[j][0]!r} as "
+                    f"{pcol[i]:.2f} vs {pcol[j]:.2f} but flow gives "
+                    f"{fcol[i]:.2f} vs {fcol[j]:.2f}")
+
+
+@pytest.mark.parametrize("delay_us", TABLE1_DELAYS)
+@pytest.mark.parametrize("mode,mtu", [("ud", None), ("rc", 2044),
+                                      ("rc", 65520)])
+def test_netperf_cell_matches_across_table1_delays(mode, mtu, delay_us):
+    """Direct probe over the full Table-1 delay axis, covering the
+    10 µs point the quick grids omit."""
+    total = 4 * MB
+    s = wan_pair(delay_us)
+    bw_packet = netperf.run_stream_bw(
+        s.sim, s.fabric, s.a, s.b, total_bytes=total, mode=mode, mtu=mtu)
+    with activated("auto"):
+        s = wan_pair(delay_us)
+        bw_flow = netperf.run_stream_bw(
+            s.sim, s.fabric, s.a, s.b, total_bytes=total, mode=mode,
+            mtu=mtu)
+    err = abs(bw_flow - bw_packet) / bw_packet
+    assert err <= BW_TOLERANCE, (
+        f"{mode}/mtu={mtu} d={delay_us}: packet {bw_packet:.2f} "
+        f"flow {bw_flow:.2f} ({err:.2%})")

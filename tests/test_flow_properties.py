@@ -1,0 +1,189 @@
+"""Seeded randomized property wall for flow-mode invariants.
+
+The equivalence wall (test_flow_equivalence) pins flow mode to the
+packet truth on the paper's own grids; this wall checks the invariants
+that must hold on *any* grid, sampled from a seeded generator so runs
+are reproducible:
+
+* completion time is monotone in transfer size — an analytic tail may
+  shift a completion by a fraction of a percent, but it must never
+  make a bigger transfer finish earlier than a smaller one;
+* wire bytes are conserved on the WAN link — a collapse skips
+  simulating frames, yet the link accounting must still carry every
+  skipped payload byte plus its header overhead;
+* flow never arms under a fault plan, an active fault spec, a metrics
+  registry, or when the mode is off/unset — those runs must stay
+  packet-pure (``sim.flow_events == 0``);
+* the period detector confirms genuinely periodic trains (with
+  bounded jitter) and refuses aperiodic ones.
+"""
+
+import random
+
+import pytest
+
+from repro.core.scenario import wan_pair
+from repro.faults.context import activated as faults_activated
+from repro.faults.plan import FaultPlan
+from repro.flow.context import activated as flow_activated
+from repro.flow.crossover import PeriodDetector
+from repro.ipoib import netperf
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+KB, MB = 1024, 1024 * 1024
+
+SEED = 20080905  # fixed: every CI run samples the same grid
+
+#: (mode, mtu) cells the generator draws from.
+CELLS = [("ud", None), ("rc", 2044), ("rc", 16384), ("rc", 65520)]
+DELAYS = (0.0, 10.0, 100.0, 1000.0, 10000.0)
+
+
+def _run(total, mode, mtu, delay_us):
+    s = wan_pair(delay_us)
+    bw = netperf.run_stream_bw(s.sim, s.fabric, s.a, s.b,
+                               total_bytes=total, mode=mode, mtu=mtu)
+    return s, bw
+
+
+def _duration_us(total, bw_mb_s):
+    return total / MB / bw_mb_s * 1e6
+
+
+def test_completion_time_monotone_in_total_bytes():
+    rng = random.Random(SEED)
+    for _ in range(4):
+        mode, mtu = rng.choice(CELLS)
+        delay = rng.choice(DELAYS)
+        durations = []
+        with flow_activated("auto"):
+            for total in (2 * MB, 4 * MB, 8 * MB):
+                _, bw = _run(total, mode, mtu, delay)
+                durations.append(_duration_us(total, bw))
+        assert durations == sorted(durations), (
+            f"{mode}/mtu={mtu} d={delay}: completion times not "
+            f"monotone in size: {durations}")
+
+
+def test_wan_wire_bytes_conserved_under_collapse():
+    rng = random.Random(SEED + 1)
+    total = 8 * MB
+    for _ in range(3):
+        mode, mtu = rng.choice(CELLS)
+        delay = rng.choice(DELAYS[:3])  # keep the packet run cheap
+        s_pkt, _ = _run(total, mode, mtu, delay)
+        with flow_activated("auto"):
+            s_flow, _ = _run(total, mode, mtu, delay)
+        carried_pkt = s_pkt.fabric.wan.wan_link.bytes_carried
+        carried_flow = s_flow.fabric.wan.wan_link.bytes_carried
+        assert carried_flow >= total, (
+            f"{mode}/mtu={mtu} d={delay}: WAN link carried fewer bytes "
+            f"than the payload ({carried_flow} < {total})")
+        assert abs(carried_flow - carried_pkt) / carried_pkt <= 0.01, (
+            f"{mode}/mtu={mtu} d={delay}: WAN wire-byte accounting "
+            f"diverged: packet {carried_pkt} flow {carried_flow}")
+
+
+@pytest.mark.parametrize("flow_mode", ["auto", "on"])
+def test_active_fault_spec_forces_packet_mode(flow_mode):
+    with flow_activated(flow_mode), faults_activated("loss=0.001,seed=3"):
+        s, bw = _run(4 * MB, "ud", None, 100.0)
+    assert bw > 0
+    assert s.sim.flow_events == 0
+
+
+@pytest.mark.parametrize("flow_mode", ["auto", "on"])
+def test_armed_fault_plan_forces_packet_mode(flow_mode):
+    with flow_activated(flow_mode):
+        s = wan_pair(100.0)
+        FaultPlan.parse("loss=0.001,seed=3").apply(s.fabric)
+        bw = netperf.run_stream_bw(s.sim, s.fabric, s.a, s.b,
+                                   total_bytes=4 * MB, mode="ud")
+    assert bw > 0
+    assert s.sim.flow_events == 0
+
+
+def test_metrics_registry_forces_packet_mode():
+    with flow_activated("on"), use_registry(MetricsRegistry()):
+        s, bw = _run(4 * MB, "ud", None, 0.0)
+    assert bw > 0
+    assert s.sim.flow_events == 0
+
+
+@pytest.mark.parametrize("flow_mode", [None, "off"])
+def test_off_and_unset_stay_packet_pure(flow_mode):
+    with flow_activated(flow_mode):
+        s, bw = _run(4 * MB, "rc", 2044, 0.0)
+    assert bw > 0
+    assert s.sim.flow_events == 0
+
+
+def test_flow_on_actually_collapses_a_bulk_transfer():
+    """The gate's positive side: a clean single-stream bulk run under
+    ``on`` must take the analytic path (guards the wall against
+    silently passing because flow never engages)."""
+    with flow_activated("on"):
+        s, bw = _run(8 * MB, "rc", 2044, 100.0)
+    assert bw > 0
+    assert s.sim.flow_events > 0
+
+
+# ---------------------------------------------------------------------------
+# PeriodDetector properties
+# ---------------------------------------------------------------------------
+
+def _feed_periodic(det, rng, gap_us, n, jitter_us=0.0, start=1000.0):
+    t = start
+    for _ in range(n):
+        t += gap_us + (rng.uniform(-jitter_us, jitter_us)
+                       if jitter_us else 0.0)
+        det.add(t, ("steady",))
+    return t
+
+
+def test_detector_confirms_periodic_train_and_predicts():
+    rng = random.Random(SEED + 2)
+    for _ in range(5):
+        gap = rng.uniform(50.0, 5000.0)
+        det = PeriodDetector(window_quanta=1, atol_us=1e-3,
+                             jitter_unit_us=0.0, min_samples=8)
+        last = _feed_periodic(det, rng, gap, 24)
+        assert det.stable
+        horizon = rng.randrange(10, 400)
+        predicted = det.predict(horizon)
+        assert predicted == pytest.approx(last + horizon * gap,
+                                          rel=1e-6)
+
+
+def test_detector_tolerates_bounded_jitter():
+    rng = random.Random(SEED + 3)
+    gap, jitter = 1000.0, 0.5
+    det = PeriodDetector(window_quanta=1, atol_us=1e-3,
+                         jitter_unit_us=jitter, jitter_cap_us=4 * jitter,
+                         min_samples=8)
+    last = _feed_periodic(det, rng, gap, 32, jitter_us=jitter)
+    assert det.stable
+    # Prediction error stays bounded by the jitter scale, not the
+    # horizon: the mean-gap estimate averages the noise away.
+    assert det.predict(100) == pytest.approx(last + 100 * gap,
+                                             abs=100 * jitter)
+
+
+def test_detector_rejects_aperiodic_train():
+    rng = random.Random(SEED + 4)
+    det = PeriodDetector(window_quanta=1, atol_us=1e-3, min_samples=8,
+                         max_samples=64)
+    t = 0.0
+    for _ in range(64):
+        t += rng.uniform(50.0, 150.0)
+        det.add(t, ("steady",))
+        assert not det.stable
+
+
+def test_detector_fingerprint_change_breaks_confirmation():
+    rng = random.Random(SEED + 5)
+    det = PeriodDetector(window_quanta=1, atol_us=1e-3, min_samples=8)
+    _feed_periodic(det, rng, 100.0, 24)
+    assert det.stable
+    det.add(det.times[-1] + 100.0, ("cwnd-changed",))
+    assert not det.stable

@@ -32,7 +32,7 @@ load_builtin_rules()
 #: rule id -> fixture stem; PAR rules use whole fixture trees instead.
 FILE_RULES = ["DET101", "DET102", "DET103", "DET104", "DET105",
               "SIM201", "SIM202", "SIM203", "SIM204"]
-PAR_RULES = ["PAR301", "PAR302"]
+PAR_RULES = ["PAR301", "PAR302", "PAR303", "PAR304"]
 
 
 def lint_paths(*paths, select=None, ignore=(), cache=None, root=None):
@@ -60,7 +60,9 @@ def test_good_fixture_is_clean(rule):
 
 
 @pytest.mark.parametrize("tree,rule", [("par301_bad", "PAR301"),
-                                       ("par302_bad", "PAR302")])
+                                       ("par302_bad", "PAR302"),
+                                       ("par303_bad", "PAR303"),
+                                       ("par304_bad", "PAR304")])
 def test_par_bad_tree_triggers_exactly_its_rule(tree, rule):
     report = lint_paths(FIXTURES / tree, root=FIXTURES / tree)
     assert report.violations
@@ -90,9 +92,44 @@ def test_par302_catches_unflipped_and_twinless_pump():
     assert len(report.violations) == 2
 
 
+def test_par303_names_the_missing_field():
+    report = lint_paths(FIXTURES / "par303_bad",
+                        root=FIXTURES / "par303_bad", select=["PAR303"])
+    assert len(report.violations) == 1
+    assert "wire_rate" in report.violations[0].message
+    assert "HardwareProfile" in report.violations[0].message
+
+
+def test_par303_silent_without_calibration_in_lint_set():
+    # Linting only the flow module (calibration outside the file set)
+    # must not guess at the schema.
+    report = lint_paths(
+        FIXTURES / "par303_bad" / "repro" / "flow" / "analytic.py",
+        root=FIXTURES / "par303_bad", select=["PAR303"])
+    assert report.violations == []
+
+
+def test_par304_catches_missing_and_rotted_twin_pointer():
+    report = lint_paths(FIXTURES / "par304_bad",
+                        root=FIXTURES / "par304_bad", select=["PAR304"])
+    messages = "\n".join(v.message for v in report.violations)
+    assert "no PACKET_TWIN" in messages          # shadowing, undeclared
+    assert "repro.gone.runner" in messages       # declared, unresolvable
+    assert len(report.violations) == 2
+
+
+def test_par304_skips_resolution_without_package_root(tmp_path):
+    # A single-file lint of the ghost module cannot distinguish a
+    # rotted pointer from an unlinted twin, so resolution is skipped.
+    report = lint_paths(
+        FIXTURES / "par304_bad" / "repro" / "flow" / "ghost.py",
+        root=FIXTURES / "par304_bad", select=["PAR304"])
+    assert report.violations == []
+
+
 def test_at_least_eight_rules_have_fixture_coverage():
     # The acceptance bar: >= 8 distinct rules demonstrably catch their
-    # bad fixture.  9 file rules + 2 project rules are covered above.
+    # bad fixture.  9 file rules + 4 project rules are covered above.
     assert len(FILE_RULES) + len(PAR_RULES) >= 8
 
 

@@ -60,6 +60,7 @@ from repro.sim._legacy import legacy_dispatch  # noqa: E402
 
 TARGET_STORM_SPEEDUP = 1.8
 TARGET_SWEEP_SPEEDUP = 1.3
+TARGET_FLOW_SWEEP_SPEEDUP = 10.0
 
 
 # -- workloads -----------------------------------------------------------
@@ -205,6 +206,39 @@ def _bench_sweep(exp_id: str, rounds: int) -> dict:
     }
 
 
+# -- flow-level acceleration sweeps --------------------------------------
+
+def _time_experiment_flow(exp_id: str, quick: bool, flow_mode) -> float:
+    from repro.core.registry import run_experiment
+    from repro.flow.context import activated
+    gc.collect()
+    # repro-lint: disable=DET101 -- wall-clock sweep timing, not sim state
+    t0 = time.perf_counter()
+    with activated(flow_mode):
+        run_experiment(exp_id, quick=quick)
+    # repro-lint: disable=DET101 -- wall-clock sweep timing, not sim state
+    return time.perf_counter() - t0
+
+
+def _bench_flow_sweep(exp_id: str, quick: bool) -> dict:
+    """One figure sweep, packet mode vs flow mode, wall clock.
+
+    Unlike the fast-vs-legacy sweeps this is a single round per
+    variant: the packet side of a ``--full`` sweep runs for minutes and
+    noise only ever slows a run down, so one measurement understates
+    the speedup if anything.
+    """
+    packet = _time_experiment_flow(exp_id, quick, None)
+    flow = _time_experiment_flow(exp_id, quick, "on")
+    return {
+        "experiment": exp_id,
+        "grid": "quick" if quick else "full",
+        "packet_seconds": round(packet, 3),
+        "flow_seconds": round(flow, 3),
+        "speedup": round(packet / flow, 2),
+    }
+
+
 # -- main ----------------------------------------------------------------
 
 def main(argv=None) -> int:
@@ -241,22 +275,40 @@ def main(argv=None) -> int:
               f"legacy {res['legacy_seconds']}s  "
               f"speedup {res['speedup']:.2f}x")
 
+    flow_sweeps = []
+    for exp_id in sweep_ids:
+        res = _bench_flow_sweep(exp_id, quick=args.smoke)
+        flow_sweeps.append(res)
+        print(f"{exp_id} {res['grid']} flow: packet {res['packet_seconds']}s"
+              f"  flow {res['flow_seconds']}s  "
+              f"speedup {res['speedup']:.2f}x")
+    flow_aggregate = round(
+        sum(s["packet_seconds"] for s in flow_sweeps)
+        / sum(s["flow_seconds"] for s in flow_sweeps), 2)
+    print(f"flow sweeps aggregate: {flow_aggregate:.2f}x")
+
     doc = {
         "protocol": {
             "storm_metric": "events/sec, CPU time, gc disabled, "
                             "best-of-N interleaved",
             "sweep_metric": "wall-clock seconds, quick grid, in-process, "
                             "best-of-N",
+            "flow_sweep_metric": "wall-clock seconds, packet mode vs "
+                                 "--flow on, full grid (quick in smoke), "
+                                 "one round",
             "smoke": args.smoke,
         },
         "targets": {
             "frame_storm_speedup": TARGET_STORM_SPEEDUP,
             "figure_sweep_speedup": TARGET_SWEEP_SPEEDUP,
+            "flow_sweep_speedup": TARGET_FLOW_SWEEP_SPEEDUP,
         },
         "frame_storm": storm,
         "frame_lifecycle": lifecycle,
         "allocations": alloc,
         "figure_sweeps": sweeps,
+        "flow_sweeps": flow_sweeps,
+        "flow_sweeps_aggregate_speedup": flow_aggregate,
     }
     out = Path(args.out)
     out.write_text(json.dumps(doc, indent=2) + "\n")
@@ -264,9 +316,11 @@ def main(argv=None) -> int:
 
     ok_storm = storm["speedup"] >= TARGET_STORM_SPEEDUP
     ok_sweep = any(s["speedup"] >= TARGET_SWEEP_SPEEDUP for s in sweeps)
+    ok_flow = flow_aggregate >= TARGET_FLOW_SWEEP_SPEEDUP
     if not args.smoke:
         print(f"targets: storm {'MET' if ok_storm else 'MISSED'}, "
-              f"sweep {'MET' if ok_sweep else 'MISSED'}")
+              f"sweep {'MET' if ok_sweep else 'MISSED'}, "
+              f"flow {'MET' if ok_flow else 'MISSED'}")
     return 0
 
 
