@@ -7,7 +7,9 @@ Four subcommands, each the simulated twin of a classic tool:
 * ``repro netperf``  — TCP throughput over IPoIB (window / MTU /
   parallel streams) plus SDP;
 * ``repro iozone``   — NFS read throughput over RDMA / IPoIB;
-* ``repro experiments`` — regenerate paper tables/figures by id.
+* ``repro experiments`` — regenerate paper tables/figures by id;
+* ``repro worker``      — a socket-backend experiment worker that joins
+  an ``experiments --backend socket`` coordinator from any host.
 
 Examples::
 
@@ -109,9 +111,20 @@ def _cmd_iozone(args) -> int:
 
 
 def _cmd_experiments(args) -> int:
+    import json
+
     from .core.registry import UnknownExperimentError
-    from .exp import ResultCache, run_experiments, write_jsonl
+    from .exp import DryRunBackend, ResultCache, run_experiments, write_jsonl
     cache = ResultCache(args.cache_dir) if args.cache else None
+    # the socket backend shares per-row results through the same
+    # content-addressed cache directory
+    cell_cache_dir = args.cache_dir if (args.cache and
+                                        args.backend == "socket") else None
+    backend = args.backend
+    dryrun = None
+    if backend == "dryrun":
+        backend = dryrun = DryRunBackend(workers=args.workers or
+                                         args.jobs or 1)
     failures = []
     try:
         results = run_experiments(ids=args.ids, quick=not args.full,
@@ -121,10 +134,22 @@ def _cmd_experiments(args) -> int:
                                   keep_going=args.keep_going,
                                   failures=failures,
                                   faults_spec=args.faults,
-                                  flow_mode=args.flow)
+                                  flow_mode=args.flow,
+                                  backend=backend,
+                                  workers=args.workers,
+                                  listen=args.listen,
+                                  cell_cache_dir=cell_cache_dir)
     except UnknownExperimentError as exc:
         print(f"repro experiments: {exc}", file=sys.stderr)
         return 2
+    if dryrun is not None:
+        plan = dryrun.last_plan or {"backend": "dryrun", "n_tasks": 0,
+                                    "tasks": [], "shards": []}
+        print(json.dumps(plan, indent=2, sort_keys=True))
+        if cache is not None:
+            print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+                  f"in {cache.root}", file=sys.stderr)
+        return 0
     if args.out:
         write_jsonl(args.out, results)
     for result in results:
@@ -136,6 +161,12 @@ def _cmd_experiments(args) -> int:
     for failure in failures:
         print(f"FAILED {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_worker(args) -> int:
+    from .exp.worker import serve
+    return serve(args.connect, worker_id=args.worker_id,
+                 cache_dir=args.cache_dir, timeout_s=args.timeout)
 
 
 def _positive_int(text: str) -> int:
@@ -226,7 +257,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true", help=metrics_help)
     p.add_argument("--flow", choices=["auto", "on", "off"], default=None,
                    help=flow_help + "; keyed into the cache when set")
+    p.add_argument("--backend", choices=["local", "socket", "dryrun"],
+                   default=None,
+                   help="execution backend: 'local' process pool "
+                        "(default), 'socket' TCP workers (spawned "
+                        "locally, or external with --listen), 'dryrun' "
+                        "prints the task/shard plan without executing")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="socket/dryrun worker count (default: --jobs)")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="with --backend socket: wait for externally "
+                        "started 'repro worker --connect' processes on "
+                        "this address instead of spawning local ones")
     p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser("worker",
+                       help="socket-backend experiment worker "
+                            "(join a --backend socket coordinator)")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="coordinator address")
+    p.add_argument("--worker-id", default=None,
+                   help="stable worker name (default: host-pid)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="optional local cell-cache directory")
+    p.add_argument("--timeout", type=float, default=60.0, metavar="SECONDS",
+                   help="socket timeout (default: %(default)s)")
+    p.set_defaults(fn=_cmd_worker)
 
     return parser
 

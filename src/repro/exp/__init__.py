@@ -1,15 +1,25 @@
 """repro.exp — the parallel experiment engine.
 
-Three pieces, composable and individually testable:
+Composable, individually testable pieces:
 
-* :mod:`repro.exp.scheduler` — :func:`run_experiments`, a process-pool
-  runner fanning experiment ids (and the row-cells of the big sweeps)
-  out to workers, with results reassembled in deterministic order:
-  ``--jobs N`` output is byte-identical to a serial run;
+* :mod:`repro.exp.scheduler` — :func:`run_experiments`: resolves ids,
+  consults the cache, decomposes the rest into tasks and reassembles
+  backend outcomes in deterministic order: every backend and worker
+  count is byte-identical to a serial run;
+* :mod:`repro.exp.planner` — task decomposition, the stable shard
+  hash, and the one task body every backend executes;
+* :mod:`repro.exp.backends` — where tasks run: the local process pool
+  (default), socket workers on any hosts (``repro worker``), or a dry
+  run that only plans;
+* :mod:`repro.exp.leases` / :mod:`repro.exp.protocol` /
+  :mod:`repro.exp.worker` — the distributed substrate: lease
+  bookkeeping with heartbeats and reassignment, the length-prefixed
+  JSON wire protocol, and the worker process;
 * :mod:`repro.exp.cache` — :class:`ResultCache`, an on-disk
   content-addressed cache keyed on experiment id + quick/full flag +
   package version + source digest, making unchanged experiments free
-  to re-run;
+  to re-run; :class:`CellCache` is its per-row sibling that socket
+  workers share over the wire;
 * :mod:`repro.exp.store` — a JSON-lines results store that
   EXPERIMENTS.md-style tables are rendered from.
 
@@ -22,10 +32,16 @@ does)::
     write_jsonl("r.jsonl", results)
 """
 
-from .cache import DEFAULT_CACHE_DIR, ResultCache, source_digest
+from .backends import (BACKENDS, DryRunBackend, ExecutionBackend,
+                       LocalPoolBackend, SocketWorkerBackend, TaskOutcome,
+                       create_backend)
+from .cache import DEFAULT_CACHE_DIR, CellCache, ResultCache, source_digest
 from .scheduler import ExperimentFailure, run_experiments
 from .store import iter_jsonl, read_jsonl, render_store, write_jsonl
 
 __all__ = ["run_experiments", "ExperimentFailure", "ResultCache",
-           "DEFAULT_CACHE_DIR", "source_digest", "write_jsonl",
-           "read_jsonl", "iter_jsonl", "render_store"]
+           "CellCache", "DEFAULT_CACHE_DIR", "source_digest",
+           "write_jsonl", "read_jsonl", "iter_jsonl", "render_store",
+           "ExecutionBackend", "TaskOutcome", "LocalPoolBackend",
+           "SocketWorkerBackend", "DryRunBackend", "BACKENDS",
+           "create_backend"]

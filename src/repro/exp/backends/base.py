@@ -1,0 +1,115 @@
+"""The execution-backend interface and its shared plumbing.
+
+An :class:`ExecutionBackend` answers one question for the scheduler:
+*given these tasks and this run context, get each one executed
+somewhere and hand me the outcomes*.  Everything else — cache
+prefetching, result assembly in request order, ``keep_going``
+semantics — stays in :mod:`repro.exp.scheduler`, identical for every
+backend, which is what the conformance wall
+(``tests/test_exp_backends.py``) pins.
+
+The protocol surface every backend must implement (and that the
+PAR305 lint rule statically enforces):
+
+* :meth:`run_tasks` — a generator yielding exactly one final
+  :class:`TaskOutcome` per task, in any order.  Retries, lease
+  reassignment and worker supervision are the backend's private
+  business; by the time an outcome is yielded it is final.
+* :meth:`plan` — the placement the backend *would* use, as plain data
+  (worker/shard breakdown), for dry runs and cost estimation.
+* :meth:`close` — release external resources (pools, sockets, spawned
+  workers).  Idempotent; the scheduler always calls it.
+
+Backends report operational counters in ``self.stats`` (a plain dict,
+always on) and mirror them into :mod:`repro.obs` via
+:meth:`_count`/:meth:`_count_cache_hit` when a default registry is
+attached — leases issued, reassignments, remote/local cache hits are
+then observable next to the simulation's own metrics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from ..planner import RunContext, Task, plan_shards, task_key
+
+__all__ = ["TaskOutcome", "ExecutionBackend"]
+
+
+@dataclass
+class TaskOutcome:
+    """The final fate of one task under a backend.
+
+    Exactly one of three shapes:
+
+    * executed/cache-served: ``payload`` set (``snapshot`` too when the
+      run is observed), ``error`` None, ``planned`` False;
+    * failed after the backend's full retry/reassignment budget:
+      ``error`` holds the exception (or its repr, for remote workers);
+    * planned only (dry run): ``planned`` True, nothing else set.
+    """
+
+    task: Task
+    payload: Any = None
+    snapshot: Optional[Dict] = None
+    error: Optional[BaseException] = None
+    attempts: int = 1
+    cached: Optional[str] = None     # None | "remote" | "local"
+    planned: bool = False
+
+
+class ExecutionBackend(ABC):
+    """Where tasks run: in-process pool, socket workers, or nowhere."""
+
+    #: registry key (``--backend <name>``); set by every subclass.
+    name: str = ""
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, int] = {}
+
+    # -- protocol surface (PAR305 pins subclasses to all of these) ------
+    @abstractmethod
+    def run_tasks(self, tasks: Sequence[Task],
+                  ctx: RunContext) -> Iterator[TaskOutcome]:
+        """Yield one final :class:`TaskOutcome` per task, any order."""
+
+    @abstractmethod
+    def plan(self, tasks: Sequence[Task], ctx: RunContext) -> Dict:
+        """The intended placement, as JSON-ready data (see
+        :meth:`_shard_plan` for the common shape)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release pools/sockets/spawned workers; idempotent."""
+
+    # -- shared helpers -------------------------------------------------
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _bump(self, stat: str, amount: int = 1) -> None:
+        self.stats[stat] = self.stats.get(stat, 0) + amount
+
+    def _count(self, name: str, amount: int = 1, **labels) -> None:
+        """``stats`` bump plus a repro.obs counter when one is attached."""
+        self._bump(name if not labels
+                   else "_".join([name] + sorted(labels.values())), amount)
+        from ...obs import get_default_registry
+        registry = get_default_registry()
+        if registry is not None:
+            registry.counter("exp", name, backend=self.name,
+                             **labels).inc(amount)
+
+    def _count_cache_hit(self, where: str) -> None:
+        """A shared-cache hit: ``where`` is ``"remote"`` or ``"local"``."""
+        self._count("cache_hits", where=where)
+
+    def _shard_plan(self, tasks: Sequence[Task], ctx: RunContext,
+                    n_shards: int) -> List[Dict]:
+        """The canonical per-shard breakdown used by :meth:`plan`."""
+        return [{"shard": i, "tasks": [task_key(t) for t in shard]}
+                for i, shard in enumerate(plan_shards(tasks, n_shards))]

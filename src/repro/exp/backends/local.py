@@ -1,0 +1,89 @@
+"""LocalPoolBackend — the ProcessPool execution backend (the default).
+
+This is the engine PR 2 built and PR 3 hardened, repackaged behind the
+:class:`~repro.exp.backends.base.ExecutionBackend` interface: tasks fan
+out to a :class:`~concurrent.futures.ProcessPoolExecutor`, and a worker
+that dies outright (OOM kill, segfault) breaks the pool — so each retry
+attempt rebuilds a **fresh pool** and resubmits only the unfinished
+tasks, with exponential backoff.  Completed tasks are never recomputed;
+a task still failing after the attempt budget is yielded as a failed
+outcome and the scheduler decides (raise vs ``keep_going``).
+
+Futures are collected in submission (= request) order, never completion
+order, so per-attempt progress and merged metrics stay deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Iterator, Sequence
+
+from ..planner import RunContext, Task, run_task
+from .base import ExecutionBackend, TaskOutcome
+
+__all__ = ["LocalPoolBackend"]
+
+
+def _pool_task(task: Task, wire_ctx: Dict):
+    """Top-level worker entry point (must pickle under spawn too)."""
+    return run_task(tuple(task), RunContext.from_wire(wire_ctx))
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """Fan tasks out to worker processes on this host."""
+
+    name = "local"
+
+    def __init__(self, jobs: int = 1):
+        super().__init__()
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run_tasks(self, tasks: Sequence[Task],
+                  ctx: RunContext) -> Iterator[TaskOutcome]:
+        wire_ctx = ctx.to_wire()
+        pending = list(tasks)
+        errors: Dict[Task, BaseException] = {}
+        attempts = 0
+        while pending and attempts <= ctx.retries:
+            if attempts:
+                time.sleep(ctx.backoff_s * 2 ** (attempts - 1))
+                self._count("pool_rebuilds")
+            errors = {}
+            # A fresh pool per attempt: a worker killed hard breaks the
+            # executor for every outstanding future, and a broken pool
+            # cannot be reused.
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending))) as pool:
+                futures = {task: pool.submit(_pool_task, task, wire_ctx)
+                           for task in pending}
+                self._count("leases_issued", len(pending))
+                for task in pending:
+                    try:
+                        payload, snapshot = futures[task].result()
+                    except (Exception, BrokenProcessPool) as exc:
+                        errors[task] = exc
+                    else:
+                        self._count("results")
+                        yield TaskOutcome(task, payload=payload,
+                                          snapshot=snapshot,
+                                          attempts=attempts + 1)
+            retried = [t for t in pending if t in errors]
+            if retried and attempts < ctx.retries:
+                self._count("reassignments", len(retried))
+            pending = retried
+            attempts += 1
+        for task in pending:
+            yield TaskOutcome(task, error=errors[task], attempts=attempts)
+
+    def plan(self, tasks: Sequence[Task], ctx: RunContext) -> Dict:
+        n_workers = min(self.jobs, max(1, len(tasks)))
+        return {"backend": self.name, "workers": n_workers,
+                "n_tasks": len(tasks),
+                "shards": self._shard_plan(tasks, ctx, n_workers)}
+
+    def close(self) -> None:
+        pass    # pools are scoped to run_tasks attempts

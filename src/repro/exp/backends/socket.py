@@ -1,0 +1,471 @@
+"""SocketWorkerBackend — multi-host execution over TCP sockets.
+
+The coordinator side of the length-prefixed JSON protocol
+(:mod:`repro.exp.protocol`): it binds a listening socket, admits N
+workers (spawned locally as ``python -m repro.exp.worker`` subprocesses,
+or started by hand on any hosts with ``repro worker --connect``), and
+drains one sweep through the lease machinery:
+
+* tasks are pre-sharded by the stable cell-key hash
+  (:func:`~repro.exp.planner.plan_shards`); a worker is granted the
+  next pending task of its shard first, and steals from the global
+  queue when its shard is drained — the sweep finishes whatever
+  happens to individual shards;
+* every grant is a :class:`~repro.exp.leases.Lease` renewed by worker
+  HEARTBEATs; a lease whose deadline passes, or whose worker's
+  connection drops (SIGKILL, network cut), returns its task to the
+  queue for **reassignment** — the PR-3 fresh-pool retry machinery
+  generalised to hosts;
+* workers share the content-addressed cell cache through CACHE_GET /
+  CACHE_PUT: a row any worker ever computed is served back over the
+  wire instead of being recomputed, and hits are counted per kind
+  (``remote``/``local``) in :mod:`repro.obs`;
+* malformed frames fail closed: the offending connection is dropped on
+  the spot (its leases reassigned), the run continues, and every
+  socket carries a timeout so a wedged peer becomes an error, not a
+  hang.
+
+Determinism: none of this machinery touches result *values*.  Tasks
+are idempotent pure functions of (experiment, cell, context), so
+whichever worker finally computes a row — after any number of
+reassignments, in any completion order — yields the same bytes, and
+the scheduler reassembles them in request order.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket as socketlib
+import subprocess
+import sys
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..cache import CellCache
+from ..leases import LeaseTable
+from ..planner import RunContext, Task, plan_shards
+from ..protocol import (MAX_FRAME, PROTOCOL_VERSION, ProtocolError,
+                        decode_body, send_frame)
+from .base import ExecutionBackend, TaskOutcome
+
+__all__ = ["SocketWorkerBackend", "RemoteTaskError", "parse_address"]
+
+#: Environment knob bounding every socket operation (seconds).
+IO_TIMEOUT_ENV = "REPRO_EXP_IO_TIMEOUT_S"
+_DEFAULT_IO_TIMEOUT_S = 60.0
+_LEN_BYTES = 4
+
+
+class RemoteTaskError(RuntimeError):
+    """A task failed on a remote worker after its full retry budget."""
+
+
+def parse_address(address: Union[str, Tuple[str, int], None]
+                  ) -> Tuple[str, int]:
+    """``"host:port"`` / ``(host, port)`` / ``None`` → a bind tuple
+    (``None`` means loopback on an ephemeral port)."""
+    if address is None:
+        return ("127.0.0.1", 0)
+    if isinstance(address, tuple):
+        host, port = address
+        return (host, int(port))
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"listen/connect address must be HOST:PORT, "
+                         f"got {address!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def _io_timeout_s() -> float:
+    try:
+        value = float(os.environ.get(IO_TIMEOUT_ENV, ""))
+        return value if value > 0 else _DEFAULT_IO_TIMEOUT_S
+    except ValueError:
+        return _DEFAULT_IO_TIMEOUT_S
+
+
+def _now() -> float:
+    """Host-side lease/heartbeat clock (never feeds a result)."""
+    return time.monotonic()  # repro-lint: disable=DET101 -- host-side lease clock only
+
+
+class _Conn:
+    """Per-worker connection state on the coordinator."""
+
+    __slots__ = ("sock", "buffer", "worker", "slot", "busy", "helloed")
+
+    def __init__(self, sock: socketlib.socket):
+        self.sock = sock
+        self.buffer = b""
+        self.worker: Optional[str] = None
+        self.slot: Optional[int] = None
+        self.busy = False
+        self.helloed = False
+
+
+class SocketWorkerBackend(ExecutionBackend):
+    """Coordinate ``workers`` socket workers draining one task set.
+
+    ``listen=None`` (the default) binds loopback on an ephemeral port
+    and **spawns** the workers as local subprocesses; with an explicit
+    ``listen`` address nothing is spawned — start workers yourself on
+    any hosts with ``repro worker --connect HOST:PORT``.  Pass
+    ``spawn`` explicitly to override either default.
+    """
+
+    name = "socket"
+
+    def __init__(self, workers: int = 1,
+                 listen: Union[str, Tuple[str, int], None] = None,
+                 spawn: Optional[bool] = None,
+                 cache_dir: Union[str, None] = None,
+                 lease_timeout_s: float = 30.0,
+                 connect_grace_s: Optional[float] = None):
+        super().__init__()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.spawn = (listen is None) if spawn is None else spawn
+        self.lease_timeout_s = lease_timeout_s
+        self.io_timeout_s = _io_timeout_s()
+        self.connect_grace_s = (self.io_timeout_s if connect_grace_s is None
+                                else connect_grace_s)
+        self.cell_cache = CellCache(cache_dir) if cache_dir else None
+        self._procs: List[subprocess.Popen] = []
+        self._server = socketlib.socket(socketlib.AF_INET,
+                                        socketlib.SOCK_STREAM)
+        self._server.setsockopt(socketlib.SOL_SOCKET,
+                                socketlib.SO_REUSEADDR, 1)
+        self._server.bind(parse_address(listen))
+        self._server.listen(max(8, workers))
+        self._server.settimeout(self.io_timeout_s)
+        #: The bound ``(host, port)`` — workers connect here.
+        self.address: Tuple[str, int] = self._server.getsockname()[:2]
+
+    # -- protocol surface ----------------------------------------------
+    def run_tasks(self, tasks: Sequence[Task],
+                  ctx: RunContext) -> Iterator[TaskOutcome]:
+        if not tasks:       # nothing to do: don't spawn or accept anyone
+            return
+        shards = plan_shards(tasks, self.workers)
+        table = LeaseTable(tasks, self.lease_timeout_s,
+                           max_failures=ctx.retries)
+        lease_tasks: Dict[int, Task] = {}
+        errors: Dict[Task, str] = {}
+        heartbeat_s = max(self.lease_timeout_s / 3.0, 0.05)
+        welcome_base = {"type": "WELCOME", "workers": self.workers,
+                        "heartbeat_s": heartbeat_s,
+                        "cache": self.cell_cache is not None,
+                        "ctx": ctx.to_wire()}
+
+        sel = selectors.DefaultSelector()
+        self._server.setblocking(False)
+        sel.register(self._server, selectors.EVENT_READ, None)
+        conns: List[_Conn] = []
+        used_slots: set = set()
+        if self.spawn:
+            self._spawn_workers(self.workers)
+        last_progress = _now()
+        tick = min(0.25, max(self.lease_timeout_s / 4.0, 0.02))
+
+        def grant(conn: _Conn) -> None:
+            if conn.busy or not conn.helloed:
+                return
+            prefer = shards[conn.slot] if conn.slot is not None else None
+            lease = table.issue(conn.worker, _now(), prefer_shard=prefer)
+            if lease is None:
+                return
+            lease_tasks[lease.lease_id] = lease.task
+            exp_id, index = lease.task
+            if self._send(conn, {"type": "LEASE", "lease": lease.lease_id,
+                                 "exp_id": exp_id, "index": index}):
+                conn.busy = True
+                self._count("leases_issued")
+            else:
+                drop(conn, "send failed")
+
+        def drop(conn: _Conn, why: str) -> None:
+            if conn not in conns:
+                return
+            conns.remove(conn)
+            if conn.slot is not None:
+                used_slots.discard(conn.slot)
+            try:
+                sel.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+            if conn.worker is not None:
+                released = table.release_worker(conn.worker)
+                if released:
+                    self._count("reassignments", len(released),
+                                cause="death")
+
+        try:
+            while not table.settled():
+                events = sel.select(timeout=tick)
+                now = _now()
+                for key, _mask in events:
+                    if key.data is None:                    # server socket
+                        self._accept(sel, conns)
+                        last_progress = now
+                        continue
+                    conn: _Conn = key.data
+                    progressed = False
+                    try:
+                        for message in self._pump(conn):
+                            progressed = True
+                            outcome = self._handle(
+                                message, conn, table, shards, lease_tasks,
+                                errors, conns, used_slots,
+                                welcome_base, grant, drop)
+                            if outcome is not None:
+                                yield outcome
+                    except ProtocolError:
+                        # fail closed: garbage ends the connection
+                        self._count("protocol_errors")
+                        drop(conn, "protocol error")
+                    except ConnectionError:
+                        drop(conn, "connection reset")
+                    except _Eof:
+                        drop(conn, "eof")
+                        progressed = True
+                    if progressed:
+                        last_progress = now
+                expired = table.expire(now)
+                if expired:
+                    self._count("reassignments", len(expired),
+                                cause="expiry")
+                    last_progress = now
+                # idle workers pick up requeued / remaining work
+                for conn in list(conns):
+                    grant(conn)
+                if self.spawn and not table.settled():
+                    self._respawn_if_needed(conns)
+                if now - last_progress > max(self.connect_grace_s,
+                                             self.lease_timeout_s * 2):
+                    raise RuntimeError(
+                        f"socket backend stalled: {len(conns)} worker(s) "
+                        f"connected, {len(table.pending_tasks())} task(s) "
+                        f"pending with no progress for "
+                        f"{now - last_progress:.0f}s")
+            for task in table.exhausted_tasks():
+                yield TaskOutcome(
+                    task, error=RemoteTaskError(
+                        errors.get(task, "task failed on remote worker")),
+                    attempts=ctx.retries + 1)
+        finally:
+            for conn in list(conns):
+                self._send(conn, {"type": "BYE"})
+                drop(conn, "done")
+            sel.close()
+            self._reap_workers()
+
+    def plan(self, tasks: Sequence[Task], ctx: RunContext) -> Dict:
+        return {"backend": self.name, "workers": self.workers,
+                "n_tasks": len(tasks),
+                "listen": f"{self.address[0]}:{self.address[1]}",
+                "spawn": self.spawn,
+                "shards": self._shard_plan(tasks, ctx, self.workers)}
+
+    def close(self) -> None:
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        self._reap_workers(kill=True)
+
+    # -- coordinator internals -----------------------------------------
+    def _accept(self, sel: selectors.DefaultSelector,
+                conns: List[_Conn]) -> None:
+        try:
+            sock, _addr = self._server.accept()
+        except (BlockingIOError, OSError):
+            return
+        sock.settimeout(self.io_timeout_s)
+        conn = _Conn(sock)
+        conns.append(conn)
+        sel.register(sock, selectors.EVENT_READ, conn)
+
+    def _pump(self, conn: _Conn) -> Iterator[Dict]:
+        """Drain readable bytes into frames (incremental, fail-closed)."""
+        try:
+            chunk = conn.sock.recv(65536)
+        except socketlib.timeout:
+            return
+        if not chunk:
+            if conn.buffer:
+                raise ProtocolError("connection closed mid-frame")
+            raise _Eof()
+        conn.buffer += chunk
+        while len(conn.buffer) >= _LEN_BYTES:
+            length = int.from_bytes(conn.buffer[:_LEN_BYTES], "big")
+            if length == 0 or length > MAX_FRAME:
+                raise ProtocolError(
+                    f"frame length {length} outside (0, {MAX_FRAME}]")
+            if len(conn.buffer) < _LEN_BYTES + length:
+                return
+            body = conn.buffer[_LEN_BYTES:_LEN_BYTES + length]
+            conn.buffer = conn.buffer[_LEN_BYTES + length:]
+            yield decode_body(body)
+
+    def _handle(self, message: Dict, conn: _Conn, table: LeaseTable,
+                shards, lease_tasks: Dict[int, Task],
+                errors: Dict[Task, str], conns, used_slots: set,
+                welcome_base: Dict, grant, drop) -> Optional[TaskOutcome]:
+        mtype = message["type"]
+        if mtype == "HELLO":
+            if message.get("proto") != PROTOCOL_VERSION:
+                self._send(conn, {"type": "BYE"})
+                raise ProtocolError(
+                    f"protocol version mismatch: {message.get('proto')!r}")
+            conn.worker = str(message.get("worker") or
+                              f"worker-{id(conn.sock) & 0xffff}")
+            free = [s for s in range(self.workers) if s not in used_slots]
+            conn.slot = free[0] if free else None
+            if conn.slot is not None:
+                used_slots.add(conn.slot)
+            conn.helloed = True
+            self._count("workers_joined")
+            welcome = dict(welcome_base)
+            welcome["slot"] = conn.slot
+            if self._send(conn, welcome):
+                grant(conn)
+            return None
+        if not conn.helloed:
+            raise ProtocolError(f"{mtype} before HELLO")
+        if mtype == "HEARTBEAT":
+            if table.heartbeat(int(message.get("lease", -1)), _now()):
+                self._count("heartbeats")
+            else:
+                self._count("stale_heartbeats")
+            return None
+        if mtype == "CACHE_GET":
+            payload = None
+            if self.cell_cache is not None:
+                payload = self.cell_cache.load(str(message.get("key", "")))
+            if payload is not None:
+                self._count_cache_hit("remote")
+            self._send(conn, {"type": "CACHE",
+                              "key": message.get("key"),
+                              "payload": payload})
+            return None
+        if mtype == "CACHE_PUT":
+            if self.cell_cache is not None:
+                try:
+                    self.cell_cache.save(str(message.get("key", "")),
+                                         message.get("payload"))
+                    self._count("cache_publishes")
+                except (ValueError, OSError):
+                    pass        # bad key/disk trouble: cache is advisory
+            return None
+        if mtype == "RESULT":
+            return self._handle_result(message, conn, table, lease_tasks,
+                                       errors, grant)
+        if mtype == "BYE":
+            raise _Eof()
+        raise ProtocolError(f"unexpected {mtype} from a worker")
+
+    def _handle_result(self, message: Dict, conn: _Conn, table: LeaseTable,
+                       lease_tasks: Dict[int, Task],
+                       errors: Dict[Task, str],
+                       grant) -> Optional[TaskOutcome]:
+        conn.busy = False
+        lease_id = int(message.get("lease", -1))
+        task = lease_tasks.get(lease_id)
+        if task is None:
+            raise ProtocolError(f"RESULT for unknown lease {lease_id}")
+        error = message.get("error")
+        if error is not None:
+            errors[task] = str(error)
+            self._count("task_errors")
+            table.fail(lease_id, task)
+            grant(conn)
+            return None
+        verdict = table.complete(lease_id, task)
+        grant(conn)
+        if verdict == "duplicate":
+            self._count("duplicate_results")
+            return None
+        if verdict == "late":
+            self._count("late_results")
+        cached = message.get("cached")
+        if cached == "local":
+            self._count_cache_hit("local")
+        if (self.cell_cache is not None and cached is None
+                and message.get("key")):
+            try:        # publish computed rows the worker didn't PUT
+                self.cell_cache.save(str(message["key"]),
+                                     message.get("payload"))
+            except (ValueError, OSError):
+                pass
+        self._count("results")
+        return TaskOutcome(task, payload=message.get("payload"),
+                           snapshot=message.get("snapshot"),
+                           cached=cached)
+
+    def _send(self, conn: _Conn, message: Dict) -> bool:
+        try:
+            conn.sock.setblocking(True)
+            conn.sock.settimeout(self.io_timeout_s)
+            send_frame(conn.sock, message)
+            return True
+        except (OSError, ProtocolError):
+            return False
+
+    # -- spawned-worker supervision ------------------------------------
+    def _spawn_workers(self, n: int) -> None:
+        import repro
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        parts = [src_root] + [p for p in
+                              env.get("PYTHONPATH", "").split(os.pathsep)
+                              if p]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        host, port = self.address
+        for _ in range(n):
+            index = len(self._procs)
+            self._procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.exp.worker",
+                 "--connect", f"{host}:{port}",
+                 "--worker-id", f"local-{os.getpid()}-{index}"],
+                env=env, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL))
+            self._count("workers_spawned")
+
+    def _respawn_if_needed(self, conns: List[_Conn]) -> None:
+        alive = [p for p in self._procs if p.poll() is None]
+        budget = self.workers + 2
+        if not alive and not conns and \
+                self.stats.get("workers_spawned", 0) < budget:
+            self._spawn_workers(1)
+
+    def _reap_workers(self, kill: bool = False) -> None:
+        for proc in self._procs:
+            if proc.poll() is None:
+                if kill:
+                    proc.kill()
+                else:
+                    try:
+                        proc.wait(timeout=5)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                pass
+        self._procs = []
+
+    #: pids of spawned workers (chaos tests SIGKILL these).
+    @property
+    def worker_pids(self) -> List[int]:
+        return [p.pid for p in self._procs if p.poll() is None]
+
+
+class _Eof(Exception):
+    """Internal: the peer closed cleanly at a frame boundary."""

@@ -31,17 +31,28 @@ from __future__ import annotations
 
 import hashlib
 import inspect
+import itertools
 import json
 import os
+import re
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from ..core import registry
 from ..core.registry import ExperimentResult
 
-__all__ = ["DEFAULT_CACHE_DIR", "ResultCache", "source_digest"]
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache", "CellCache", "source_digest"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Per-process sequence for temp-file names: two *threads* of one
+#: process writing the same entry concurrently must not share a temp
+#: path (two processes are already distinguished by pid).
+_TMP_SEQ = itertools.count()
+
+#: Cell-cache keys arrive over the wire from workers and become file
+#: names; only a bare SHA-256 hex digest is ever a valid key.
+_KEY_RE = re.compile(r"\A[0-9a-f]{64}\Z")   # \Z: "$" would admit "...\n"
 
 
 def _function_source(fn) -> str:
@@ -127,16 +138,122 @@ class ResultCache:
 
     def save(self, exp_id: str, quick: bool,
              result: ExperimentResult) -> Path:
-        """Atomically persist ``result`` (write temp file, rename)."""
+        """Atomically persist ``result`` (write temp file, rename).
+
+        Concurrent writers are safe: each writes a private temp file
+        (pid + per-process sequence) and the final ``rename`` is atomic
+        on POSIX, so readers only ever see a complete entry — the last
+        rename wins, and for a content-addressed key every writer's
+        bytes are identical anyway.
+        """
         path = self.path(exp_id, quick)
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_SEQ)}")
         tmp.write_text(result.to_json())
         tmp.replace(path)
         return path
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+class CellCache:
+    """Content-addressed cache of individual *task* payloads.
+
+    Where :class:`ResultCache` holds whole assembled
+    :class:`ExperimentResult` objects, this one holds the unit the
+    distributed backends trade in: one :class:`~repro.exp.planner.Task`
+    payload (a sweep row, or a whole-experiment result JSON for
+    plan-less experiments).  It lives under ``<root>/cells/`` next to
+    the experiment-level entries and shares the same key ingredients —
+    experiment id, cell index, quick/full, package version, source
+    digest, active fault spec and flow mode — so the two caches
+    invalidate together.
+
+    This is the store behind the remote-cache protocol: socket workers
+    ``CACHE_GET`` a digest before computing and ``CACHE_PUT`` what they
+    computed, the coordinator answers from (and publishes to) this
+    directory, and a row any worker computed is a hit for every other
+    worker of this and every later sweep.
+
+    The concurrency story is the same as :meth:`ResultCache.save`:
+    private temp file, atomic rename, corrupted/torn entries read as a
+    miss and are deleted best-effort.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root) / "cells"
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------
+    def key(self, exp_id: str, quick: bool, index: Optional[int]) -> str:
+        payload = {"exp_id": exp_id, "quick": bool(quick),
+                   "index": index, "version": _package_version(),
+                   "digest": source_digest(exp_id)}
+        from ..faults.context import get_active_spec
+        spec = get_active_spec()
+        if spec:
+            payload["faults"] = spec
+        from ..flow.context import get_flow_mode
+        flow_mode = get_flow_mode()
+        if flow_mode and flow_mode != "off":
+            payload["flow"] = flow_mode
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+    def path_of(self, key: str) -> Path:
+        if not _KEY_RE.match(key):
+            raise ValueError(f"malformed cell-cache key {key!r}")
+        return self.root / f"{key}.json"
+
+    # -- load/save ------------------------------------------------------
+    def load(self, key: str) -> Optional[Any]:
+        """The cached payload, or ``None`` on miss/corruption."""
+        try:
+            path = self.path_of(key)
+        except ValueError:
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(path.read_text())
+            payload = entry["payload"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # torn/corrupted entry (e.g. a crash mid-write before the
+            # atomic rename semantics existed): drop it and recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def save(self, key: str, payload: Any) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_of(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_SEQ)}")
+        tmp.write_text(json.dumps({"key": key, "payload": payload},
+                                  sort_keys=True, separators=(",", ":")))
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cell entry; returns the number removed."""
         removed = 0
         if self.root.is_dir():
             for entry in self.root.glob("*.json"):

@@ -1,0 +1,121 @@
+"""Length-prefixed JSON message protocol for distributed execution.
+
+One frame = a 4-byte big-endian length followed by that many bytes of
+canonical UTF-8 JSON (an object with a ``"type"`` key).  The message
+vocabulary is deliberately tiny — the transport layering follows the
+light-weight communication-library designs the ROADMAP cites:
+
+========== =========== ==================================================
+type       direction   meaning
+========== =========== ==================================================
+HELLO      worker→coord  join: protocol version + worker id
+WELCOME    coord→worker  run config (:class:`~repro.exp.planner.RunContext`
+                         wire form, slot, heartbeat/lease intervals)
+LEASE      coord→worker  a task grant: lease id + task identity
+HEARTBEAT  worker→coord  lease renewal while a task is computing
+CACHE_GET  worker→coord  query the shared content-addressed cell cache
+CACHE      coord→worker  cache answer (payload or null)
+CACHE_PUT  worker→coord  publish a computed payload under its digest
+RESULT     worker→coord  task outcome (payload/snapshot or error)
+BYE        both          orderly goodbye (coordinator: no more work)
+========== =========== ==================================================
+
+Fail-closed by construction: a frame whose length prefix is zero,
+negative-ish (> :data:`MAX_FRAME`), whose body is truncated, is not
+UTF-8 JSON, is not an object, or lacks a ``"type"`` raises
+:class:`ProtocolError` — the peer drops the connection instead of
+guessing.  Every socket passed in must already carry a timeout, so a
+stalled peer surfaces as ``socket.timeout``, never as a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+__all__ = ["PROTOCOL_VERSION", "MAX_FRAME", "MESSAGE_TYPES",
+           "ProtocolError", "send_frame", "recv_frame", "decode_body"]
+
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame body.  Quick-grid payloads are a few KB;
+#: 16 MiB leaves room for full-sweep rows while making a garbage
+#: length prefix (e.g. ASCII read as big-endian) fail immediately.
+MAX_FRAME = 16 * 1024 * 1024
+
+MESSAGE_TYPES = frozenset({
+    "HELLO", "WELCOME", "LEASE", "HEARTBEAT",
+    "CACHE_GET", "CACHE", "CACHE_PUT", "RESULT", "BYE",
+})
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """The peer sent something that is not a well-formed frame."""
+
+
+def send_frame(sock: socket.socket, message: Dict) -> None:
+    """Serialize ``message`` canonically and send it as one frame."""
+    body = json.dumps(message, sort_keys=True,
+                      separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"outgoing frame of {len(body)} bytes exceeds "
+                            f"MAX_FRAME ({MAX_FRAME})")
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Exactly ``n`` bytes, ``None`` on clean EOF *before* any byte,
+    :class:`ProtocolError` on EOF mid-read (a truncated frame)."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(f"connection closed mid-frame "
+                                f"({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def decode_body(body: bytes) -> Dict:
+    """Validate one frame body; the single point of fail-closed parsing
+    shared by the blocking reader here and the coordinator's
+    incremental buffer pump."""
+    try:
+        message = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body is {type(message).__name__}, "
+                            f"not an object")
+    mtype = message.get("type")
+    if mtype not in MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {mtype!r}")
+    return message
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict]:
+    """One message, ``None`` on clean EOF at a frame boundary.
+
+    Anything malformed — bad length, truncation, garbage bytes, a
+    non-object body, an unknown ``"type"`` — raises
+    :class:`ProtocolError`; callers must treat that as fatal for the
+    connection (fail closed), never retry-parse.
+    """
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length == 0 or length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} outside (0, {MAX_FRAME}]")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    return decode_body(body)

@@ -1,27 +1,38 @@
-"""Process-pool experiment scheduler.
+"""The experiment scheduler: planning, caching and result assembly.
 
-:func:`run_experiments` is the engine behind ``repro experiments
---jobs N``: it fans experiment ids — and, for the big sweeps that
-declare a :class:`~repro.core.registry.CellPlan`, individual table rows
-— out to a :class:`~concurrent.futures.ProcessPoolExecutor`, consults
-the optional on-disk :class:`~repro.exp.cache.ResultCache` first, and
-reassembles everything in request order.
+:func:`run_experiments` is the engine behind ``repro experiments``.
+Since the backend split it owns exactly three responsibilities, all
+backend-independent:
+
+* **planning** — resolve ids, consult the on-disk
+  :class:`~repro.exp.cache.ResultCache`, and decompose the remainder
+  into tasks (:func:`repro.exp.planner.build_tasks`);
+* **delegation** — hand the task list to an execution backend
+  (:mod:`repro.exp.backends`): the in-process serial fast path, the
+  :class:`~repro.exp.backends.LocalPoolBackend` process pool, socket
+  workers across hosts, or a dry run;
+* **assembly** — reassemble outcomes in request order, finalize and
+  cache each experiment incrementally, merge metrics snapshots
+  deterministically, and apply ``keep_going``.
 
 Determinism contract
 --------------------
-Parallel output is **byte-identical** to a serial run:
+Backend output is **byte-identical** to a serial run, for every
+backend and worker count:
 
 * every experiment (and every cell) builds its own freshly seeded
-  simulator, so worker processes share no simulation state;
-* workers ship results back as canonical JSON / plain row tuples, and
-  the parent assembles them in request/index order, never completion
-  order;
-* cell rows are computed by exactly the same functions the serial
-  runner uses (:func:`repro.core.registry.run_cell`).
+  simulator, so workers share no simulation state;
+* workers ship results back as canonical JSON / plain row lists, and
+  the scheduler assembles them in request/index order, never
+  completion order;
+* every backend executes the same task body,
+  :func:`repro.exp.planner.run_task`.
 
-Metrics under ``--jobs > 1``: each worker runs its task under a private
-:class:`~repro.obs.MetricsRegistry` and returns the snapshot; the
-parent folds every snapshot into its own attached registry — in
+``tests/test_exp_backends.py`` is the conformance wall pinning this.
+
+Metrics under parallel backends: each worker runs its task under a
+private :class:`~repro.obs.MetricsRegistry` and returns the snapshot;
+the parent folds every snapshot into its own attached registry — in
 request order, so merged summaries are deterministic too.  Cache hits
 run no simulation and therefore contribute no metrics.
 
@@ -31,11 +42,11 @@ Long sweeps survive misbehaving workers:
 
 * ``timeout_s`` arms a per-task wall-clock alarm *inside* the worker
   (``SIGALRM``), so a runaway simulation surfaces as a
-  :class:`TimeoutError` result instead of wedging the pool;
-* a worker that dies outright (OOM kill, segfault) breaks its
-  ``ProcessPoolExecutor``; the scheduler rebuilds a fresh pool and
-  retries only the unfinished tasks, up to ``retries`` times with
-  exponential backoff — completed results are never recomputed;
+  :class:`TimeoutError` result instead of wedging the backend;
+* worker death is the backend's business — the pool backend rebuilds a
+  fresh pool and resubmits unfinished tasks, the socket backend
+  expires the dead worker's leases and reassigns them — and either
+  way completed results are never recomputed;
 * ``keep_going=True`` converts a permanently failing experiment into an
   :class:`ExperimentFailure` entry (appended to ``failures``) while
   every unaffected experiment still completes and caches;
@@ -45,26 +56,20 @@ Long sweeps survive misbehaving workers:
 
 from __future__ import annotations
 
-import contextlib
 import os
-import signal
-import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import registry
 from ..core.registry import ExperimentResult
 from ..faults.context import activated
 from ..flow.context import activated as flow_activated
+from .backends import ExecutionBackend, create_backend
 from .cache import ResultCache
+from .planner import RunContext, Task, build_tasks, worker_env
 
 __all__ = ["run_experiments", "ExperimentFailure"]
-
-#: A task is one unit of pool work: (exp_id, cell_index-or-None).
-_Task = Tuple[str, Optional[int]]
 
 
 @dataclass
@@ -79,73 +84,6 @@ class ExperimentFailure:
         return f"{self.exp_id}: {self.error} (after {self.attempts} attempts)"
 
 
-# -- worker entry points (top-level so they pickle under spawn too) ---------
-
-def _raise_timeout(signum, frame):
-    raise TimeoutError("experiment task exceeded its time budget")
-
-
-@contextlib.contextmanager
-def _worker_env(faults_spec: Optional[str], timeout_s: Optional[float],
-                flow_mode: Optional[str] = None):
-    """Worker-side task context: fault spec, flow mode + wall-clock alarm.
-
-    The fault spec and flow mode are always (re)applied — pool workers
-    are reused across tasks, so leftover state from a previous task must
-    never leak.  The alarm uses ``SIGALRM`` where available (main thread
-    on POSIX); elsewhere tasks simply run unbounded.
-    """
-    from ..faults.context import set_active_spec
-    from ..flow.context import set_flow_mode
-    previous = set_active_spec(faults_spec)
-    previous_flow = set_flow_mode(flow_mode)
-    use_alarm = (timeout_s is not None and hasattr(signal, "setitimer")
-                 and threading.current_thread() is threading.main_thread())
-    if use_alarm:
-        old_handler = signal.signal(signal.SIGALRM, _raise_timeout)
-        old_timer = signal.setitimer(signal.ITIMER_REAL, timeout_s)
-    try:
-        yield
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, *old_timer)
-            signal.signal(signal.SIGALRM, old_handler)
-        set_flow_mode(previous_flow)
-        set_active_spec(previous)
-
-
-def _observed(fn, *args):
-    """Run ``fn(*args)`` under a fresh registry; return (value, snapshot)."""
-    from ..obs import MetricsRegistry, use_registry
-    reg = MetricsRegistry()
-    with use_registry(reg):
-        value = fn(*args)
-    return value, reg.to_dict()
-
-
-def _worker_experiment(exp_id: str, quick: bool, observe: bool,
-                       faults_spec: Optional[str] = None,
-                       timeout_s: Optional[float] = None,
-                       flow_mode: Optional[str] = None):
-    with _worker_env(faults_spec, timeout_s, flow_mode):
-        if observe:
-            result, snap = _observed(registry.run_experiment, exp_id, quick)
-            return result.to_json(), snap
-        return registry.run_experiment(exp_id, quick).to_json(), None
-
-
-def _worker_cell(exp_id: str, quick: bool, index: int, observe: bool,
-                 faults_spec: Optional[str] = None,
-                 timeout_s: Optional[float] = None,
-                 flow_mode: Optional[str] = None):
-    with _worker_env(faults_spec, timeout_s, flow_mode):
-        if observe:
-            return _observed(registry.run_cell, exp_id, quick, index)
-        return registry.run_cell(exp_id, quick, index), None
-
-
-# -- the engine -------------------------------------------------------------
-
 def run_experiments(ids: Sequence[str] = (), quick: bool = True,
                     jobs: Optional[int] = None,
                     cache: Optional[ResultCache] = None, *,
@@ -155,6 +93,10 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
                     failures: Optional[List[ExperimentFailure]] = None,
                     faults_spec: Optional[str] = None,
                     flow_mode: Optional[str] = None,
+                    backend: Union[str, ExecutionBackend, None] = None,
+                    workers: Optional[int] = None,
+                    listen: Optional[str] = None,
+                    cell_cache_dir: Optional[str] = None,
                     ) -> List[ExperimentResult]:
     """Run experiments, optionally cached, in parallel, and hardened.
 
@@ -165,13 +107,24 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
     :class:`~repro.core.registry.UnknownExperimentError` before any
     work starts.
 
+    ``backend`` selects the execution backend: ``None`` keeps the
+    historical behaviour (in-process when ``jobs == 1``, the local
+    process pool otherwise); ``"local"``/``"socket"``/``"dryrun"`` — or
+    a ready-made :class:`~repro.exp.backends.ExecutionBackend` instance,
+    which the caller then owns and closes — force one explicitly.
+    ``workers`` sizes socket/dry-run fan-out (default: ``jobs``);
+    ``listen`` makes the socket backend wait for externally started
+    ``repro worker`` processes instead of spawning local ones;
+    ``cell_cache_dir`` enables the shared remote cell cache.
+
     ``timeout_s`` bounds each task's wall clock; ``retries`` re-runs
-    failed tasks (with ``backoff_s * 2**attempt`` sleeps) in a fresh
-    pool, which also covers workers killed outright.  With
+    *failed* tasks (with ``backoff_s * 2**attempt`` sleeps for the
+    serial/pool paths).  Worker death is not a task failure: backends
+    reassign such tasks without consuming the retry budget.  With
     ``keep_going`` a permanently failed experiment is skipped — an
     :class:`ExperimentFailure` is appended to ``failures`` (when given)
     and the remaining experiments still run; without it the first
-    failure propagates after the attempt budget is spent.
+    failure propagates after the budget is spent.
 
     ``faults_spec`` activates a process-wide
     :class:`~repro.faults.FaultPlan` spec for the duration of the run —
@@ -199,14 +152,32 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
 
         failed: List[ExperimentFailure] = []
         n_tasks = sum(max(1, registry.n_cells(k, quick)) for k in to_run)
-        if jobs == 1 or n_tasks <= 1:
+        if backend is None and (jobs == 1 or n_tasks <= 1):
             _run_serial(to_run, quick, results, cache, faults_spec,
                         flow_mode, timeout_s, retries, backoff_s,
                         keep_going, failed)
         else:
-            _run_pool(to_run, quick, min(jobs, n_tasks), results, cache,
-                      faults_spec, flow_mode, timeout_s, retries,
-                      backoff_s, keep_going, failed)
+            from ..obs import get_default_registry
+            parent_registry = get_default_registry()
+            ctx = RunContext(quick=quick,
+                             observe=parent_registry is not None,
+                             faults_spec=faults_spec, timeout_s=timeout_s,
+                             flow_mode=flow_mode, retries=retries,
+                             backoff_s=backoff_s)
+            if isinstance(backend, ExecutionBackend):
+                exec_backend, owned = backend, False
+            else:
+                exec_backend = create_backend(
+                    backend or "local", jobs=min(jobs, max(n_tasks, 1)),
+                    workers=workers, listen=listen,
+                    cache_dir=cell_cache_dir)
+                owned = True
+            try:
+                _run_backend(exec_backend, to_run, quick, results, cache,
+                             ctx, parent_registry, keep_going, failed)
+            finally:
+                if owned:
+                    exec_backend.close()
         if failures is not None:
             failures.extend(failed)
         return [results[k] for k in keys if k in results]
@@ -219,13 +190,14 @@ def _run_serial(to_run: Sequence[str], quick: bool,
                 timeout_s: Optional[float], retries: int, backoff_s: float,
                 keep_going: bool,
                 failed: List[ExperimentFailure]) -> None:
+    """The in-process fast path: no backend, no pickling, no sockets."""
     for exp_id in to_run:
         error: Optional[BaseException] = None
         for attempt in range(retries + 1):
             if attempt:
                 time.sleep(backoff_s * 2 ** (attempt - 1))
             try:
-                with _worker_env(faults_spec, timeout_s, flow_mode):
+                with worker_env(faults_spec, timeout_s, flow_mode):
                     results[exp_id] = registry.run_experiment(exp_id, quick)
                 if cache is not None:
                     cache.save(exp_id, quick, results[exp_id])
@@ -240,80 +212,53 @@ def _run_serial(to_run: Sequence[str], quick: bool,
                                             retries + 1))
 
 
-def _run_pool(to_run: Sequence[str], quick: bool, jobs: int,
-              results: Dict[str, ExperimentResult],
-              cache: Optional[ResultCache], faults_spec: Optional[str],
-              flow_mode: Optional[str],
-              timeout_s: Optional[float], retries: int, backoff_s: float,
-              keep_going: bool,
-              failed: List[ExperimentFailure]) -> None:
-    from ..obs import get_default_registry
-    parent_registry = get_default_registry()
-    observe = parent_registry is not None
+def _run_backend(exec_backend: ExecutionBackend, to_run: Sequence[str],
+                 quick: bool, results: Dict[str, ExperimentResult],
+                 cache: Optional[ResultCache], ctx: RunContext,
+                 parent_registry, keep_going: bool,
+                 failed: List[ExperimentFailure]) -> None:
+    """Drain one backend run, assembling outcomes in request order.
 
-    tasks: List[_Task] = []
-    for exp_id in to_run:
-        n = registry.n_cells(exp_id, quick)
-        if n:
-            tasks.extend((exp_id, i) for i in range(n))
-        else:
-            tasks.append((exp_id, None))
-
-    done: Dict[_Task, Tuple[object, object]] = {}
-    errors: Dict[_Task, BaseException] = {}
-    attempts = 0
-    pending = list(tasks)
-    while pending and attempts <= retries:
-        if attempts:
-            time.sleep(backoff_s * 2 ** (attempts - 1))
-        errors = {}
-        # A fresh pool per attempt: a worker killed hard (OOM/segfault)
-        # breaks the executor for every outstanding future, and a
-        # broken pool cannot be reused.
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {}
-            for task in pending:
-                exp_id, index = task
-                if index is None:
-                    futures[task] = pool.submit(
-                        _worker_experiment, exp_id, quick, observe,
-                        faults_spec, timeout_s, flow_mode)
-                else:
-                    futures[task] = pool.submit(
-                        _worker_cell, exp_id, quick, index, observe,
-                        faults_spec, timeout_s, flow_mode)
-            # Collect in submission (= request) order, never completion
-            # order, so results and merged metrics stay deterministic.
-            for task in pending:
-                try:
-                    done[task] = futures[task].result()
-                except (Exception, BrokenProcessPool) as exc:
-                    errors[task] = exc
-        pending = [t for t in pending if t in errors]
-        attempts += 1
+    The backend may yield outcomes in any order; experiments finalize
+    (and cache) incrementally as soon as all of their tasks are in.
+    Planned-only outcomes (dry run) finalize nothing.
+    """
+    tasks = build_tasks(to_run, quick)
+    done: Dict[Task, Tuple[object, object]] = {}
+    errors: Dict[Task, BaseException] = {}
+    attempts: Dict[Task, int] = {}
+    for outcome in exec_backend.run_tasks(tasks, ctx):
+        if outcome.planned:
+            continue
+        task = (outcome.task[0], outcome.task[1])
+        if outcome.error is not None:
+            errors[task] = outcome.error
+            attempts[task] = outcome.attempts
+            continue
+        done[task] = (outcome.payload, outcome.snapshot)
         _finalize_ready(to_run, quick, tasks, done, results, cache,
-                        observe, parent_registry)
-
-    if pending:
-        bad_exps = []
-        for task in pending:
-            if task[0] not in bad_exps:
-                bad_exps.append(task[0])
+                        ctx.observe, parent_registry)
+    if errors:
         if not keep_going:
-            raise errors[pending[0]]
+            raise next(errors[t] for t in tasks if t in errors)
+        bad_exps: List[str] = []
+        for task in tasks:
+            if task in errors and task[0] not in bad_exps:
+                bad_exps.append(task[0])
         for exp_id in bad_exps:
-            first = next(errors[t] for t in pending if t[0] == exp_id)
-            failed.append(ExperimentFailure(exp_id, repr(first), attempts))
+            first = next(t for t in tasks if t in errors and t[0] == exp_id)
+            failed.append(ExperimentFailure(exp_id, repr(errors[first]),
+                                            attempts.get(first, 1)))
 
 
-def _finalize_ready(to_run: Sequence[str], quick: bool, tasks: List[_Task],
-                    done: Dict[_Task, Tuple[object, object]],
+def _finalize_ready(to_run: Sequence[str], quick: bool, tasks: List[Task],
+                    done: Dict[Task, Tuple[object, object]],
                     results: Dict[str, ExperimentResult],
                     cache: Optional[ResultCache], observe: bool,
                     parent_registry) -> None:
     """Assemble every experiment whose tasks have all completed.
 
-    Runs after each pool attempt, so finished experiments are cached
+    Runs after each completed task, so finished experiments are cached
     incrementally — a later crash or ^C does not throw them away.
     Metrics snapshots merge exactly once per task, in request order.
     """

@@ -1,0 +1,285 @@
+"""``python -m repro.exp.worker`` — a socket-backend worker process.
+
+Start any number of these, on any hosts that can import :mod:`repro`
+at the same version, and point them at a coordinator
+(``repro experiments --backend socket``)::
+
+    python -m repro.exp.worker --connect coordinator-host:7463
+    # or, equivalently:
+    python -m repro.cli worker --connect coordinator-host:7463
+
+The worker speaks the length-prefixed JSON protocol of
+:mod:`repro.exp.protocol`: HELLO, receive the WELCOME run context,
+then drain LEASEs — for each one it first queries the coordinator's
+shared content-addressed cell cache (CACHE_GET), falls back to its own
+local cache directory when given ``--cache-dir``, and only then
+computes the task via the same :func:`repro.exp.planner.run_task` body
+every other backend uses.  Computed payloads are published back
+(CACHE_PUT) before the RESULT, so a row one worker computed is a
+remote hit for every other.  While computing, a background thread
+renews the lease with HEARTBEATs; a worker that dies mid-task simply
+stops heartbeating and the coordinator reassigns.
+
+Fail-closed: a malformed frame from the coordinator ends the process
+with a protocol error; every socket operation carries a timeout.
+
+Chaos hooks (used by the conformance wall, harmless otherwise):
+
+* ``REPRO_EXP_TASK_SLEEP_S`` — sleep this long inside each lease
+  before computing, widening the mid-lease window tests SIGKILL into;
+* ``REPRO_EXP_DIE_AFTER_PUT`` — a marker-file path; the first worker
+  to claim it (atomically, ``O_EXCL``) calls ``os._exit`` right
+  between publishing a payload to the cache and sending its RESULT —
+  the exact crash window the lease layer must absorb.  Exactly one
+  worker across the fleet dies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket as socketlib
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .cache import DEFAULT_CACHE_DIR, CellCache
+from .planner import RunContext, run_task, task_key
+from .protocol import PROTOCOL_VERSION, ProtocolError, recv_frame, send_frame
+
+__all__ = ["serve", "main"]
+
+TASK_SLEEP_ENV = "REPRO_EXP_TASK_SLEEP_S"
+DIE_AFTER_PUT_ENV = "REPRO_EXP_DIE_AFTER_PUT"
+
+
+def _chaos_sleep_s() -> float:
+    try:
+        return max(0.0, float(os.environ.get(TASK_SLEEP_ENV, "0")))
+    except ValueError:
+        return 0.0
+
+
+def _claim_chaos_death() -> bool:
+    """Atomically claim the DIE_AFTER_PUT marker file; ``True`` for the
+    single worker (fleet-wide) that should now crash."""
+    target = os.environ.get(DIE_AFTER_PUT_ENV)
+    if not target:
+        return False
+    try:
+        os.close(os.open(target, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+    except OSError:
+        return False
+    return True
+
+
+class _Heartbeat:
+    """Background lease renewal while the main thread computes."""
+
+    def __init__(self, sock: socketlib.socket, lock: threading.Lock,
+                 lease_id: int, interval_s: float):
+        self._sock = sock
+        self._lock = lock
+        self._lease_id = lease_id
+        self._interval_s = max(interval_s, 0.01)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                with self._lock:
+                    send_frame(self._sock, {"type": "HEARTBEAT",
+                                            "lease": self._lease_id})
+            except OSError:
+                return
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+
+def _apply_context(ctx: RunContext):
+    """Arm the process-wide fault/flow context (cache keys and task
+    bodies must see the coordinator's spec, exactly like pool workers)."""
+    from ..faults.context import activated
+    from ..flow.context import activated as flow_activated
+    import contextlib
+    stack = contextlib.ExitStack()
+    stack.enter_context(activated(ctx.faults_spec))
+    stack.enter_context(flow_activated(ctx.flow_mode))
+    return stack
+
+
+def serve(connect: str, worker_id: Optional[str] = None,
+          cache_dir: Optional[str] = None,
+          timeout_s: float = 60.0) -> int:
+    """Connect to a coordinator and drain leases until BYE; returns an
+    exit code (0 clean, 1 connect failure, 2 protocol error)."""
+    address = _parse(connect)
+    worker_id = worker_id or f"{socketlib.gethostname()}-{os.getpid()}"
+    try:
+        sock = socketlib.create_connection(address, timeout=timeout_s)
+    except OSError as exc:
+        print(f"repro worker: cannot connect to "
+              f"{address[0]}:{address[1]}: {exc}", file=sys.stderr)
+        return 1
+    lock = threading.Lock()
+    local_cache = CellCache(cache_dir) if cache_dir else None
+    keyer = CellCache(cache_dir or DEFAULT_CACHE_DIR)   # key() is diskless
+    try:
+        with lock:
+            send_frame(sock, {"type": "HELLO", "proto": PROTOCOL_VERSION,
+                              "worker": worker_id})
+        welcome = _recv_patiently(sock)
+        if welcome is None or welcome.get("type") != "WELCOME":
+            print("repro worker: coordinator did not WELCOME us",
+                  file=sys.stderr)
+            return 2
+        ctx = RunContext.from_wire(welcome.get("ctx", {}))
+        shared_cache = bool(welcome.get("cache"))
+        heartbeat_s = float(welcome.get("heartbeat_s", 5.0))
+        with _apply_context(ctx):
+            while True:
+                message = _recv_patiently(sock)
+                if message is None or message.get("type") == "BYE":
+                    return 0
+                if message.get("type") != "LEASE":
+                    continue        # coordinator-side noise; ignore
+                _handle_lease(sock, lock, message, ctx, shared_cache,
+                              local_cache, keyer, heartbeat_s)
+    except ProtocolError as exc:
+        print(f"repro worker: protocol error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro worker: connection lost: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _handle_lease(sock, lock, message: Dict, ctx: RunContext,
+                  shared_cache: bool, local_cache: Optional[CellCache],
+                  keyer: CellCache, heartbeat_s: float) -> None:
+    lease_id = int(message["lease"])
+    task = (str(message["exp_id"]), message.get("index"))
+    key = keyer.key(task[0], ctx.quick, task[1])
+
+    # 1. the coordinator's shared cache (a hit is a "remote" hit)
+    if shared_cache:
+        payload = _cache_get(sock, lock, key)
+        if payload is not None:
+            _send_result(sock, lock, lease_id, payload=payload,
+                         cached="remote")
+            return
+    # 2. our own disk (a "local" hit, published so others share it)
+    if local_cache is not None:
+        payload = local_cache.load(key)
+        if payload is not None:
+            if shared_cache:
+                with lock:
+                    send_frame(sock, {"type": "CACHE_PUT", "key": key,
+                                      "payload": payload})
+            _send_result(sock, lock, lease_id, payload=payload,
+                         cached="local")
+            return
+    # 3. compute, under heartbeats
+    with _Heartbeat(sock, lock, lease_id, heartbeat_s):
+        sleep_s = _chaos_sleep_s()
+        if sleep_s:
+            time.sleep(sleep_s)
+        try:
+            payload, snapshot = run_task(task, ctx)
+        except BaseException as exc:     # the coordinator judges retries
+            _send_result(sock, lock, lease_id,
+                         error=f"{task_key(task)}: {exc!r}")
+            return
+    if local_cache is not None:
+        try:
+            local_cache.save(key, payload)
+        except OSError:
+            pass
+    if shared_cache:
+        with lock:
+            send_frame(sock, {"type": "CACHE_PUT", "key": key,
+                              "payload": payload})
+        if _claim_chaos_death():
+            # chaos hook: die in the exact window between publishing
+            # to the cache and reporting the RESULT
+            os._exit(17)
+    _send_result(sock, lock, lease_id, payload=payload, snapshot=snapshot)
+
+
+def _send_result(sock, lock, lease_id: int, payload=None, snapshot=None,
+                 cached: Optional[str] = None,
+                 error: Optional[str] = None) -> None:
+    with lock:
+        send_frame(sock, {"type": "RESULT", "lease": lease_id,
+                          "payload": payload, "snapshot": snapshot,
+                          "cached": cached, "error": error})
+
+
+def _cache_get(sock, lock, key: str):
+    with lock:
+        send_frame(sock, {"type": "CACHE_GET", "key": key})
+    while True:
+        reply = _recv_patiently(sock)
+        if reply is None:
+            raise OSError("coordinator went away during CACHE_GET")
+        if reply.get("type") == "CACHE" and reply.get("key") == key:
+            return reply.get("payload")
+        if reply.get("type") == "BYE":
+            raise OSError("coordinator said BYE during CACHE_GET")
+        # anything else (e.g. a stray CACHE for an old key) is skipped
+
+
+def _recv_patiently(sock) -> Optional[Dict]:
+    """recv_frame, treating idle timeouts as 'keep waiting'.
+
+    An idle worker legitimately waits while its peers drain the queue;
+    only EOF/BYE or a protocol error ends the wait.  The surrounding
+    test harness bounds the whole process's lifetime instead.
+    """
+    while True:
+        try:
+            return recv_frame(sock)
+        except socketlib.timeout:
+            continue
+
+
+def _parse(connect: str) -> Tuple[str, int]:
+    host, sep, port = connect.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"repro worker: --connect must be HOST:PORT, "
+                         f"got {connect!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.exp.worker",
+        description="socket-backend experiment worker")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable worker name (default: host-pid)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="optional local cell-cache directory")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="socket timeout (default: %(default)s)")
+    args = parser.parse_args(argv)
+    return serve(args.connect, worker_id=args.worker_id,
+                 cache_dir=args.cache_dir, timeout_s=args.timeout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

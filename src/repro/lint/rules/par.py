@@ -35,10 +35,13 @@ from ..registry import Rule, register
 from ..violations import Violation
 
 __all__ = ["LegacyPatchParity", "FastPumpLegacyTwin",
-           "ProfileAttrParity", "FlowPacketTwin"]
+           "ProfileAttrParity", "FlowPacketTwin",
+           "BackendProtocolSurface"]
 
 _LEGACY_SUFFIX = "repro/sim/_legacy.py"
 _CALIBRATION_SUFFIX = "repro/calibration.py"
+_BACKENDS_BASE_SUFFIX = "repro/exp/backends/base.py"
+_BACKENDS_PACKAGE = "repro/exp/backends/"
 _FLOW_PACKAGE = "repro/flow/"
 #: Packet-protocol packages a flow twin shadows.
 _PACKET_PACKAGES = (("repro", "tcp"), ("repro", "verbs"),
@@ -388,3 +391,101 @@ class FlowPacketTwin(Rule):
         return any(rel.endswith(path + ".py")
                    or rel.endswith(path + "/__init__.py")
                    for rel in files)
+
+
+def _abstract_methods(base_ctx: FileContext) -> Optional[Dict[str, ast.AST]]:
+    """``ExecutionBackend``'s ``@abstractmethod`` defs, by name, or
+    ``None`` when the class is not in this file."""
+    for node in base_ctx.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "ExecutionBackend":
+            table: Dict[str, ast.AST] = {}
+            for stmt in node.body:
+                if isinstance(stmt, _FUNC_NODES) and any(
+                        (isinstance(d, ast.Name) and d.id == "abstractmethod")
+                        or (isinstance(d, ast.Attribute)
+                            and d.attr == "abstractmethod")
+                        for d in stmt.decorator_list):
+                    table[stmt.name] = stmt
+            return table
+    return None
+
+
+@register
+class BackendProtocolSurface(Rule):
+    id = "PAR305"
+    name = "backend-protocol-surface"
+    summary = ("every ExecutionBackend subclass must implement the full "
+               "abstract protocol surface with matching signatures and "
+               "set a non-empty registry name")
+    scope = "project"
+
+    def check_project(
+            self, files: Dict[str, FileContext]) -> Iterator[Violation]:
+        base_ctx = _find_file(files, _BACKENDS_BASE_SUFFIX)
+        if base_ctx is None:
+            return  # base outside the lint set; nothing to check
+        surface = _abstract_methods(base_ctx)
+        if not surface:
+            return
+        for rel in sorted(files):
+            ctx = files[rel]
+            if (ctx.tree is None or _BACKENDS_PACKAGE not in rel
+                    or rel.endswith(_BACKENDS_BASE_SUFFIX)):
+                continue
+            for cls in ctx.tree.body:
+                if (isinstance(cls, ast.ClassDef)
+                        and self._extends_backend(cls)):
+                    yield from self._check_class(ctx, cls, surface)
+
+    @staticmethod
+    def _extends_backend(cls: ast.ClassDef) -> bool:
+        return any(
+            (isinstance(b, ast.Name) and b.id == "ExecutionBackend")
+            or (isinstance(b, ast.Attribute)
+                and b.attr == "ExecutionBackend")
+            for b in cls.bases)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef,
+                     surface: Dict[str, ast.AST]) -> Iterator[Violation]:
+        for attr, spec in sorted(surface.items()):
+            impl = next((s for s in cls.body
+                         if isinstance(s, _FUNC_NODES) and s.name == attr),
+                        None)
+            if impl is None:
+                yield self.violation(
+                    ctx, cls,
+                    f"{cls.name} implements no {attr!r} — the "
+                    f"ExecutionBackend protocol surface is incomplete "
+                    f"and the scheduler (and conformance wall) cannot "
+                    f"drive this backend")
+            elif _signature(impl) != _signature(spec):
+                yield self.violation(
+                    ctx, impl,
+                    f"{cls.name}.{attr} has signature "
+                    f"{_signature(impl)!r} but ExecutionBackend declares "
+                    f"{_signature(spec)!r} — the scheduler calls every "
+                    f"backend identically, so the surface must not drift")
+        if not self._registry_name(cls):
+            yield self.violation(
+                ctx, cls,
+                f"{cls.name} never sets a non-empty `name` class "
+                f"attribute — the backend cannot be selected with "
+                f"--backend or labelled in repro.obs counters")
+
+    @staticmethod
+    def _registry_name(cls: ast.ClassDef) -> bool:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [t for t in stmt.targets
+                           if isinstance(t, ast.Name)]
+            elif (isinstance(stmt, ast.AnnAssign)
+                  and isinstance(stmt.target, ast.Name)):
+                targets = [stmt.target]
+            else:
+                continue
+            if any(t.id == "name" for t in targets):
+                value = stmt.value
+                return (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and value.value != "")
+        return False

@@ -1,0 +1,28 @@
+"""Fixture: two rotted backends PAR305 must flag."""
+
+from .base import ExecutionBackend
+
+
+class HalfBackend(ExecutionBackend):
+    """Missing close() AND the registry name attribute."""
+
+    def run_tasks(self, tasks, ctx):
+        return iter(())
+
+    def plan(self, tasks, ctx):
+        return {}
+
+
+class DriftedBackend(ExecutionBackend):
+    """run_tasks lost its ctx parameter: signature drift."""
+
+    name = "drifted"
+
+    def run_tasks(self, tasks):
+        return iter(())
+
+    def plan(self, tasks, ctx):
+        return {}
+
+    def close(self):
+        pass

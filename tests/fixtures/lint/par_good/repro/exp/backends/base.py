@@ -1,0 +1,19 @@
+"""Fixture: the execution-backend base (complete, conforming tree)."""
+
+from abc import ABC, abstractmethod
+
+
+class ExecutionBackend(ABC):
+    name = ""
+
+    @abstractmethod
+    def run_tasks(self, tasks, ctx):
+        """Yield one outcome per task."""
+
+    @abstractmethod
+    def plan(self, tasks, ctx):
+        """Placement as plain data."""
+
+    @abstractmethod
+    def close(self):
+        """Release external resources."""

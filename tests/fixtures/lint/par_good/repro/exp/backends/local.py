@@ -1,0 +1,16 @@
+"""Fixture: a backend implementing the full protocol surface."""
+
+from .base import ExecutionBackend
+
+
+class LocalPoolBackend(ExecutionBackend):
+    name = "local"
+
+    def run_tasks(self, tasks, ctx):
+        return iter(())
+
+    def plan(self, tasks, ctx):
+        return {"backend": self.name}
+
+    def close(self):
+        pass

@@ -1,18 +1,24 @@
-"""Cache-key invalidation and corruption tolerance for ResultCache.
+"""Cache-key invalidation, corruption and concurrency tolerance for the
+on-disk caches (ResultCache and its per-task sibling CellCache).
 
-The key is (experiment id, quick/full, package version, source digest);
-each test flips exactly one ingredient and asserts the cached entry is
-no longer found.  Corruption tests truncate/garble the entry on disk
-and expect a silent miss plus recompute, never an exception.
+The key is (experiment id, quick/full, package version, source digest
+— plus, for cells, the index); each invalidation test flips exactly one
+ingredient and asserts the cached entry is no longer found.  Corruption
+tests truncate/garble the entry on disk and expect a silent miss plus
+recompute, never an exception.  Concurrency tests hammer one key from
+many threads and crash a writer mid-write: atomic rename means readers
+only ever see complete entries.
 """
 
 import json
+import os
+import threading
 
 import pytest
 
 import repro
 from repro.core.registry import ExperimentResult
-from repro.exp import ResultCache, run_experiments, source_digest
+from repro.exp import CellCache, ResultCache, run_experiments, source_digest
 from repro.exp import cache as cache_mod
 from repro.faults.context import activated
 from repro.flow.context import activated as flow_activated
@@ -149,3 +155,152 @@ def test_packet_entry_not_served_under_flow_mode(cache, warm):
     with flow_activated("auto"):
         assert cache.load("table1", True) is None
     assert cache.load("table1", True) is not None
+
+
+# -- concurrent writers and torn files (satellite of ISSUE 7) ----------------
+
+def test_concurrent_result_writers_never_tear(cache, warm):
+    """Many threads saving the same key concurrently: every load in
+    between and after sees either nothing or one *complete* entry."""
+    bad = []
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            cache.save("table1", True, warm)
+
+    def reader():
+        while not stop.is_set():
+            got = cache.load("table1", True)
+            if got is not None and got.to_json() != warm.to_json():
+                bad.append(got)
+
+    threads = ([threading.Thread(target=writer) for _ in range(4)]
+               + [threading.Thread(target=reader) for _ in range(2)])
+    for t in threads:
+        t.start()
+    threading.Event().wait(0.5)
+    stop.set()
+    for t in threads:
+        t.join(timeout=30)
+    assert not bad, "a reader observed a torn/partial entry"
+    assert cache.load("table1", True).to_json() == warm.to_json()
+    # no leaked temp files: every writer renamed or died atomically
+    leftovers = [p for p in cache.root.iterdir() if ".tmp." in p.name]
+    assert leftovers == []
+
+
+def test_crash_mid_write_leaves_cache_recoverable(cache, warm,
+                                                 monkeypatch):
+    """A writer dying between temp-write and rename leaves only a temp
+    file: loads still hit the old complete entry, and a later save
+    completes normally."""
+    original_replace = os.replace
+    crashed = {}
+
+    def dying_replace(src, dst):
+        if not crashed:
+            crashed["tmp"] = str(src)
+            raise OSError("simulated crash before rename")
+        return original_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", dying_replace)
+    with pytest.raises(OSError, match="simulated crash"):
+        cache.save("table1", True, warm)
+    # the half-written temp file never shadows the real entry
+    assert cache.load("table1", True).to_json() == warm.to_json()
+    again = cache.save("table1", True, warm)
+    assert cache.load("table1", True).to_json() == warm.to_json()
+    assert again.exists()
+
+
+# -- CellCache: the distributed backends' per-task cache ---------------------
+
+@pytest.fixture
+def cells(tmp_path):
+    return CellCache(tmp_path / "cache")
+
+
+def test_cell_roundtrip_and_counters(cells):
+    key = cells.key("fig04a", True, 1)
+    assert cells.load(key) is None and cells.misses == 1
+    cells.save(key, [1, 2.5, "x"])
+    assert cells.load(key) == [1, 2.5, "x"]
+    assert (cells.hits, cells.misses) == (1, 1)
+
+
+def test_cell_key_ingredients(cells):
+    """id, index, quick and fault/flow context all key the entry."""
+    base = cells.key("fig04a", True, 0)
+    assert cells.key("fig04a", True, 1) != base
+    assert cells.key("fig04a", False, 0) != base
+    assert cells.key("fig05a", True, 0) != base
+    assert cells.key("fig04a", True, None) != base
+    with activated("loss=0.1,seed=1"):
+        assert cells.key("fig04a", True, 0) != base
+    with flow_activated("auto"):
+        assert cells.key("fig04a", True, 0) != base
+    assert cells.key("fig04a", True, 0) == base
+
+
+@pytest.mark.parametrize("evil", [
+    "", "short", "x" * 64, "../../../../etc/passwd",
+    "a" * 63 + "/", "A" * 64,                   # uppercase: not canonical
+    "0" * 64 + "\n",
+])
+def test_cell_wire_keys_are_validated(cells, evil):
+    """Keys arrive over the wire; anything but a bare SHA-256 hex digest
+    is rejected (load: silent miss, save: ValueError) — never a path."""
+    with pytest.raises(ValueError):
+        cells.path_of(evil)
+    assert cells.load(evil) is None
+    with pytest.raises(ValueError):
+        cells.save(evil, [1])
+
+
+def test_cell_torn_file_recovers(cells):
+    key = cells.key("fig04a", True, 2)
+    cells.save(key, [3, 4])
+    path = cells.path_of(key)
+    path.write_text('{"key": "' + key + '", "payl')     # torn mid-write
+    assert cells.load(key) is None
+    assert not path.exists(), "torn entry should be deleted"
+    cells.save(key, [3, 4])
+    assert cells.load(key) == [3, 4]
+
+
+def test_cell_concurrent_writers_never_tear(cells):
+    key = cells.key("fig04a", True, 0)
+    payload = [1, 2, 3, "row"]
+    bad = []
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            cells.save(key, payload)
+
+    def reader():
+        while not stop.is_set():
+            got = cells.load(key)
+            if got is not None and got != payload:
+                bad.append(got)
+
+    threads = ([threading.Thread(target=writer) for _ in range(4)]
+               + [threading.Thread(target=reader) for _ in range(2)])
+    for t in threads:
+        t.start()
+    threading.Event().wait(0.5)
+    stop.set()
+    for t in threads:
+        t.join(timeout=30)
+    assert not bad, "a reader observed a torn/partial cell entry"
+    assert cells.load(key) == payload
+    leftovers = [p for p in cells.root.iterdir() if ".tmp." in p.name]
+    assert leftovers == []
+
+
+def test_cell_clear(cells):
+    for index in range(3):
+        cells.save(cells.key("fig04a", True, index), [index])
+    assert cells.clear() == 3
+    assert cells.load(cells.key("fig04a", True, 0)) is None

@@ -32,7 +32,7 @@ load_builtin_rules()
 #: rule id -> fixture stem; PAR rules use whole fixture trees instead.
 FILE_RULES = ["DET101", "DET102", "DET103", "DET104", "DET105",
               "SIM201", "SIM202", "SIM203", "SIM204"]
-PAR_RULES = ["PAR301", "PAR302", "PAR303", "PAR304"]
+PAR_RULES = ["PAR301", "PAR302", "PAR303", "PAR304", "PAR305"]
 
 
 def lint_paths(*paths, select=None, ignore=(), cache=None, root=None):
@@ -62,7 +62,8 @@ def test_good_fixture_is_clean(rule):
 @pytest.mark.parametrize("tree,rule", [("par301_bad", "PAR301"),
                                        ("par302_bad", "PAR302"),
                                        ("par303_bad", "PAR303"),
-                                       ("par304_bad", "PAR304")])
+                                       ("par304_bad", "PAR304"),
+                                       ("par305_bad", "PAR305")])
 def test_par_bad_tree_triggers_exactly_its_rule(tree, rule):
     report = lint_paths(FIXTURES / tree, root=FIXTURES / tree)
     assert report.violations
@@ -124,6 +125,25 @@ def test_par304_skips_resolution_without_package_root(tmp_path):
     report = lint_paths(
         FIXTURES / "par304_bad" / "repro" / "flow" / "ghost.py",
         root=FIXTURES / "par304_bad", select=["PAR304"])
+    assert report.violations == []
+
+
+def test_par305_catches_missing_method_drift_and_nameless():
+    report = lint_paths(FIXTURES / "par305_bad",
+                        root=FIXTURES / "par305_bad", select=["PAR305"])
+    messages = "\n".join(v.message for v in report.violations)
+    assert "implements no 'close'" in messages     # incomplete surface
+    assert "signature" in messages                 # run_tasks drift
+    assert "`name` class" in messages              # registry attr missing
+    assert len(report.violations) == 3
+
+
+def test_par305_silent_without_base_in_lint_set():
+    # Linting only the backend module (base outside the file set) must
+    # not guess at the abstract surface.
+    report = lint_paths(
+        FIXTURES / "par305_bad" / "repro" / "exp" / "backends" / "stub.py",
+        root=FIXTURES / "par305_bad", select=["PAR305"])
     assert report.violations == []
 
 
