@@ -115,6 +115,8 @@ def _cmd_experiments(args) -> int:
 
     from .core.registry import UnknownExperimentError
     from .exp import DryRunBackend, ResultCache, run_experiments, write_jsonl
+    from .exp.chaos import ChaosError
+    from .exp.journal import JournalError, new_run_id
     cache = ResultCache(args.cache_dir) if args.cache else None
     # the socket backend shares per-row results through the same
     # content-addressed cache directory
@@ -125,6 +127,17 @@ def _cmd_experiments(args) -> int:
     if backend == "dryrun":
         backend = dryrun = DryRunBackend(workers=args.workers or
                                          args.jobs or 1)
+    # Settle the run id here so scripts can capture it (stderr, before
+    # any work happens) and pass it back to --resume after a crash.
+    journal_id = args.journal_id
+    if args.resume is None and (args.journal or args.journal_dir
+                                or journal_id):
+        if journal_id is None:
+            journal_id = new_run_id()
+        print(f"repro: journaling run {journal_id} under "
+              f"{args.journal_dir or '.repro-cache/journal'}",
+              file=sys.stderr)
+    journaling = args.resume is not None or journal_id is not None
     failures = []
     try:
         results = run_experiments(ids=args.ids, quick=not args.full,
@@ -138,8 +151,17 @@ def _cmd_experiments(args) -> int:
                                   backend=backend,
                                   workers=args.workers,
                                   listen=args.listen,
-                                  cell_cache_dir=cell_cache_dir)
+                                  cell_cache_dir=cell_cache_dir,
+                                  chaos_spec=args.chaos,
+                                  journal_dir=(args.journal_dir
+                                               if journaling else None),
+                                  journal_id=journal_id,
+                                  resume=args.resume,
+                                  connect_budget_s=args.connect_budget)
     except UnknownExperimentError as exc:
+        print(f"repro experiments: {exc}", file=sys.stderr)
+        return 2
+    except (ChaosError, JournalError) as exc:
         print(f"repro experiments: {exc}", file=sys.stderr)
         return 2
     if dryrun is not None:
@@ -166,7 +188,8 @@ def _cmd_experiments(args) -> int:
 def _cmd_worker(args) -> int:
     from .exp.worker import serve
     return serve(args.connect, worker_id=args.worker_id,
-                 cache_dir=args.cache_dir, timeout_s=args.timeout)
+                 cache_dir=args.cache_dir, timeout_s=args.timeout,
+                 connect_budget_s=args.connect_budget)
 
 
 def _positive_int(text: str) -> int:
@@ -269,6 +292,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --backend socket: wait for externally "
                         "started 'repro worker --connect' processes on "
                         "this address instead of spawning local ones")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="with --backend socket: harness-level fault "
+                        "injection on the coordinator/worker wire (see "
+                        "repro.exp.chaos.ChaosPlan), e.g. "
+                        "'drop=0.05,reset@7,seed=3'; never changes "
+                        "result bytes")
+    p.add_argument("--journal", action="store_true",
+                   help="write a durable run journal (enables --resume "
+                        "after a crash); the run id is printed on stderr")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="journal directory (default: "
+                        ".repro-cache/journal); implies --journal")
+    p.add_argument("--journal-id", default=None, metavar="RUN_ID",
+                   help="explicit run id for the journal (default: "
+                        "generated); implies --journal")
+    p.add_argument("--resume", default=None, metavar="RUN_ID",
+                   help="resume a journaled run: skip journaled tasks, "
+                        "re-execute the rest, and produce the same "
+                        "bytes an uninterrupted run would have")
+    p.add_argument("--connect-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="with --backend socket: fall back to the local "
+                        "backend if no worker completes a handshake "
+                        "within this budget")
     p.set_defaults(fn=_cmd_experiments)
 
     p = sub.add_parser("worker",
@@ -282,6 +329,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="optional local cell-cache directory")
     p.add_argument("--timeout", type=float, default=60.0, metavar="SECONDS",
                    help="socket timeout (default: %(default)s)")
+    p.add_argument("--connect-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="give up (exit 1) after this long without a "
+                        "completed coordinator handshake (default: env "
+                        "REPRO_EXP_CONNECT_BUDGET_S or 60)")
     p.set_defaults(fn=_cmd_worker)
 
     return parser

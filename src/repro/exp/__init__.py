@@ -21,7 +21,11 @@ Composable, individually testable pieces:
   to re-run; :class:`CellCache` is its per-row sibling that socket
   workers share over the wire;
 * :mod:`repro.exp.store` — a JSON-lines results store that
-  EXPERIMENTS.md-style tables are rendered from.
+  EXPERIMENTS.md-style tables are rendered from;
+* :mod:`repro.exp.chaos` / :mod:`repro.exp.journal` — robustness
+  tooling: deterministic harness-level fault injection on the wire
+  (:class:`ChaosPlan` + :class:`ChaosProxy`) and the durable
+  write-ahead run journal behind ``--resume`` (:class:`RunJournal`).
 
 Typical use (what ``repro experiments --jobs 4 --cache --out r.jsonl``
 does)::
@@ -33,9 +37,11 @@ does)::
 """
 
 from .backends import (BACKENDS, DryRunBackend, ExecutionBackend,
-                       LocalPoolBackend, SocketWorkerBackend, TaskOutcome,
-                       create_backend)
+                       LocalPoolBackend, NoWorkersError,
+                       SocketWorkerBackend, TaskOutcome, create_backend)
 from .cache import DEFAULT_CACHE_DIR, CellCache, ResultCache, source_digest
+from .chaos import ChaosError, ChaosPlan, ChaosProxy
+from .journal import JournalError, ResumeError, RunJournal, plan_digest
 from .scheduler import ExperimentFailure, run_experiments
 from .store import iter_jsonl, read_jsonl, render_store, write_jsonl
 
@@ -44,4 +50,6 @@ __all__ = ["run_experiments", "ExperimentFailure", "ResultCache",
            "write_jsonl", "read_jsonl", "iter_jsonl", "render_store",
            "ExecutionBackend", "TaskOutcome", "LocalPoolBackend",
            "SocketWorkerBackend", "DryRunBackend", "BACKENDS",
-           "create_backend"]
+           "create_backend", "NoWorkersError", "ChaosError", "ChaosPlan",
+           "ChaosProxy", "JournalError", "ResumeError", "RunJournal",
+           "plan_digest"]

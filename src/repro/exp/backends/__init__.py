@@ -23,11 +23,12 @@ from typing import Dict, Optional, Type
 from .base import ExecutionBackend, TaskOutcome
 from .dryrun import DryRunBackend
 from .local import LocalPoolBackend
-from .socket import RemoteTaskError, SocketWorkerBackend, parse_address
+from .socket import (NoWorkersError, RemoteTaskError, SocketWorkerBackend,
+                     parse_address)
 
 __all__ = ["ExecutionBackend", "TaskOutcome", "LocalPoolBackend",
            "SocketWorkerBackend", "DryRunBackend", "RemoteTaskError",
-           "BACKENDS", "create_backend", "parse_address"]
+           "NoWorkersError", "BACKENDS", "create_backend", "parse_address"]
 
 #: Name → class, the vocabulary of ``--backend``.
 BACKENDS: Dict[str, Type[ExecutionBackend]] = {
@@ -41,12 +42,18 @@ def create_backend(name: str, *, jobs: int = 1,
                    workers: Optional[int] = None,
                    listen: Optional[str] = None,
                    cache_dir: Optional[str] = None,
-                   lease_timeout_s: float = 30.0) -> ExecutionBackend:
+                   lease_timeout_s: float = 30.0,
+                   chaos: Optional[str] = None,
+                   connect_budget_s: Optional[float] = None
+                   ) -> ExecutionBackend:
     """Build the backend ``name`` from scheduler/CLI-level knobs.
 
     ``jobs`` sizes the local pool; ``workers`` sizes socket/dry-run
     fan-out (defaulting to ``jobs``); ``listen`` switches the socket
-    backend from spawn-local-workers to wait-for-external-workers.
+    backend from spawn-local-workers to wait-for-external-workers;
+    ``chaos`` arms a :class:`~repro.exp.chaos.ChaosPlan` proxy and
+    ``connect_budget_s`` bounds the wait for the first worker handshake
+    (both socket-only).
     """
     if name not in BACKENDS:
         known = ", ".join(sorted(BACKENDS))
@@ -57,5 +64,7 @@ def create_backend(name: str, *, jobs: int = 1,
     if name == SocketWorkerBackend.name:
         return SocketWorkerBackend(workers=n_workers, listen=listen,
                                    cache_dir=cache_dir,
-                                   lease_timeout_s=lease_timeout_s)
+                                   lease_timeout_s=lease_timeout_s,
+                                   chaos=chaos,
+                                   connect_budget_s=connect_budget_s)
     return DryRunBackend(workers=n_workers)

@@ -68,6 +68,8 @@ class ExecutionBackend(ABC):
 
     def __init__(self) -> None:
         self.stats: Dict[str, int] = {}
+        #: The run journal, when the scheduler attached one.
+        self.journal = None
 
     # -- protocol surface (PAR305 pins subclasses to all of these) ------
     @abstractmethod
@@ -85,6 +87,19 @@ class ExecutionBackend(ABC):
         """Release pools/sockets/spawned workers; idempotent."""
 
     # -- shared helpers -------------------------------------------------
+    def attach_journal(self, journal) -> None:
+        """Record lease grants into a :class:`~repro.exp.journal.RunJournal`.
+
+        Deliberately *not* part of the abstract surface: journaling is
+        optional, and backends that never grant (dry run) simply inherit
+        the no-op behaviour of :meth:`_journal_event`.
+        """
+        self.journal = journal
+
+    def _journal_event(self, record: Dict) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
     def __enter__(self) -> "ExecutionBackend":
         return self
 

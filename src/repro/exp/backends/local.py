@@ -15,12 +15,15 @@ order, so per-attempt progress and merged metrics stay deterministic.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterator, Sequence
 
-from ..planner import RunContext, Task, run_task
+from ..chaos import maybe_crash
+from ..planner import RunContext, Task, run_task, task_key
 from .base import ExecutionBackend, TaskOutcome
 
 __all__ = ["LocalPoolBackend"]
@@ -29,6 +32,24 @@ __all__ = ["LocalPoolBackend"]
 def _pool_task(task: Task, wire_ctx: Dict):
     """Top-level worker entry point (must pickle under spawn too)."""
     return run_task(tuple(task), RunContext.from_wire(wire_ctx))
+
+
+def _pool_init(parent_pid: int) -> None:
+    """Exit the pool worker promptly if the coordinator dies.
+
+    A coordinator killed hard (crash points, OOM, operator SIGKILL)
+    orphans its pool: forked workers inherit the call-queue write ends,
+    so they never see EOF and would idle forever — and hold the
+    coordinator's stdio pipes open, wedging any script that captured
+    them.  A watchdog thread turns that into a fast, silent exit.
+    """
+    def watch() -> None:
+        while True:
+            if os.getppid() != parent_pid:
+                os._exit(0)
+            time.sleep(0.5)
+    threading.Thread(target=watch, daemon=True,
+                     name="parent-watchdog").start()
 
 
 class LocalPoolBackend(ExecutionBackend):
@@ -56,8 +77,16 @@ class LocalPoolBackend(ExecutionBackend):
             # A fresh pool per attempt: a worker killed hard breaks the
             # executor for every outstanding future, and a broken pool
             # cannot be reused.
+            for task in pending:
+                self._journal_event({"type": "lease",
+                                     "task": task_key(task),
+                                     "worker": "pool",
+                                     "attempt": attempts + 1})
+                maybe_crash("backend.lease")
             with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(pending))) as pool:
+                    max_workers=min(self.jobs, len(pending)),
+                    initializer=_pool_init,
+                    initargs=(os.getpid(),)) as pool:
                 futures = {task: pool.submit(_pool_task, task, wire_ctx)
                            for task in pending}
                 self._count("leases_issued", len(pending))

@@ -43,13 +43,17 @@ import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..cache import CellCache
+from ..chaos import ChaosPlan, ChaosProxy, maybe_crash
 from ..leases import LeaseTable
-from ..planner import RunContext, Task, plan_shards
+from ..planner import RunContext, Task, plan_shards, task_key
 from ..protocol import (MAX_FRAME, PROTOCOL_VERSION, ProtocolError,
-                        decode_body, send_frame)
+                        VersionMismatchError, check_versions, decode_body,
+                        package_version, send_frame)
+from ..worker import CONNECT_BUDGET_ENV
 from .base import ExecutionBackend, TaskOutcome
 
-__all__ = ["SocketWorkerBackend", "RemoteTaskError", "parse_address"]
+__all__ = ["SocketWorkerBackend", "RemoteTaskError", "NoWorkersError",
+           "parse_address"]
 
 #: Environment knob bounding every socket operation (seconds).
 IO_TIMEOUT_ENV = "REPRO_EXP_IO_TIMEOUT_S"
@@ -59,6 +63,15 @@ _LEN_BYTES = 4
 
 class RemoteTaskError(RuntimeError):
     """A task failed on a remote worker after its full retry budget."""
+
+
+class NoWorkersError(RuntimeError):
+    """No worker completed a HELLO within the connect budget.
+
+    Raised strictly *before* any outcome is produced, so the scheduler
+    can degrade gracefully — fall back to the local pool and still
+    finish the sweep — without risking double execution.
+    """
 
 
 def parse_address(address: Union[str, Tuple[str, int], None]
@@ -93,7 +106,8 @@ def _now() -> float:
 class _Conn:
     """Per-worker connection state on the coordinator."""
 
-    __slots__ = ("sock", "buffer", "worker", "slot", "busy", "helloed")
+    __slots__ = ("sock", "buffer", "worker", "slot", "busy", "helloed",
+                 "suspect")
 
     def __init__(self, sock: socketlib.socket):
         self.sock = sock
@@ -102,6 +116,9 @@ class _Conn:
         self.slot: Optional[int] = None
         self.busy = False
         self.helloed = False
+        #: leases of ours that expired (a silent or deaf worker);
+        #: healthy peers are granted requeued work first
+        self.suspect = 0
 
 
 class SocketWorkerBackend(ExecutionBackend):
@@ -121,7 +138,9 @@ class SocketWorkerBackend(ExecutionBackend):
                  spawn: Optional[bool] = None,
                  cache_dir: Union[str, None] = None,
                  lease_timeout_s: float = 30.0,
-                 connect_grace_s: Optional[float] = None):
+                 connect_grace_s: Optional[float] = None,
+                 chaos: Union[str, ChaosPlan, None] = None,
+                 connect_budget_s: Optional[float] = None):
         super().__init__()
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -131,6 +150,9 @@ class SocketWorkerBackend(ExecutionBackend):
         self.io_timeout_s = _io_timeout_s()
         self.connect_grace_s = (self.io_timeout_s if connect_grace_s is None
                                 else connect_grace_s)
+        self.connect_budget_s = (self.connect_grace_s
+                                 if connect_budget_s is None
+                                 else connect_budget_s)
         self.cell_cache = CellCache(cache_dir) if cache_dir else None
         self._procs: List[subprocess.Popen] = []
         self._server = socketlib.socket(socketlib.AF_INET,
@@ -140,8 +162,22 @@ class SocketWorkerBackend(ExecutionBackend):
         self._server.bind(parse_address(listen))
         self._server.listen(max(8, workers))
         self._server.settimeout(self.io_timeout_s)
-        #: The bound ``(host, port)`` — workers connect here.
+        #: The bound ``(host, port)`` of the coordinator itself.
         self.address: Tuple[str, int] = self._server.getsockname()[:2]
+        self.chaos_plan = (ChaosPlan.parse(chaos)
+                           if isinstance(chaos, str) else chaos)
+        #: The chaos proxy, when a plan is armed — frames between
+        #: workers and coordinator pass through its injectors.
+        self.proxy: Optional[ChaosProxy] = None
+        if self.chaos_plan is not None and not self.chaos_plan.is_noop:
+            self.proxy = ChaosProxy(self.chaos_plan, self.address,
+                                    io_timeout_s=self.io_timeout_s)
+
+    @property
+    def public_address(self) -> Tuple[str, int]:
+        """Where workers should connect: the chaos proxy when armed,
+        the coordinator itself otherwise."""
+        return self.proxy.address if self.proxy is not None else self.address
 
     # -- protocol surface ----------------------------------------------
     def run_tasks(self, tasks: Sequence[Task],
@@ -154,7 +190,9 @@ class SocketWorkerBackend(ExecutionBackend):
         lease_tasks: Dict[int, Task] = {}
         errors: Dict[Task, str] = {}
         heartbeat_s = max(self.lease_timeout_s / 3.0, 0.05)
-        welcome_base = {"type": "WELCOME", "workers": self.workers,
+        welcome_base = {"type": "WELCOME", "proto": PROTOCOL_VERSION,
+                        "version": package_version(),
+                        "workers": self.workers,
                         "heartbeat_s": heartbeat_s,
                         "cache": self.cell_cache is not None,
                         "ctx": ctx.to_wire()}
@@ -166,7 +204,9 @@ class SocketWorkerBackend(ExecutionBackend):
         used_slots: set = set()
         if self.spawn:
             self._spawn_workers(self.workers)
-        last_progress = _now()
+        started = _now()
+        last_progress = started
+        any_helloed = False
         tick = min(0.25, max(self.lease_timeout_s / 4.0, 0.02))
 
         def grant(conn: _Conn) -> None:
@@ -178,6 +218,12 @@ class SocketWorkerBackend(ExecutionBackend):
                 return
             lease_tasks[lease.lease_id] = lease.task
             exp_id, index = lease.task
+            self._journal_event({"type": "lease",
+                                 "task": task_key(lease.task),
+                                 "worker": str(conn.worker),
+                                 "lease": lease.lease_id,
+                                 "attempt": lease.attempt})
+            maybe_crash("backend.lease")
             if self._send(conn, {"type": "LEASE", "lease": lease.lease_id,
                                  "exp_id": exp_id, "index": index}):
                 conn.busy = True
@@ -225,6 +271,9 @@ class SocketWorkerBackend(ExecutionBackend):
                                 welcome_base, grant, drop)
                             if outcome is not None:
                                 yield outcome
+                    except VersionMismatchError:
+                        # already counted; the BYE carried the reason
+                        drop(conn, "version mismatch")
                     except ProtocolError:
                         # fail closed: garbage ends the connection
                         self._count("protocol_errors")
@@ -241,11 +290,31 @@ class SocketWorkerBackend(ExecutionBackend):
                     self._count("reassignments", len(expired),
                                 cause="expiry")
                     last_progress = now
+                    # the holder may still be connected but never saw
+                    # (or lost) the LEASE frame — it is grantable again,
+                    # but healthy peers get requeued work first
+                    lost = {lease.worker for lease in expired}
+                    for conn in conns:
+                        if conn.worker in lost:
+                            conn.busy = False
+                            conn.suspect += 1
                 # idle workers pick up requeued / remaining work
-                for conn in list(conns):
+                # (least-suspect first, so a silent lease-holder cannot
+                # keep soaking up the task it just lost)
+                for conn in sorted(list(conns),
+                                   key=lambda c: c.suspect):
                     grant(conn)
                 if self.spawn and not table.settled():
                     self._respawn_if_needed(conns)
+                if not any_helloed:
+                    any_helloed = any(c.helloed for c in conns)
+                    if (not any_helloed
+                            and now - started > self.connect_budget_s):
+                        raise NoWorkersError(
+                            f"no worker completed a handshake within "
+                            f"{self.connect_budget_s:g}s (listening on "
+                            f"{self.address[0]}:{self.address[1]}, "
+                            f"{len(conns)} connection(s) open)")
                 if now - last_progress > max(self.connect_grace_s,
                                              self.lease_timeout_s * 2):
                     raise RuntimeError(
@@ -266,13 +335,19 @@ class SocketWorkerBackend(ExecutionBackend):
             self._reap_workers()
 
     def plan(self, tasks: Sequence[Task], ctx: RunContext) -> Dict:
-        return {"backend": self.name, "workers": self.workers,
+        plan = {"backend": self.name, "workers": self.workers,
                 "n_tasks": len(tasks),
                 "listen": f"{self.address[0]}:{self.address[1]}",
                 "spawn": self.spawn,
                 "shards": self._shard_plan(tasks, ctx, self.workers)}
+        if self.chaos_plan is not None:
+            plan["chaos"] = self.chaos_plan.to_spec()
+        return plan
 
     def close(self) -> None:
+        if self.proxy is not None:
+            self.proxy.close()
+            self.proxy = None
         try:
             self._server.close()
         except OSError:
@@ -319,10 +394,14 @@ class SocketWorkerBackend(ExecutionBackend):
                 welcome_base: Dict, grant, drop) -> Optional[TaskOutcome]:
         mtype = message["type"]
         if mtype == "HELLO":
-            if message.get("proto") != PROTOCOL_VERSION:
-                self._send(conn, {"type": "BYE"})
-                raise ProtocolError(
-                    f"protocol version mismatch: {message.get('proto')!r}")
+            try:
+                check_versions(message, "worker")
+            except VersionMismatchError as exc:
+                # fail closed, but tell the peer *why* before dropping:
+                # a mixed-version worker must exit, not reconnect
+                self._count("version_mismatches")
+                self._send(conn, {"type": "BYE", "error": str(exc)})
+                raise
             conn.worker = str(message.get("worker") or
                               f"worker-{id(conn.sock) & 0xffff}")
             free = [s for s in range(self.workers) if s not in used_slots]
@@ -427,7 +506,10 @@ class SocketWorkerBackend(ExecutionBackend):
                               env.get("PYTHONPATH", "").split(os.pathsep)
                               if p]
         env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
-        host, port = self.address
+        # spawned workers inherit our connect budget so orphans (after
+        # a coordinator SIGKILL) exit promptly instead of lingering
+        env.setdefault(CONNECT_BUDGET_ENV, f"{self.connect_budget_s:g}")
+        host, port = self.public_address
         for _ in range(n):
             index = len(self._procs)
             self._procs.append(subprocess.Popen(

@@ -8,7 +8,7 @@ light-weight communication-library designs the ROADMAP cites:
 ========== =========== ==================================================
 type       direction   meaning
 ========== =========== ==================================================
-HELLO      worker→coord  join: protocol version + worker id
+HELLO      worker→coord  join: protocol + package version + worker id
 WELCOME    coord→worker  run config (:class:`~repro.exp.planner.RunContext`
                          wire form, slot, heartbeat/lease intervals)
 LEASE      coord→worker  a task grant: lease id + task identity
@@ -17,8 +17,18 @@ CACHE_GET  worker→coord  query the shared content-addressed cell cache
 CACHE      coord→worker  cache answer (payload or null)
 CACHE_PUT  worker→coord  publish a computed payload under its digest
 RESULT     worker→coord  task outcome (payload/snapshot or error)
-BYE        both          orderly goodbye (coordinator: no more work)
+BYE        both          orderly goodbye (coordinator: no more work; may
+                         carry ``"error"`` explaining a rejection)
 ========== =========== ==================================================
+
+Version negotiation: HELLO and WELCOME both carry ``proto``
+(:data:`PROTOCOL_VERSION`) and ``version`` (the installed
+``repro.__version__``).  Either side seeing a mismatch **fails
+closed** with :class:`VersionMismatchError` — a mixed-version pair
+would compute under different source digests and silently disagree on
+cache keys and result bytes, so it must not compute at all.  The
+rejecting side sends a BYE with an ``error`` field first, so the peer
+can report *why* instead of a bare disconnect.
 
 Fail-closed by construction: a frame whose length prefix is zero,
 negative-ish (> :data:`MAX_FRAME`), whose body is truncated, is not
@@ -36,9 +46,13 @@ import struct
 from typing import Dict, Optional
 
 __all__ = ["PROTOCOL_VERSION", "MAX_FRAME", "MESSAGE_TYPES",
-           "ProtocolError", "send_frame", "recv_frame", "decode_body"]
+           "ProtocolError", "VersionMismatchError", "send_frame",
+           "recv_frame", "decode_body", "package_version",
+           "check_versions"]
 
-PROTOCOL_VERSION = 1
+#: v2 added the ``version`` field to HELLO/WELCOME (mixed-version
+#: pairs now degrade cleanly instead of misparsing).
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one frame body.  Quick-grid payloads are a few KB;
 #: 16 MiB leaves room for full-sweep rows while making a garbage
@@ -55,6 +69,39 @@ _LEN = struct.Struct(">I")
 
 class ProtocolError(Exception):
     """The peer sent something that is not a well-formed frame."""
+
+
+class VersionMismatchError(ProtocolError):
+    """The peer runs a different protocol or package version.
+
+    A typed subclass so supervisors can distinguish "wrong software"
+    (give up, fix the deployment) from "garbage on the wire" (drop the
+    connection, keep serving).
+    """
+
+
+def package_version() -> str:
+    """The installed ``repro.__version__`` (what HELLO/WELCOME carry)."""
+    import repro
+    return repro.__version__
+
+
+def check_versions(message: Dict, who: str) -> None:
+    """Fail closed unless ``message`` matches our proto + package.
+
+    ``who`` names the peer ("worker"/"coordinator") for the error text.
+    """
+    proto = message.get("proto")
+    if proto != PROTOCOL_VERSION:
+        raise VersionMismatchError(
+            f"{who} speaks protocol {proto!r}, we speak "
+            f"{PROTOCOL_VERSION}")
+    version = message.get("version")
+    if version != package_version():
+        raise VersionMismatchError(
+            f"{who} runs repro {version!r}, we run "
+            f"{package_version()!r} — mixed versions would disagree on "
+            f"cache keys and result bytes")
 
 
 def send_frame(sock: socket.socket, message: Dict) -> None:

@@ -52,22 +52,49 @@ Long sweeps survive misbehaving workers:
   every unaffected experiment still completes and caches;
 * results are cached **incrementally**, as soon as each experiment
   finalizes, so an interrupted sweep resumes from what it finished.
+
+Crash safety (PR 8)
+-------------------
+``journal_dir`` arms the write-ahead :class:`~repro.exp.journal.RunJournal`:
+the plan, every lease grant and every task result are fsync'd to disk
+*before* the scheduler acts on them, and task payloads are persisted in
+the journal's content-addressed cell cache.  ``resume=RUN_ID`` then
+survives even a coordinator SIGKILL: the journaled plan is adopted (and
+its digest verified — resuming into changed sources/versions fails
+closed with :class:`~repro.exp.journal.ResumeError`), journaled results
+are reloaded, and only tasks without a journaled + cached payload
+execute again — producing a store byte-identical to an uninterrupted
+run, with skipped/re-executed counts observable via :mod:`repro.obs`.
+
+``chaos_spec`` arms a seeded :class:`~repro.exp.chaos.ChaosPlan` proxy
+between the socket coordinator and its workers (socket backend only —
+anything else raises ``ValueError``); ``connect_budget_s`` bounds the
+wait for the first worker handshake, after which an *owned* socket
+backend degrades gracefully: a warning on stderr, an
+``exp/backend_fallbacks`` counter, and the sweep finishes on the local
+pool.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import registry
 from ..core.registry import ExperimentResult
 from ..faults.context import activated
 from ..flow.context import activated as flow_activated
-from .backends import ExecutionBackend, create_backend
+from .backends import (ExecutionBackend, LocalPoolBackend, NoWorkersError,
+                       SocketWorkerBackend, create_backend)
 from .cache import ResultCache
-from .planner import RunContext, Task, build_tasks, worker_env
+from .chaos import ChaosError, ChaosPlan, maybe_crash
+from .journal import (DEFAULT_JOURNAL_DIR, ResumeError, RunJournal,
+                      plan_digest)
+from .planner import RunContext, Task, build_tasks, task_key, worker_env
 
 __all__ = ["run_experiments", "ExperimentFailure"]
 
@@ -97,6 +124,11 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
                     workers: Optional[int] = None,
                     listen: Optional[str] = None,
                     cell_cache_dir: Optional[str] = None,
+                    chaos_spec: Optional[str] = None,
+                    journal_dir: Optional[str] = None,
+                    journal_id: Optional[str] = None,
+                    resume: Optional[str] = None,
+                    connect_budget_s: Optional[float] = None,
                     ) -> List[ExperimentResult]:
     """Run experiments, optionally cached, in parallel, and hardened.
 
@@ -132,7 +164,35 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
     result-cache key.  ``flow_mode`` does the same for flow-level
     acceleration (:mod:`repro.flow`): ``"auto"``/``"on"`` are keyed
     into the cache, ``"off"``/``None`` keep the clean packet-mode key.
+
+    ``chaos_spec`` arms a :class:`~repro.exp.chaos.ChaosPlan` on the
+    wire (socket backend only; never changes result bytes, so it is not
+    keyed into any cache).  ``journal_dir``/``journal_id`` arm the
+    write-ahead run journal; ``resume`` continues a journaled run by id
+    — its plan (ids, quick, fault/flow specs) is adopted from the
+    journal and its digest verified, so ``ids`` may be left empty.
+    ``connect_budget_s`` bounds the socket backend's wait for a first
+    worker handshake; when the scheduler owns the backend it then falls
+    back to the local pool with a warning instead of failing the sweep.
     """
+    journal: Optional[RunJournal] = None
+    plan_rec: Optional[Dict] = None
+    if resume is not None:
+        journal = RunJournal.resume(Path(journal_dir or DEFAULT_JOURNAL_DIR),
+                                    resume)
+        plan_rec = journal.plan_record()
+        if plan_rec is None:
+            raise ResumeError(f"journal {resume!r} has no plan record — "
+                              f"the run died before planning; rerun it "
+                              f"from scratch")
+        if ids and list(ids) != list(plan_rec["ids"]):
+            raise ResumeError(f"--resume {resume} cannot change the "
+                              f"experiment set (journaled: "
+                              f"{' '.join(plan_rec['ids'])})")
+        ids = list(plan_rec["ids"])
+        quick = bool(plan_rec["quick"])
+        faults_spec = plan_rec.get("faults")
+        flow_mode = plan_rec.get("flow")
     keys = registry.resolve_ids(ids)
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -140,7 +200,28 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    backend_name = (backend.name if isinstance(backend, ExecutionBackend)
+                    else backend)
+    if chaos_spec:
+        ChaosPlan.parse(chaos_spec)     # fail fast on a bad spec
+        if isinstance(backend, ExecutionBackend):
+            raise ChaosError("chaos_spec applies to backends the "
+                             "scheduler creates; pass chaos= to your "
+                             "SocketWorkerBackend instead")
+        if backend_name != "socket":
+            raise ChaosError("--chaos requires --backend socket (it "
+                             "injects into the coordinator/worker wire)")
+    journaling = (journal is not None or journal_dir is not None
+                  or journal_id is not None)
     with activated(faults_spec), flow_activated(flow_mode):
+        if resume is not None:
+            digest = plan_digest(keys, quick, faults_spec, flow_mode)
+            if digest != plan_rec.get("digest"):
+                raise ResumeError(
+                    f"plan digest mismatch for run {resume!r}: the "
+                    f"experiment sources, package version or specs "
+                    f"changed since the journal was written — resuming "
+                    f"would not reproduce the original bytes")
         results: Dict[str, ExperimentResult] = {}
         to_run: List[str] = []
         for exp_id in keys:
@@ -152,7 +233,8 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
 
         failed: List[ExperimentFailure] = []
         n_tasks = sum(max(1, registry.n_cells(k, quick)) for k in to_run)
-        if backend is None and (jobs == 1 or n_tasks <= 1):
+        if (backend is None and (jobs == 1 or n_tasks <= 1)
+                and not journaling):
             _run_serial(to_run, quick, results, cache, faults_spec,
                         flow_mode, timeout_s, retries, backoff_s,
                         keep_going, failed)
@@ -164,23 +246,104 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
                              faults_spec=faults_spec, timeout_s=timeout_s,
                              flow_mode=flow_mode, retries=retries,
                              backoff_s=backoff_s)
+            tasks = build_tasks(to_run, quick)
+            preloaded: Dict[Task, Tuple[object, object]] = {}
+            if journaling:
+                if journal is None:
+                    journal = RunJournal.create(
+                        Path(journal_dir or DEFAULT_JOURNAL_DIR), journal_id)
+                    journal.append({
+                        "type": "plan", "ids": list(keys), "quick": quick,
+                        "faults": faults_spec, "flow": flow_mode,
+                        "digest": plan_digest(keys, quick, faults_spec,
+                                              flow_mode),
+                        "backend": backend_name or "local",
+                        "tasks": [task_key(t) for t in tasks]})
+                    maybe_crash("journal.plan")
+                else:
+                    preloaded = _preload_from_journal(journal, tasks,
+                                                      parent_registry)
             if isinstance(backend, ExecutionBackend):
                 exec_backend, owned = backend, False
             else:
                 exec_backend = create_backend(
                     backend or "local", jobs=min(jobs, max(n_tasks, 1)),
                     workers=workers, listen=listen,
-                    cache_dir=cell_cache_dir)
+                    cache_dir=cell_cache_dir, chaos=chaos_spec,
+                    connect_budget_s=connect_budget_s)
                 owned = True
+            if journal is not None:
+                exec_backend.attach_journal(journal)
             try:
-                _run_backend(exec_backend, to_run, quick, results, cache,
-                             ctx, parent_registry, keep_going, failed)
+                try:
+                    _run_backend(exec_backend, to_run, quick, tasks,
+                                 preloaded, results, cache, ctx,
+                                 parent_registry, keep_going, failed,
+                                 journal)
+                except NoWorkersError as exc:
+                    if not (owned and isinstance(exec_backend,
+                                                 SocketWorkerBackend)):
+                        raise
+                    # graceful degradation: no worker ever joined (and
+                    # no outcome was produced), so the local pool can
+                    # finish the sweep without double execution
+                    print(f"repro: {exc}; falling back to the local "
+                          f"backend", file=sys.stderr)
+                    if parent_registry is not None:
+                        parent_registry.counter(
+                            "exp", "backend_fallbacks",
+                            wanted="socket").inc()
+                    exec_backend.close()
+                    fallback = LocalPoolBackend(
+                        jobs=min(jobs, max(n_tasks, 1)))
+                    if journal is not None:
+                        fallback.attach_journal(journal)
+                    try:
+                        _run_backend(fallback, to_run, quick, tasks,
+                                     preloaded, results, cache, ctx,
+                                     parent_registry, keep_going, failed,
+                                     journal)
+                    finally:
+                        fallback.close()
             finally:
                 if owned:
                     exec_backend.close()
+                if journal is not None:
+                    journal.append({"type": "end",
+                                    "failures": len(failed)})
+                    journal.close()
         if failures is not None:
             failures.extend(failed)
         return [results[k] for k in keys if k in results]
+
+
+def _preload_from_journal(journal: RunJournal, tasks: Sequence[Task],
+                          parent_registry) -> Dict[Task, Tuple[object,
+                                                               object]]:
+    """Tasks whose results the journal already holds (key + payload).
+
+    A journaled result whose payload is missing from the journal's cell
+    cache (disk loss) simply re-executes — resume is safe, not clever.
+    """
+    completed = journal.completed()
+    preloaded: Dict[Task, Tuple[object, object]] = {}
+    for task in tasks:
+        key = completed.get(task_key(task))
+        if key is None:
+            continue
+        payload = journal.cells.load(key)
+        if payload is not None:
+            preloaded[task] = (payload, None)
+    skipped = len(preloaded)
+    reexecuted = len(tasks) - skipped
+    if parent_registry is not None:
+        parent_registry.counter("exp", "resume_tasks",
+                                kind="skipped").inc(skipped)
+        parent_registry.counter("exp", "resume_tasks",
+                                kind="reexecuted").inc(reexecuted)
+    journal.append({"type": "resume", "skipped": skipped,
+                    "reexecuted": reexecuted})
+    return preloaded
 
 
 def _run_serial(to_run: Sequence[str], quick: bool,
@@ -213,29 +376,49 @@ def _run_serial(to_run: Sequence[str], quick: bool,
 
 
 def _run_backend(exec_backend: ExecutionBackend, to_run: Sequence[str],
-                 quick: bool, results: Dict[str, ExperimentResult],
+                 quick: bool, tasks: List[Task],
+                 preloaded: Dict[Task, Tuple[object, object]],
+                 results: Dict[str, ExperimentResult],
                  cache: Optional[ResultCache], ctx: RunContext,
                  parent_registry, keep_going: bool,
-                 failed: List[ExperimentFailure]) -> None:
+                 failed: List[ExperimentFailure],
+                 journal: Optional[RunJournal] = None) -> None:
     """Drain one backend run, assembling outcomes in request order.
 
     The backend may yield outcomes in any order; experiments finalize
     (and cache) incrementally as soon as all of their tasks are in.
-    Planned-only outcomes (dry run) finalize nothing.
+    Planned-only outcomes (dry run) finalize nothing.  ``preloaded``
+    results (adopted from a resumed journal) count as already done and
+    are never re-executed; every fresh payload is journaled (cell saved,
+    then the result record appended) *before* finalization, so a crash
+    between the two re-finalizes from the journal instead of re-running.
     """
-    tasks = build_tasks(to_run, quick)
-    done: Dict[Task, Tuple[object, object]] = {}
+    done: Dict[Task, Tuple[object, object]] = dict(preloaded)
     errors: Dict[Task, BaseException] = {}
     attempts: Dict[Task, int] = {}
-    for outcome in exec_backend.run_tasks(tasks, ctx):
+    if done:
+        _finalize_ready(to_run, quick, tasks, done, results, cache,
+                        ctx.observe, parent_registry)
+    remaining = [t for t in tasks if t not in done]
+    for outcome in exec_backend.run_tasks(remaining, ctx):
         if outcome.planned:
             continue
         task = (outcome.task[0], outcome.task[1])
         if outcome.error is not None:
             errors[task] = outcome.error
             attempts[task] = outcome.attempts
+            if journal is not None:
+                journal.append({"type": "error", "task": task_key(task),
+                                "error": repr(outcome.error),
+                                "attempts": outcome.attempts})
             continue
         done[task] = (outcome.payload, outcome.snapshot)
+        if journal is not None:
+            key = journal.cells.key(task[0], quick, task[1])
+            journal.cells.save(key, outcome.payload)
+            journal.append({"type": "result", "task": task_key(task),
+                            "key": key})
+            maybe_crash("journal.result")
         _finalize_ready(to_run, quick, tasks, done, results, cache,
                         ctx.observe, parent_registry)
     if errors:
@@ -282,6 +465,7 @@ def _finalize_ready(to_run: Sequence[str], quick: bool, tasks: List[Task],
             results[exp_id] = registry.finalize_cells(exp_id, quick, rows)
         if cache is not None:
             cache.save(exp_id, quick, results[exp_id])
+        maybe_crash("scheduler.finalize")
         if observe:
             for snap in snapshots:
                 if snap:

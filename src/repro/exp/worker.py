@@ -20,8 +20,25 @@ remote hit for every other.  While computing, a background thread
 renews the lease with HEARTBEATs; a worker that dies mid-task simply
 stops heartbeating and the coordinator reassigns.
 
-Fail-closed: a malformed frame from the coordinator ends the process
-with a protocol error; every socket operation carries a timeout.
+Reconnect: a worker started before the coordinator is listening, or
+whose connection drops mid-run (network cut, chaos proxy reset),
+retries with seeded exponential backoff + jitter instead of dying with
+``ConnectionRefusedError``.  The ``--connect-budget`` flag (env
+``REPRO_EXP_CONNECT_BUDGET_S``) caps how long the worker keeps trying
+*without a successful handshake*; each completed WELCOME resets the
+budget.  The jitter stream is seeded from the worker id via
+:class:`~repro.sim.rng.RngRegistry`, so a fleet's retry schedule is
+reproducible and workers don't thunder in lockstep.
+
+Fail-closed: a malformed frame from the coordinator ends the
+*connection* (and the worker reconnects fresh — parsing state never
+survives garbage); a **version mismatch** in WELCOME, or a BYE
+carrying an ``error``, ends the *process* with a typed message —
+retrying a wrong-software pairing can never succeed.  Every socket
+operation carries a timeout.
+
+Exit codes: 0 clean (BYE / coordinator EOF), 1 connect budget
+exhausted, 2 fatal protocol rejection (version mismatch / BYE error).
 
 Chaos hooks (used by the conformance wall, harmless otherwise):
 
@@ -44,14 +61,38 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..sim.rng import RngRegistry
 from .cache import DEFAULT_CACHE_DIR, CellCache
 from .planner import RunContext, run_task, task_key
-from .protocol import PROTOCOL_VERSION, ProtocolError, recv_frame, send_frame
+from .protocol import (PROTOCOL_VERSION, ProtocolError, VersionMismatchError,
+                       check_versions, package_version, recv_frame,
+                       send_frame)
 
-__all__ = ["serve", "main"]
+__all__ = ["serve", "main", "CONNECT_BUDGET_ENV", "DEFAULT_CONNECT_BUDGET_S"]
 
 TASK_SLEEP_ENV = "REPRO_EXP_TASK_SLEEP_S"
 DIE_AFTER_PUT_ENV = "REPRO_EXP_DIE_AFTER_PUT"
+
+#: Default ceiling on continuous time without a successful handshake.
+CONNECT_BUDGET_ENV = "REPRO_EXP_CONNECT_BUDGET_S"
+DEFAULT_CONNECT_BUDGET_S = 60.0
+
+#: Backoff shape: 50 ms doubling to a 2 s cap, times jitter in [0.5, 1.5).
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 2.0
+
+
+def _monotonic() -> float:
+    """Deadline/backoff clock (never feeds a result)."""
+    return time.monotonic()  # repro-lint: disable=DET101 -- worker-side reconnect deadline clock only
+
+
+def _default_connect_budget_s() -> float:
+    try:
+        value = float(os.environ.get(CONNECT_BUDGET_ENV, ""))
+        return value if value > 0 else DEFAULT_CONNECT_BUDGET_S
+    except ValueError:
+        return DEFAULT_CONNECT_BUDGET_S
 
 
 def _chaos_sleep_s() -> float:
@@ -116,66 +157,150 @@ def _apply_context(ctx: RunContext):
     return stack
 
 
+class _FatalRejection(Exception):
+    """The coordinator rejected us for a reason retrying cannot fix."""
+
+
 def serve(connect: str, worker_id: Optional[str] = None,
           cache_dir: Optional[str] = None,
-          timeout_s: float = 60.0) -> int:
-    """Connect to a coordinator and drain leases until BYE; returns an
-    exit code (0 clean, 1 connect failure, 2 protocol error)."""
+          timeout_s: float = 60.0,
+          connect_budget_s: Optional[float] = None) -> int:
+    """Connect to a coordinator (retrying with seeded backoff) and drain
+    leases until BYE; returns an exit code (0 clean, 1 connect budget
+    exhausted, 2 fatal protocol rejection such as a version mismatch)."""
     address = _parse(connect)
     worker_id = worker_id or f"{socketlib.gethostname()}-{os.getpid()}"
-    try:
-        sock = socketlib.create_connection(address, timeout=timeout_s)
-    except OSError as exc:
-        print(f"repro worker: cannot connect to "
-              f"{address[0]}:{address[1]}: {exc}", file=sys.stderr)
-        return 1
-    lock = threading.Lock()
+    if connect_budget_s is None:
+        connect_budget_s = _default_connect_budget_s()
+    jitter = RngRegistry().stream(f"worker-backoff:{worker_id}")
     local_cache = CellCache(cache_dir) if cache_dir else None
     keyer = CellCache(cache_dir or DEFAULT_CACHE_DIR)   # key() is diskless
-    try:
-        with lock:
-            send_frame(sock, {"type": "HELLO", "proto": PROTOCOL_VERSION,
-                              "worker": worker_id})
-        welcome = _recv_patiently(sock)
-        if welcome is None or welcome.get("type") != "WELCOME":
-            print("repro worker: coordinator did not WELCOME us",
+    deadline: Optional[float] = None    # armed while un-handshaken
+    attempt = 0
+    while True:
+        sock = None
+        while sock is None:
+            try:
+                sock = socketlib.create_connection(address,
+                                                   timeout=timeout_s)
+            except OSError as exc:
+                now = _monotonic()
+                if deadline is None:
+                    deadline = now + connect_budget_s
+                if now >= deadline:
+                    print(f"repro worker: gave up connecting to "
+                          f"{address[0]}:{address[1]} after "
+                          f"{connect_budget_s:g}s: {exc}", file=sys.stderr)
+                    return 1
+                backoff = min(_BACKOFF_CAP_S,
+                              _BACKOFF_BASE_S * 2 ** min(attempt, 10))
+                attempt += 1
+                time.sleep(min(backoff * (0.5 + jitter.random()),
+                               max(0.0, deadline - now)))
+        if deadline is None:
+            deadline = _monotonic() + connect_budget_s
+        welcomed = [False]      # set by _session once WELCOME checks out
+        try:
+            outcome = _session(sock, worker_id, local_cache, keyer,
+                               deadline, welcomed)
+        except _FatalRejection as exc:
+            print(f"repro worker: rejected by coordinator: {exc}",
                   file=sys.stderr)
             return 2
-        ctx = RunContext.from_wire(welcome.get("ctx", {}))
-        shared_cache = bool(welcome.get("cache"))
-        heartbeat_s = float(welcome.get("heartbeat_s", 5.0))
-        with _apply_context(ctx):
-            while True:
-                message = _recv_patiently(sock)
-                if message is None or message.get("type") == "BYE":
-                    return 0
-                if message.get("type") != "LEASE":
-                    continue        # coordinator-side noise; ignore
-                _handle_lease(sock, lock, message, ctx, shared_cache,
-                              local_cache, keyer, heartbeat_s)
-    except ProtocolError as exc:
-        print(f"repro worker: protocol error: {exc}", file=sys.stderr)
-        return 2
-    except OSError as exc:
-        print(f"repro worker: connection lost: {exc}", file=sys.stderr)
-        return 1
-    finally:
-        try:
-            sock.close()
-        except OSError:
-            pass
+        except VersionMismatchError as exc:
+            print(f"repro worker: version mismatch: {exc}", file=sys.stderr)
+            return 2
+        except ProtocolError as exc:
+            # Garbage on the wire fails this *connection* closed; a
+            # fresh connection starts with clean parser state.  The
+            # budget caps time *without a handshake*, so a session that
+            # got its WELCOME still resets it.
+            print(f"repro worker: protocol error: {exc}; reconnecting",
+                  file=sys.stderr)
+            outcome = "welcomed-retry" if welcomed[0] else "retry"
+        except OSError as exc:
+            print(f"repro worker: connection lost: {exc}; reconnecting",
+                  file=sys.stderr)
+            outcome = "welcomed-retry" if welcomed[0] else "retry"
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if outcome == "done":
+            return 0
+        if outcome == "welcomed-retry":
+            deadline = None     # a successful handshake resets the budget
+            attempt = 0
+        now = _monotonic()
+        if deadline is not None and now >= deadline:
+            print(f"repro worker: no successful handshake with "
+                  f"{address[0]}:{address[1]} within {connect_budget_s:g}s",
+                  file=sys.stderr)
+            return 1
+
+
+def _session(sock: socketlib.socket, worker_id: str,
+             local_cache: Optional[CellCache], keyer: CellCache,
+             deadline: float, welcomed: Optional[List[bool]] = None) -> str:
+    """One connection's worth of work.
+
+    Returns ``"done"`` (orderly BYE/EOF), ``"retry"`` (no WELCOME
+    arrived in budget — connection looks dead), or ``"welcomed-retry"``
+    (EOF after a successful handshake — reconnect with a fresh budget).
+    Raises :class:`_FatalRejection`/:class:`VersionMismatchError` when
+    retrying cannot help.
+    """
+    lock = threading.Lock()
+    with lock:
+        send_frame(sock, {"type": "HELLO", "proto": PROTOCOL_VERSION,
+                          "version": package_version(),
+                          "worker": worker_id})
+    welcome = _recv_within(sock, deadline)
+    if welcome is None:
+        return "retry"
+    if welcome.get("type") == "BYE":
+        error = welcome.get("error")
+        if error:
+            raise _FatalRejection(str(error))
+        return "done"
+    if welcome.get("type") != "WELCOME":
+        raise ProtocolError(f"expected WELCOME, got "
+                            f"{welcome.get('type')!r}")
+    check_versions(welcome, "coordinator")
+    if welcomed is not None:
+        welcomed[0] = True
+    ctx = RunContext.from_wire(welcome.get("ctx", {}))
+    shared_cache = bool(welcome.get("cache"))
+    heartbeat_s = float(welcome.get("heartbeat_s", 5.0))
+    cache_wait_s = max(heartbeat_s * 4, 1.0)
+    with _apply_context(ctx):
+        while True:
+            message = _recv_patiently(sock)
+            if message is None:
+                return "welcomed-retry"
+            if message.get("type") == "BYE":
+                error = message.get("error")
+                if error:
+                    raise _FatalRejection(str(error))
+                return "done"
+            if message.get("type") != "LEASE":
+                continue        # coordinator-side noise; ignore
+            _handle_lease(sock, lock, message, ctx, shared_cache,
+                          local_cache, keyer, heartbeat_s, cache_wait_s)
 
 
 def _handle_lease(sock, lock, message: Dict, ctx: RunContext,
                   shared_cache: bool, local_cache: Optional[CellCache],
-                  keyer: CellCache, heartbeat_s: float) -> None:
+                  keyer: CellCache, heartbeat_s: float,
+                  cache_wait_s: float) -> None:
     lease_id = int(message["lease"])
     task = (str(message["exp_id"]), message.get("index"))
     key = keyer.key(task[0], ctx.quick, task[1])
 
     # 1. the coordinator's shared cache (a hit is a "remote" hit)
     if shared_cache:
-        payload = _cache_get(sock, lock, key)
+        payload = _cache_get(sock, lock, key, cache_wait_s)
         if payload is not None:
             _send_result(sock, lock, lease_id, payload=payload,
                          cached="remote")
@@ -227,11 +352,21 @@ def _send_result(sock, lock, lease_id: int, payload=None, snapshot=None,
                           "cached": cached, "error": error})
 
 
-def _cache_get(sock, lock, key: str):
+def _cache_get(sock, lock, key: str, wait_s: float):
+    """Ask the shared cache for ``key``; bounded wait, miss on timeout.
+
+    Under chaos the CACHE reply can be dropped on the wire — waiting
+    forever would wedge the lease past its deadline, so after ``wait_s``
+    the worker treats the query as a miss and computes locally (the
+    result is identical either way; only effort differs)."""
     with lock:
         send_frame(sock, {"type": "CACHE_GET", "key": key})
-    while True:
-        reply = _recv_patiently(sock)
+    deadline = _monotonic() + wait_s
+    while _monotonic() < deadline:
+        try:
+            reply = recv_frame(sock)
+        except socketlib.timeout:
+            continue
         if reply is None:
             raise OSError("coordinator went away during CACHE_GET")
         if reply.get("type") == "CACHE" and reply.get("key") == key:
@@ -239,6 +374,17 @@ def _cache_get(sock, lock, key: str):
         if reply.get("type") == "BYE":
             raise OSError("coordinator said BYE during CACHE_GET")
         # anything else (e.g. a stray CACHE for an old key) is skipped
+    return None
+
+
+def _recv_within(sock, deadline: float) -> Optional[Dict]:
+    """recv_frame bounded by an absolute deadline (None on timeout)."""
+    while _monotonic() < deadline:
+        try:
+            return recv_frame(sock)
+        except socketlib.timeout:
+            continue
+    return None
 
 
 def _recv_patiently(sock) -> Optional[Dict]:
@@ -276,9 +422,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--timeout", type=float, default=60.0,
                         metavar="SECONDS",
                         help="socket timeout (default: %(default)s)")
+    parser.add_argument("--connect-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="give up after this long without a "
+                             "successful coordinator handshake (default: "
+                             f"${CONNECT_BUDGET_ENV} or "
+                             f"{DEFAULT_CONNECT_BUDGET_S:g}s)")
     args = parser.parse_args(argv)
     return serve(args.connect, worker_id=args.worker_id,
-                 cache_dir=args.cache_dir, timeout_s=args.timeout)
+                 cache_dir=args.cache_dir, timeout_s=args.timeout,
+                 connect_budget_s=args.connect_budget)
 
 
 if __name__ == "__main__":

@@ -19,10 +19,13 @@ via a ``PACKET_TWIN`` global; a twin without the pointer, or a pointer
 to a module that no longer exists, orphans the equivalence wall
 (PAR304).
 
-All rules are ``project``-scope: they need the whole file set and
-locate their anchors by path suffix (``repro/sim/_legacy.py``,
+All rules but one are ``project``-scope: they need the whole file set
+and locate their anchors by path suffix (``repro/sim/_legacy.py``,
 ``repro/calibration.py``), which makes them equally happy on the real
-tree and on test fixtures.
+tree and on test fixtures.  PAR306 is the ``file``-scope outlier: it
+polices the distributed harness (``repro/exp/``) itself, banning
+non-monotonic clocks from timeout/lease/backoff arithmetic so the
+chaos and resume walls measure what they think they measure.
 """
 
 from __future__ import annotations
@@ -36,9 +39,21 @@ from ..violations import Violation
 
 __all__ = ["LegacyPatchParity", "FastPumpLegacyTwin",
            "ProfileAttrParity", "FlowPacketTwin",
-           "BackendProtocolSurface"]
+           "BackendProtocolSurface", "MonotonicDurations"]
 
 _LEGACY_SUFFIX = "repro/sim/_legacy.py"
+_EXP_PACKAGE = "repro/exp/"
+#: Clocks that jump on NTP slew/step or timezone churn.  Timeout,
+#: lease, backoff and heartbeat arithmetic in the distributed harness
+#: must come off ``time.monotonic``; ``perf_counter`` is banned too
+#: because it is not comparable across processes, and the harness
+#: routinely hands deadlines from coordinator to worker.
+_NON_MONOTONIC_CLOCKS = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
 _CALIBRATION_SUFFIX = "repro/calibration.py"
 _BACKENDS_BASE_SUFFIX = "repro/exp/backends/base.py"
 _BACKENDS_PACKAGE = "repro/exp/backends/"
@@ -489,3 +504,31 @@ class BackendProtocolSurface(Rule):
                         and isinstance(value.value, str)
                         and value.value != "")
         return False
+
+
+@register
+class MonotonicDurations(Rule):
+    id = "PAR306"
+    name = "monotonic-durations"
+    summary = ("repro/exp/ timeout/lease/backoff arithmetic must read "
+               "time.monotonic, never time.time/perf_counter or "
+               "datetime clocks")
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if _EXP_PACKAGE not in ctx.rel:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = ctx.resolved_call_chain(node.func)
+            if chain not in _NON_MONOTONIC_CLOCKS:
+                continue
+            yield self.violation(
+                ctx, node,
+                f"`{chain}()` in the distributed harness — wall clocks "
+                f"jump on NTP slew and are not comparable across "
+                f"processes, so a lease or connect budget computed from "
+                f"one can expire instantly or never; use "
+                f"time.monotonic() (suppress only for operational "
+                f"metadata such as journal run ids)")

@@ -1,0 +1,29 @@
+"""PAR306 bad fixture: wall-clock deadline math in the harness.
+
+Every non-monotonic read below carries a DET101 suppression so this
+tree trips *exactly* PAR306 — the point under test is the harness-level
+clock-discipline rule, not the simulation-side wall-clock ban.
+"""
+
+import datetime
+import time
+
+
+def lease_deadline(lease_timeout_s):
+    # Jumps backwards on NTP step: the lease can expire instantly.
+    start = time.time()  # repro-lint: disable=DET101 -- fixture: PAR306 is the rule under test
+    return start + lease_timeout_s
+
+
+def elapsed_ns(t0_ns):
+    now = time.time_ns()  # repro-lint: disable=DET101 -- fixture: PAR306 is the rule under test
+    return now - t0_ns
+
+
+def backoff_started():
+    # perf_counter is per-process: a deadline handed to a worker is junk.
+    return time.perf_counter()  # repro-lint: disable=DET101 -- fixture: PAR306 is the rule under test
+
+
+def heartbeat_stamp():
+    return datetime.datetime.now()  # repro-lint: disable=DET101 -- fixture: PAR306 is the rule under test

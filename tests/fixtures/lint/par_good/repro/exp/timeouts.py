@@ -1,0 +1,20 @@
+"""PAR306 good fixture: monotonic duration math, justified stamps.
+
+Duration/deadline arithmetic reads ``time.monotonic`` (still a DET101
+suppression — the simulation-side wall-clock ban covers every host
+clock), and the one wall-clock read is operational metadata with a
+justified double suppression.
+"""
+
+import time
+
+
+def lease_deadline(lease_timeout_s):
+    start = time.monotonic()  # repro-lint: disable=DET101 -- host-side lease clock only
+    return start + lease_timeout_s
+
+
+def journal_stamp():
+    # Wall time is fine here: the stamp labels a journal record for
+    # humans and never feeds a timeout, lease or result.
+    return time.time_ns()  # repro-lint: disable=DET101,PAR306 -- operational journal metadata, not a duration

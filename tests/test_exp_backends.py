@@ -46,7 +46,7 @@ from repro.exp.leases import LeaseTable
 from repro.exp.planner import (RunContext, build_tasks, plan_shards,
                                run_task, shard_of, task_key)
 from repro.exp.protocol import (MAX_FRAME, PROTOCOL_VERSION, ProtocolError,
-                                recv_frame, send_frame)
+                                package_version, recv_frame, send_frame)
 from repro.exp.worker import serve
 
 SUBSET = ["table1", "fig04a", "fig13b"]     # 5 tasks: 2 whole + 3 cells
@@ -311,9 +311,9 @@ def _pair():
 def test_protocol_roundtrip_and_clean_eof():
     a, b = _pair()
     send_frame(a, {"type": "HELLO", "proto": PROTOCOL_VERSION,
-                   "worker": "w"})
+                   "version": package_version(), "worker": "w"})
     assert recv_frame(b) == {"proto": PROTOCOL_VERSION, "type": "HELLO",
-                             "worker": "w"}
+                             "version": package_version(), "worker": "w"}
     a.close()
     assert recv_frame(b) is None                     # EOF at a boundary
     b.close()
@@ -448,6 +448,7 @@ def test_silent_lease_expires_and_reassigns(serial_bytes):
     def silent_client():
         with socketlib.create_connection((host, port), timeout=20.0) as s:
             send_frame(s, {"type": "HELLO", "proto": PROTOCOL_VERSION,
+                           "version": package_version(),
                            "worker": "silent"})
             while True:
                 msg = recv_frame(s)
@@ -487,6 +488,7 @@ def test_duplicate_result_and_stale_heartbeat_converge(monkeypatch,
     def laggard():
         with socketlib.create_connection((host, port), timeout=20.0) as s:
             send_frame(s, {"type": "HELLO", "proto": PROTOCOL_VERSION,
+                           "version": package_version(),
                            "worker": "laggard"})
             lease = None
             while lease is None:

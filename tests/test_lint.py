@@ -32,7 +32,7 @@ load_builtin_rules()
 #: rule id -> fixture stem; PAR rules use whole fixture trees instead.
 FILE_RULES = ["DET101", "DET102", "DET103", "DET104", "DET105",
               "SIM201", "SIM202", "SIM203", "SIM204"]
-PAR_RULES = ["PAR301", "PAR302", "PAR303", "PAR304", "PAR305"]
+PAR_RULES = ["PAR301", "PAR302", "PAR303", "PAR304", "PAR305", "PAR306"]
 
 
 def lint_paths(*paths, select=None, ignore=(), cache=None, root=None):
@@ -63,7 +63,8 @@ def test_good_fixture_is_clean(rule):
                                        ("par302_bad", "PAR302"),
                                        ("par303_bad", "PAR303"),
                                        ("par304_bad", "PAR304"),
-                                       ("par305_bad", "PAR305")])
+                                       ("par305_bad", "PAR305"),
+                                       ("par306_bad", "PAR306")])
 def test_par_bad_tree_triggers_exactly_its_rule(tree, rule):
     report = lint_paths(FIXTURES / tree, root=FIXTURES / tree)
     assert report.violations
@@ -144,6 +145,27 @@ def test_par305_silent_without_base_in_lint_set():
     report = lint_paths(
         FIXTURES / "par305_bad" / "repro" / "exp" / "backends" / "stub.py",
         root=FIXTURES / "par305_bad", select=["PAR305"])
+    assert report.violations == []
+
+
+def test_par306_names_every_banned_clock():
+    report = lint_paths(FIXTURES / "par306_bad",
+                        root=FIXTURES / "par306_bad", select=["PAR306"])
+    messages = "\n".join(v.message for v in report.violations)
+    assert "`time.time()`" in messages
+    assert "`time.time_ns()`" in messages
+    assert "`time.perf_counter()`" in messages
+    assert "`datetime.datetime.now()`" in messages
+    assert len(report.violations) == 4
+
+
+def test_par306_only_polices_the_exp_package(tmp_path):
+    # The same wall-clock read outside repro/exp/ is DET101's business,
+    # not PAR306's.
+    mod = tmp_path / "repro" / "sim" / "bench.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+    report = lint_paths(mod, root=tmp_path, select=["PAR306"])
     assert report.violations == []
 
 
