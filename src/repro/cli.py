@@ -157,7 +157,8 @@ def _cmd_experiments(args) -> int:
                                                if journaling else None),
                                   journal_id=journal_id,
                                   resume=args.resume,
-                                  connect_budget_s=args.connect_budget)
+                                  connect_budget_s=args.connect_budget,
+                                  pipeline=args.pipeline)
     except UnknownExperimentError as exc:
         print(f"repro experiments: {exc}", file=sys.stderr)
         return 2
@@ -288,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "prints the task/shard plan without executing")
     p.add_argument("--workers", type=_positive_int, default=None,
                    help="socket/dryrun worker count (default: --jobs)")
+    p.add_argument("--pipeline", type=_positive_int, default=None,
+                   metavar="N",
+                   help="with --backend socket: force the credit-based "
+                        "lease window (outstanding leases per worker); "
+                        "default derives it from the grid size, "
+                        "degrading to stop-and-wait (1) on tiny grids")
     p.add_argument("--listen", default=None, metavar="HOST:PORT",
                    help="with --backend socket: wait for externally "
                         "started 'repro worker --connect' processes on "

@@ -44,16 +44,19 @@ def create_backend(name: str, *, jobs: int = 1,
                    cache_dir: Optional[str] = None,
                    lease_timeout_s: float = 30.0,
                    chaos: Optional[str] = None,
-                   connect_budget_s: Optional[float] = None
+                   connect_budget_s: Optional[float] = None,
+                   pipeline: Optional[int] = None
                    ) -> ExecutionBackend:
     """Build the backend ``name`` from scheduler/CLI-level knobs.
 
     ``jobs`` sizes the local pool; ``workers`` sizes socket/dry-run
     fan-out (defaulting to ``jobs``); ``listen`` switches the socket
     backend from spawn-local-workers to wait-for-external-workers;
-    ``chaos`` arms a :class:`~repro.exp.chaos.ChaosPlan` proxy and
+    ``chaos`` arms a :class:`~repro.exp.chaos.ChaosPlan` proxy,
     ``connect_budget_s`` bounds the wait for the first worker handshake
-    (both socket-only).
+    and ``pipeline`` forces the credit-based lease window
+    (``--pipeline N``; default derives it from the grid size) — all
+    three socket-only.
     """
     if name not in BACKENDS:
         known = ", ".join(sorted(BACKENDS))
@@ -66,5 +69,6 @@ def create_backend(name: str, *, jobs: int = 1,
                                    cache_dir=cache_dir,
                                    lease_timeout_s=lease_timeout_s,
                                    chaos=chaos,
-                                   connect_budget_s=connect_budget_s)
+                                   connect_budget_s=connect_budget_s,
+                                   pipeline=pipeline)
     return DryRunBackend(workers=n_workers)

@@ -9,8 +9,19 @@ tasks, with exponential backoff.  Completed tasks are never recomputed;
 a task still failing after the attempt budget is yielded as a failed
 outcome and the scheduler decides (raise vs ``keep_going``).
 
+Warm-worker fast paths (the pool twin of the socket backend's wire
+batching): the :class:`~repro.exp.planner.RunContext` is decoded from
+its wire form **once per worker process** — in the pool initializer,
+not per submitted task — and tasks are submitted in chunks so a
+many-tiny-cell grid pays one pickle/unpickle round trip per chunk
+instead of per cell.  ``ctx_decodes`` records the per-pid decode count
+observed by each chunk; the conformance wall asserts it is exactly 1
+everywhere.
+
 Futures are collected in submission (= request) order, never completion
 order, so per-attempt progress and merged metrics stay deterministic.
+A failure inside a chunk is caught per task; only a broken pool fails
+the whole chunk (and the fresh-pool retry resubmits it).
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, Iterator, Sequence
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..chaos import maybe_crash
 from ..planner import RunContext, Task, run_task, task_key
@@ -28,20 +39,33 @@ from .base import ExecutionBackend, TaskOutcome
 
 __all__ = ["LocalPoolBackend"]
 
+#: Per-worker-process state, populated exactly once by the pool
+#: initializer: the decoded run context and how many times it was
+#: decoded in this process (the conformance wall pins that at 1).
+_POOL_STATE: Dict[str, object] = {"ctx": None, "decodes": 0}
+
 
 def _pool_task(task: Task, wire_ctx: Dict):
-    """Top-level worker entry point (must pickle under spawn too)."""
+    """Top-level single-task entry point (kept for API compatibility;
+    decodes per call — the chunked path below is what the backend
+    uses)."""
     return run_task(tuple(task), RunContext.from_wire(wire_ctx))
 
 
-def _pool_init(parent_pid: int) -> None:
-    """Exit the pool worker promptly if the coordinator dies.
+def _pool_init(parent_pid: int, wire_ctx: Dict) -> None:
+    """Per-process setup: parent watchdog + one-time context decode.
 
-    A coordinator killed hard (crash points, OOM, operator SIGKILL)
-    orphans its pool: forked workers inherit the call-queue write ends,
-    so they never see EOF and would idle forever — and hold the
-    coordinator's stdio pipes open, wedging any script that captured
-    them.  A watchdog thread turns that into a fast, silent exit.
+    The watchdog exits the pool worker promptly if the coordinator
+    dies: a coordinator killed hard (crash points, OOM, operator
+    SIGKILL) orphans its pool — forked workers inherit the call-queue
+    write ends, so they never see EOF and would idle forever, holding
+    the coordinator's stdio pipes open.  A watchdog thread turns that
+    into a fast, silent exit.
+
+    The context decode here is the warm-worker fast path: every task
+    this process ever runs shares one decoded
+    :class:`~repro.exp.planner.RunContext` instead of rebuilding it
+    from the wire dict per submit.
     """
     def watch() -> None:
         while True:
@@ -50,6 +74,31 @@ def _pool_init(parent_pid: int) -> None:
             time.sleep(0.5)
     threading.Thread(target=watch, daemon=True,
                      name="parent-watchdog").start()
+    _POOL_STATE["ctx"] = RunContext.from_wire(wire_ctx)
+    _POOL_STATE["decodes"] = int(_POOL_STATE.get("decodes", 0)) + 1
+
+
+def _pool_chunk(chunk: List[Task]) -> Tuple[int, int, List[Tuple]]:
+    """Run a chunk of tasks against the process-wide decoded context.
+
+    Returns ``(pid, decode_count, entries)`` where each entry is
+    ``("ok", payload, snapshot)`` or ``("err", exception)`` — task
+    failures are per-task data, not chunk failures, so one bad cell
+    cannot take its chunk-mates down with it.
+    """
+    ctx = _POOL_STATE.get("ctx")
+    if not isinstance(ctx, RunContext):
+        raise RuntimeError("pool worker was not initialized with a "
+                           "RunContext")
+    entries: List[Tuple] = []
+    for task in chunk:
+        try:
+            payload, snapshot = run_task(tuple(task), ctx)
+        except Exception as exc:        # noqa: BLE001 — judged by parent
+            entries.append(("err", exc))
+        else:
+            entries.append(("ok", payload, snapshot))
+    return os.getpid(), int(_POOL_STATE.get("decodes", 0)), entries
 
 
 class LocalPoolBackend(ExecutionBackend):
@@ -62,6 +111,9 @@ class LocalPoolBackend(ExecutionBackend):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        #: pid → RunContext decode count observed by that worker's
+        #: chunks (the once-per-process test asserts every value is 1)
+        self.ctx_decodes: Dict[int, int] = {}
 
     def run_tasks(self, tasks: Sequence[Task],
                   ctx: RunContext) -> Iterator[TaskOutcome]:
@@ -83,23 +135,37 @@ class LocalPoolBackend(ExecutionBackend):
                                      "worker": "pool",
                                      "attempt": attempts + 1})
                 maybe_crash("backend.lease")
+            max_workers = min(self.jobs, len(pending))
+            # ~4 chunks per worker: big enough to amortise the pickle
+            # round trip on tiny cells, small enough that a straggler
+            # chunk cannot serialise the tail of the sweep
+            chunk_size = max(1, -(-len(pending) // (max_workers * 4)))
+            chunks = [pending[i:i + chunk_size]
+                      for i in range(0, len(pending), chunk_size)]
             with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(pending)),
+                    max_workers=max_workers,
                     initializer=_pool_init,
-                    initargs=(os.getpid(),)) as pool:
-                futures = {task: pool.submit(_pool_task, task, wire_ctx)
-                           for task in pending}
+                    initargs=(os.getpid(), wire_ctx)) as pool:
+                futures = [(chunk, pool.submit(_pool_chunk, chunk))
+                           for chunk in chunks]
                 self._count("leases_issued", len(pending))
-                for task in pending:
+                for chunk, future in futures:
                     try:
-                        payload, snapshot = futures[task].result()
+                        pid, decodes, entries = future.result()
                     except (Exception, BrokenProcessPool) as exc:
-                        errors[task] = exc
-                    else:
-                        self._count("results")
-                        yield TaskOutcome(task, payload=payload,
-                                          snapshot=snapshot,
-                                          attempts=attempts + 1)
+                        for task in chunk:      # the pool died under it
+                            errors[task] = exc
+                        continue
+                    self.ctx_decodes[pid] = max(
+                        self.ctx_decodes.get(pid, 0), decodes)
+                    for task, entry in zip(chunk, entries):
+                        if entry[0] == "ok":
+                            self._count("results")
+                            yield TaskOutcome(task, payload=entry[1],
+                                              snapshot=entry[2],
+                                              attempts=attempts + 1)
+                        else:
+                            errors[task] = entry[1]
             retried = [t for t in pending if t in errors]
             if retried and attempts < ctx.retries:
                 self._count("reassignments", len(retried))

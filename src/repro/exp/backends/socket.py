@@ -11,19 +11,41 @@ drains one sweep through the lease machinery:
   next pending task of its shard first, and steals from the global
   queue when its shard is drained — the sweep finishes whatever
   happens to individual shards;
+* grants are **credit-based pipelined**: each worker may hold up to a
+  window of ``k`` outstanding leases (derived from the grid size, or
+  forced with ``--pipeline N``), so the next task is already queued
+  worker-side when the current one finishes — the static-window
+  stop-and-wait shape the paper's Fig. 5 shows collapsing over WAN
+  never forms.  A grant refills the window whenever a RESULT frees a
+  credit;
 * every grant is a :class:`~repro.exp.leases.Lease` renewed by worker
-  HEARTBEATs; a lease whose deadline passes, or whose worker's
-  connection drops (SIGKILL, network cut), returns its task to the
-  queue for **reassignment** — the PR-3 fresh-pool retry machinery
-  generalised to hosts;
-* workers share the content-addressed cell cache through CACHE_GET /
-  CACHE_PUT: a row any worker ever computed is served back over the
-  wire instead of being recomputed, and hits are counted per kind
-  (``remote``/``local``) in :mod:`repro.obs`;
+  HEARTBEATs — or, while result/cache traffic flows, by the
+  ``holding`` lease-id lists piggybacked on those frames
+  (:meth:`~repro.exp.leases.LeaseTable.renew_worker`), so a busy
+  pipeline never pays for dedicated heartbeat frames.  A lease whose
+  deadline passes, or whose worker's connection drops (SIGKILL,
+  network cut), returns its task to the queue for **reassignment** —
+  the PR-3 fresh-pool retry machinery generalised to hosts;
+* workers share the content-addressed cell cache through the batched
+  CACHE_MGET / CACHE_MPUT frames (a worker's shard keys are announced
+  at WELCOME and prefetched in one round trip; computed rows are
+  published in batches) with single-key CACHE_GET / CACHE_PUT kept for
+  reassigned leases and legacy flows.  A row any worker ever computed
+  is served back over the wire instead of being recomputed, and hits
+  are counted per kind (``remote``/``local``) in :mod:`repro.obs`;
 * malformed frames fail closed: the offending connection is dropped on
   the spot (its leases reassigned), the run continues, and every
   socket carries a timeout so a wedged peer becomes an error, not a
-  hang.
+  hang.  Large frame bodies travel zlib-compressed under the same
+  ``MAX_FRAME``/fail-closed rules (see :mod:`repro.exp.protocol`).
+
+Wire-efficiency accounting: ``round_trips`` counts the exchanges where
+the coordinator was on a worker's critical path — a blocking
+CACHE_GET, a batched CACHE_MGET, or a grant to a worker that had
+drained its window and sat idle waiting (``grant_wait``).  The
+stop-and-wait protocol paid ~2 per task; the pipelined one amortises
+grants and cache queries across the window, which is what
+``tools/bench_sched.py`` gates on.
 
 Determinism: none of this machinery touches result *values*.  Tasks
 are idempotent pure functions of (experiment, cell, context), so
@@ -34,6 +56,7 @@ the scheduler reassembles them in request order.
 
 from __future__ import annotations
 
+import json
 import os
 import selectors
 import socket as socketlib
@@ -46,9 +69,9 @@ from ..cache import CellCache
 from ..chaos import ChaosPlan, ChaosProxy, maybe_crash
 from ..leases import LeaseTable
 from ..planner import RunContext, Task, plan_shards, task_key
-from ..protocol import (MAX_FRAME, PROTOCOL_VERSION, ProtocolError,
-                        VersionMismatchError, check_versions, decode_body,
-                        package_version, send_frame)
+from ..protocol import (COMPRESS_MAGIC, MAX_FRAME, PROTOCOL_VERSION,
+                        ProtocolError, VersionMismatchError, check_versions,
+                        decode_body, encode_frame, package_version)
 from ..worker import CONNECT_BUDGET_ENV
 from .base import ExecutionBackend, TaskOutcome
 
@@ -59,6 +82,17 @@ __all__ = ["SocketWorkerBackend", "RemoteTaskError", "NoWorkersError",
 IO_TIMEOUT_ENV = "REPRO_EXP_IO_TIMEOUT_S"
 _DEFAULT_IO_TIMEOUT_S = 60.0
 _LEN_BYTES = 4
+
+#: Ceiling on the credit window when derived from the grid size.
+_MAX_WINDOW = 16
+
+#: Ceiling on the shard task list announced in WELCOME for prefetch.
+_PREFETCH_CAP = 4096
+
+#: Soft per-frame budget when chunking a batched CACHE reply
+#: (estimated on raw JSON; compression only shrinks from here, and
+#: 4 MiB raw stays far under MAX_FRAME even when incompressible).
+_MGET_CHUNK_BYTES = 4 * 1024 * 1024
 
 
 class RemoteTaskError(RuntimeError):
@@ -106,15 +140,19 @@ def _now() -> float:
 class _Conn:
     """Per-worker connection state on the coordinator."""
 
-    __slots__ = ("sock", "buffer", "worker", "slot", "busy", "helloed",
-                 "suspect")
+    __slots__ = ("sock", "buffer", "worker", "slot", "outstanding",
+                 "done", "helloed", "suspect")
 
     def __init__(self, sock: socketlib.socket):
         self.sock = sock
         self.buffer = b""
         self.worker: Optional[str] = None
         self.slot: Optional[int] = None
-        self.busy = False
+        #: leases currently in flight to this worker (credit window use)
+        self.outstanding = 0
+        #: RESULT frames received — a grant to a worker with ``done > 0``
+        #: and an empty pipeline means it sat idle waiting on us
+        self.done = 0
         self.helloed = False
         #: leases of ours that expired (a silent or deaf worker);
         #: healthy peers are granted requeued work first
@@ -140,11 +178,23 @@ class SocketWorkerBackend(ExecutionBackend):
                  lease_timeout_s: float = 30.0,
                  connect_grace_s: Optional[float] = None,
                  chaos: Union[str, ChaosPlan, None] = None,
-                 connect_budget_s: Optional[float] = None):
+                 connect_budget_s: Optional[float] = None,
+                 pipeline: Optional[int] = None,
+                 prefetch: bool = True):
         super().__init__()
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if pipeline is not None and pipeline < 1:
+            raise ValueError(f"pipeline must be >= 1, got {pipeline}")
         self.workers = workers
+        #: forced credit window (``--pipeline N``); None derives it
+        #: from the grid size per run
+        self.pipeline = pipeline
+        #: announce shard task lists at WELCOME so workers prefetch
+        #: their keys in one CACHE_MGET (False restores the per-cell
+        #: blocking CACHE_GET — the stop-and-wait baseline the
+        #: scheduler bench compares against)
+        self.prefetch = prefetch
         self.spawn = (listen is None) if spawn is None else spawn
         self.lease_timeout_s = lease_timeout_s
         self.io_timeout_s = _io_timeout_s()
@@ -190,11 +240,13 @@ class SocketWorkerBackend(ExecutionBackend):
         lease_tasks: Dict[int, Task] = {}
         errors: Dict[Task, str] = {}
         heartbeat_s = max(self.lease_timeout_s / 3.0, 0.05)
+        window = self._window(len(tasks))
         welcome_base = {"type": "WELCOME", "proto": PROTOCOL_VERSION,
                         "version": package_version(),
                         "workers": self.workers,
                         "heartbeat_s": heartbeat_s,
                         "cache": self.cell_cache is not None,
+                        "pipeline": window,
                         "ctx": ctx.to_wire()}
 
         sel = selectors.DefaultSelector()
@@ -210,26 +262,43 @@ class SocketWorkerBackend(ExecutionBackend):
         tick = min(0.25, max(self.lease_timeout_s / 4.0, 0.02))
 
         def grant(conn: _Conn) -> None:
-            if conn.busy or not conn.helloed:
+            """Refill ``conn``'s credit window from the pending queue."""
+            if not conn.helloed:
                 return
-            prefer = shards[conn.slot] if conn.slot is not None else None
-            lease = table.issue(conn.worker, _now(), prefer_shard=prefer)
-            if lease is None:
-                return
-            lease_tasks[lease.lease_id] = lease.task
-            exp_id, index = lease.task
-            self._journal_event({"type": "lease",
-                                 "task": task_key(lease.task),
-                                 "worker": str(conn.worker),
-                                 "lease": lease.lease_id,
-                                 "attempt": lease.attempt})
-            maybe_crash("backend.lease")
-            if self._send(conn, {"type": "LEASE", "lease": lease.lease_id,
-                                 "exp_id": exp_id, "index": index}):
-                conn.busy = True
-                self._count("leases_issued")
-            else:
-                drop(conn, "send failed")
+            was_idle = conn.outstanding == 0
+            granted = 0
+            while conn.outstanding < window:
+                prefer = (shards[conn.slot] if conn.slot is not None
+                          else None)
+                lease = table.issue(conn.worker, _now(),
+                                    prefer_shard=prefer)
+                if lease is None:
+                    break
+                lease_tasks[lease.lease_id] = lease.task
+                exp_id, index = lease.task
+                self._journal_event({"type": "lease",
+                                     "task": task_key(lease.task),
+                                     "worker": str(conn.worker),
+                                     "lease": lease.lease_id,
+                                     "attempt": lease.attempt})
+                maybe_crash("backend.lease")
+                if self._send(conn, {"type": "LEASE",
+                                     "lease": lease.lease_id,
+                                     "exp_id": exp_id, "index": index,
+                                     "attempt": lease.attempt}):
+                    if conn.outstanding >= 1:
+                        self._count("leases_pipelined")
+                    conn.outstanding += 1
+                    granted += 1
+                    self._count("leases_issued")
+                else:
+                    drop(conn, "send failed")
+                    return
+            if was_idle and granted and conn.done:
+                # the worker had drained its whole window and sat
+                # waiting on this grant — one coordinator round trip
+                # the pipelining failed to hide
+                self._count("round_trips", kind="grant_wait")
 
         def drop(conn: _Conn, why: str) -> None:
             if conn not in conns:
@@ -291,12 +360,15 @@ class SocketWorkerBackend(ExecutionBackend):
                                 cause="expiry")
                     last_progress = now
                     # the holder may still be connected but never saw
-                    # (or lost) the LEASE frame — it is grantable again,
+                    # (or lost) the LEASE frame — its credits come back,
                     # but healthy peers get requeued work first
-                    lost = {lease.worker for lease in expired}
+                    lost: Dict[str, int] = {}
+                    for lease in expired:
+                        lost[lease.worker] = lost.get(lease.worker, 0) + 1
                     for conn in conns:
                         if conn.worker in lost:
-                            conn.busy = False
+                            conn.outstanding = max(
+                                0, conn.outstanding - lost[conn.worker])
                             conn.suspect += 1
                 # idle workers pick up requeued / remaining work
                 # (least-suspect first, so a silent lease-holder cannot
@@ -339,10 +411,27 @@ class SocketWorkerBackend(ExecutionBackend):
                 "n_tasks": len(tasks),
                 "listen": f"{self.address[0]}:{self.address[1]}",
                 "spawn": self.spawn,
+                "pipeline": self._window(len(tasks)),
+                "prefetch": self.prefetch and self.cell_cache is not None,
                 "shards": self._shard_plan(tasks, ctx, self.workers)}
         if self.chaos_plan is not None:
             plan["chaos"] = self.chaos_plan.to_spec()
         return plan
+
+    def _window(self, n_tasks: int) -> int:
+        """The credit window for a run of ``n_tasks``.
+
+        Deterministic in the grid shape: half the per-worker task
+        share, clamped to [1, 16].  Small grids (fewer than two tasks
+        per window slot) degrade to the stop-and-wait window of 1 —
+        pipelining buys nothing when every worker gets a handful of
+        long tasks, and the conformance wall's failure scenarios keep
+        their single-lease timing.  ``pipeline`` (``--pipeline N``)
+        overrides unconditionally.
+        """
+        if self.pipeline is not None:
+            return self.pipeline
+        return max(1, min(_MAX_WINDOW, n_tasks // (2 * self.workers)))
 
     def close(self) -> None:
         if self.proxy is not None:
@@ -362,6 +451,13 @@ class SocketWorkerBackend(ExecutionBackend):
         except (BlockingIOError, OSError):
             return
         sock.settimeout(self.io_timeout_s)
+        try:
+            # Pipelined grants stream small frames back-to-back; Nagle
+            # plus delayed ACKs would stall every batch ~40ms.
+            sock.setsockopt(socketlib.IPPROTO_TCP,
+                            socketlib.TCP_NODELAY, 1)
+        except OSError:
+            pass        # e.g. AF_UNIX in tests: no TCP layer to tune
         conn = _Conn(sock)
         conns.append(conn)
         sel.register(sock, selectors.EVENT_READ, conn)
@@ -386,6 +482,8 @@ class SocketWorkerBackend(ExecutionBackend):
                 return
             body = conn.buffer[_LEN_BYTES:_LEN_BYTES + length]
             conn.buffer = conn.buffer[_LEN_BYTES + length:]
+            if body[:1] == COMPRESS_MAGIC:
+                self._count("frames_compressed")
             yield decode_body(body)
 
     def _handle(self, message: Dict, conn: _Conn, table: LeaseTable,
@@ -412,28 +510,47 @@ class SocketWorkerBackend(ExecutionBackend):
             self._count("workers_joined")
             welcome = dict(welcome_base)
             welcome["slot"] = conn.slot
+            if (self.prefetch and self.cell_cache is not None
+                    and conn.slot is not None):
+                # announce the worker's shard so it can prefetch every
+                # key it is likely to be granted in one CACHE_MGET
+                welcome["prefetch"] = [
+                    [exp_id, index] for exp_id, index
+                    in shards[conn.slot][:_PREFETCH_CAP]]
             if self._send(conn, welcome):
                 grant(conn)
             return None
         if not conn.helloed:
             raise ProtocolError(f"{mtype} before HELLO")
         if mtype == "HEARTBEAT":
-            if table.heartbeat(int(message.get("lease", -1)), _now()):
+            now = _now()
+            renewed = 0
+            if "holding" in message:
+                renewed = self._renew_holding(message, conn, table)
+            if message.get("lease") is not None:
+                if table.heartbeat(_lease_id_of(message), now):
+                    renewed += 1
+            if renewed:
                 self._count("heartbeats")
             else:
                 self._count("stale_heartbeats")
             return None
         if mtype == "CACHE_GET":
+            self._renew_holding(message, conn, table)
+            self._count("round_trips", kind="cache_get")
             payload = None
             if self.cell_cache is not None:
                 payload = self.cell_cache.load(str(message.get("key", "")))
-            if payload is not None:
-                self._count_cache_hit("remote")
             self._send(conn, {"type": "CACHE",
                               "key": message.get("key"),
                               "payload": payload})
             return None
+        if mtype == "CACHE_MGET":
+            self._renew_holding(message, conn, table)
+            self._handle_mget(message, conn)
+            return None
         if mtype == "CACHE_PUT":
+            self._renew_holding(message, conn, table)
             if self.cell_cache is not None:
                 try:
                     self.cell_cache.save(str(message.get("key", "")),
@@ -442,6 +559,19 @@ class SocketWorkerBackend(ExecutionBackend):
                 except (ValueError, OSError):
                     pass        # bad key/disk trouble: cache is advisory
             return None
+        if mtype == "CACHE_MPUT":
+            self._renew_holding(message, conn, table)
+            entries = message.get("entries")
+            if not isinstance(entries, dict):
+                raise ProtocolError("CACHE_MPUT entries must be an object")
+            if self.cell_cache is not None:
+                for key in sorted(entries):
+                    try:
+                        self.cell_cache.save(str(key), entries[key])
+                        self._count("cache_publishes")
+                    except (ValueError, OSError):
+                        pass    # advisory, same as CACHE_PUT
+            return None
         if mtype == "RESULT":
             return self._handle_result(message, conn, table, lease_tasks,
                                        errors, grant)
@@ -449,12 +579,69 @@ class SocketWorkerBackend(ExecutionBackend):
             raise _Eof()
         raise ProtocolError(f"unexpected {mtype} from a worker")
 
+    def _handle_mget(self, message: Dict, conn: _Conn) -> None:
+        """Answer a batched cache query in as few frames as possible.
+
+        One CACHE_MGET collapses what used to be one blocking round
+        trip per cell.  Replies are chunked by estimated body size so
+        a shard of large rows never produces an over-``MAX_FRAME``
+        frame; the final chunk carries ``eom`` so the worker knows the
+        batch is complete.
+        """
+        keys = message.get("keys")
+        if not isinstance(keys, list):
+            raise ProtocolError("CACHE_MGET keys must be a list")
+        self._count("round_trips", kind="cache_mget")
+        entries: Dict[str, object] = {}
+        estimate = 0
+        for key in keys:
+            key = str(key)
+            payload = (self.cell_cache.load(key)
+                       if self.cell_cache is not None else None)
+            if payload is not None:
+                self._count("cache_prefetch_hits")
+                estimate += len(json.dumps(payload, sort_keys=True,
+                                           separators=(",", ":")))
+            entries[key] = payload
+            estimate += len(key) + 16
+            if estimate >= _MGET_CHUNK_BYTES:
+                if not self._send(conn, {"type": "CACHE",
+                                         "entries": entries,
+                                         "eom": False}):
+                    return
+                entries, estimate = {}, 0
+        self._send(conn, {"type": "CACHE", "entries": entries,
+                          "eom": True})
+
+    def _renew_holding(self, message: Dict, conn: _Conn,
+                       table: LeaseTable) -> int:
+        """Piggybacked liveness: renew the leases a worker says it holds.
+
+        Worker frames carry ``"holding"`` — every lease id queued or
+        computing on that worker — so result/cache traffic keeps the
+        whole pipeline alive without dedicated HEARTBEAT frames.  Only
+        the listed leases are renewed (and only this worker's): a LEASE
+        frame lost on the wire is held by nobody and must still expire.
+        """
+        holding = message.get("holding")
+        if holding is None:
+            return 0
+        if not isinstance(holding, list):
+            raise ProtocolError("holding must be a list of lease ids")
+        try:
+            ids = [int(h) for h in holding]
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed holding list: {exc}") from exc
+        return table.renew_worker(str(conn.worker), _now(), holding=ids)
+
     def _handle_result(self, message: Dict, conn: _Conn, table: LeaseTable,
                        lease_tasks: Dict[int, Task],
                        errors: Dict[Task, str],
                        grant) -> Optional[TaskOutcome]:
-        conn.busy = False
-        lease_id = int(message.get("lease", -1))
+        conn.outstanding = max(0, conn.outstanding - 1)
+        conn.done += 1
+        self._renew_holding(message, conn, table)
+        lease_id = _lease_id_of(message)
         task = lease_tasks.get(lease_id)
         if task is None:
             raise ProtocolError(f"RESULT for unknown lease {lease_id}")
@@ -475,6 +662,12 @@ class SocketWorkerBackend(ExecutionBackend):
         cached = message.get("cached")
         if cached == "local":
             self._count_cache_hit("local")
+        elif cached == "remote":
+            # counted on the RESULT, not when answering CACHE_GET /
+            # CACHE_MGET: a prefetched key only becomes a *hit* when a
+            # lease is actually served from it, and duplicates have
+            # already been filtered above
+            self._count_cache_hit("remote")
         if (self.cell_cache is not None and cached is None
                 and message.get("key")):
             try:        # publish computed rows the worker didn't PUT
@@ -489,9 +682,12 @@ class SocketWorkerBackend(ExecutionBackend):
 
     def _send(self, conn: _Conn, message: Dict) -> bool:
         try:
+            frame, compressed = encode_frame(message)
             conn.sock.setblocking(True)
             conn.sock.settimeout(self.io_timeout_s)
-            send_frame(conn.sock, message)
+            conn.sock.sendall(frame)
+            if compressed:
+                self._count("frames_compressed")
             return True
         except (OSError, ProtocolError):
             return False
@@ -547,6 +743,14 @@ class SocketWorkerBackend(ExecutionBackend):
     @property
     def worker_pids(self) -> List[int]:
         return [p.pid for p in self._procs if p.poll() is None]
+
+
+def _lease_id_of(message: Dict) -> int:
+    """The frame's lease id, failing closed on non-integer garbage."""
+    try:
+        return int(message.get("lease", -1))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed lease id: {exc}") from exc
 
 
 class _Eof(Exception):

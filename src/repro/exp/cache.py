@@ -36,7 +36,7 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..core import registry
 from ..core.registry import ExperimentResult
@@ -62,17 +62,33 @@ def _function_source(fn) -> str:
         return repr(fn)
 
 
+#: Digest memo keyed by exp_id, holding the exact registered objects
+#: it was computed from.  Within one process an experiment's source
+#: cannot change without re-registering (a new runner/plan object), so
+#: identity checks make invalidation exact — and a warm worker stops
+#: paying ``inspect.getsource`` file I/O for every cell of a sweep.
+_DIGEST_MEMO: Dict[str, Tuple[Any, Any, str]] = {}
+
+
 def source_digest(exp_id: str) -> str:
     """SHA-256 over the source of everything ``exp_id`` executes
     directly: its registered body and, if it is a cell-decomposed
-    sweep, the cell plan's parameter and row functions."""
+    sweep, the cell plan's parameter and row functions.  Memoized per
+    registered (runner, plan) pair — cache keys are computed once per
+    cell per worker, and the sources cannot change under a live
+    registration."""
     runner = registry.EXPERIMENTS[exp_id]
-    parts = [_function_source(getattr(runner, "raw_fn", runner))]
     plan = registry.CELL_PLANS.get(exp_id)
+    memo = _DIGEST_MEMO.get(exp_id)
+    if memo is not None and memo[0] is runner and memo[1] is plan:
+        return memo[2]
+    parts = [_function_source(getattr(runner, "raw_fn", runner))]
     if plan is not None:
         parts.append(_function_source(plan.params_of))
         parts.append(_function_source(plan.run_cell))
-    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+    digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+    _DIGEST_MEMO[exp_id] = (runner, plan, digest)
+    return digest
 
 
 def _package_version() -> str:

@@ -357,7 +357,12 @@ class ChaosProxy:
     in either direction passes through a :class:`FrameInjector`.  The
     proxy parses the length-prefix framing (it must, to make per-frame
     decisions) but treats bodies as opaque except for a best-effort
-    ``"type"`` peek used by heartbeat delays and the event log.
+    ``"type"`` peek used by heartbeat delays and the event log.  The
+    peek goes through :func:`~repro.exp.protocol.decode_body`, so
+    zlib-compressed bodies (the batched CACHE_MGET/MPUT fast path)
+    still produce typed events; corrupting one flips its magic byte
+    into garbage, which the receiver rejects fail-closed exactly like
+    corrupted JSON.
     """
 
     def __init__(self, plan: ChaosPlan, target: Tuple[str, int],
@@ -416,6 +421,13 @@ class ChaosProxy:
                 continue
             client.settimeout(0.2)
             upstream.settimeout(0.2)
+            for sock in (client, upstream):
+                try:
+                    # keep the proxy hop as Nagle-free as the real link
+                    sock.setsockopt(socketlib.IPPROTO_TCP,
+                                    socketlib.TCP_NODELAY, 1)
+                except OSError:
+                    pass
             with self._lock:
                 conn_index = self._conn_seq
                 self._conn_seq += 1

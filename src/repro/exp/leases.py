@@ -170,6 +170,39 @@ class LeaseTable:
         self.stats["heartbeats"] += 1
         return True
 
+    def renew_worker(self, worker: str, now: float,
+                     holding: Optional[Sequence[int]] = None) -> int:
+        """Piggybacked liveness: renew ``worker``'s active leases.
+
+        With lease pipelining a worker holds a *queue* of leases while
+        computing the head one, and RESULT/CACHE traffic for the head
+        proves the whole queue is alive — so those frames carry a
+        ``holding`` list and the coordinator renews exactly the listed
+        leases (never leases of other workers: a confused or malicious
+        peer cannot keep someone else's lease alive).  ``holding=None``
+        renews everything the worker holds.
+
+        Renewing only what the worker *says* it holds matters: a LEASE
+        frame dropped on the wire is queued nowhere, so it must be
+        allowed to expire and reassign — blanket renewal on any frame
+        would keep it alive forever and stall the sweep.
+
+        Returns the number of leases renewed (0 means every listed id
+        was stale — expired, reassigned, or never this worker's).
+        """
+        wanted = None if holding is None else set(holding)
+        renewed = 0
+        for lease in self._active.values():
+            if lease.worker != worker:
+                continue
+            if wanted is not None and lease.lease_id not in wanted:
+                continue
+            lease.deadline = now + self.lease_timeout_s
+            renewed += 1
+        if renewed:
+            self.stats["renewals"] = self.stats.get("renewals", 0) + renewed
+        return renewed
+
     def complete(self, lease_id: int, task: Task) -> str:
         """Record a RESULT; returns ``"ok"``, ``"duplicate"`` or ``"late"``.
 

@@ -129,6 +129,7 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
                     journal_id: Optional[str] = None,
                     resume: Optional[str] = None,
                     connect_budget_s: Optional[float] = None,
+                    pipeline: Optional[int] = None,
                     ) -> List[ExperimentResult]:
     """Run experiments, optionally cached, in parallel, and hardened.
 
@@ -174,6 +175,9 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
     ``connect_budget_s`` bounds the socket backend's wait for a first
     worker handshake; when the scheduler owns the backend it then falls
     back to the local pool with a warning instead of failing the sweep.
+    ``pipeline`` forces the socket backend's credit-based lease window
+    (``--pipeline N``); by default the window derives from the grid
+    size, degrading to stop-and-wait on tiny grids.
     """
     journal: Optional[RunJournal] = None
     plan_rec: Optional[Dict] = None
@@ -270,7 +274,8 @@ def run_experiments(ids: Sequence[str] = (), quick: bool = True,
                     backend or "local", jobs=min(jobs, max(n_tasks, 1)),
                     workers=workers, listen=listen,
                     cache_dir=cell_cache_dir, chaos=chaos_spec,
-                    connect_budget_s=connect_budget_s)
+                    connect_budget_s=connect_budget_s,
+                    pipeline=pipeline)
                 owned = True
             if journal is not None:
                 exec_backend.attach_journal(journal)

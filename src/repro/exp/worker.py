@@ -10,15 +10,29 @@ at the same version, and point them at a coordinator
 
 The worker speaks the length-prefixed JSON protocol of
 :mod:`repro.exp.protocol`: HELLO, receive the WELCOME run context,
-then drain LEASEs — for each one it first queries the coordinator's
-shared content-addressed cell cache (CACHE_GET), falls back to its own
-local cache directory when given ``--cache-dir``, and only then
-computes the task via the same :func:`repro.exp.planner.run_task` body
-every other backend uses.  Computed payloads are published back
-(CACHE_PUT) before the RESULT, so a row one worker computed is a
-remote hit for every other.  While computing, a background thread
-renews the lease with HEARTBEATs; a worker that dies mid-task simply
-stops heartbeating and the coordinator reassigns.
+then drain LEASEs.  The coordinator pipelines grants (a credit window
+of leases is in flight at once), so the worker keeps a local queue:
+frames arriving while a task computes are filed, and the next task
+starts without waiting for a fresh grant.
+
+Cache traffic is batched.  When the WELCOME announces the worker's
+shard, every shard key is prefetched up front in chunked CACHE_MGET
+round trips — the per-cell blocking CACHE_GET only survives for
+*reassigned* leases (``attempt > 1``), where another worker may have
+published the row between its crash and our grant (and as the
+fallback when prefetch is disabled).  Computed payloads are published
+in batched CACHE_MPUT frames flushed **before** the batch's RESULTs,
+preserving the publish-then-report ordering the crash-window tests
+pin.  A worker given ``--cache-dir`` also consults and fills its own
+local cache.
+
+Liveness is piggybacked: every outgoing result/cache frame carries
+``holding`` — the lease ids queued or computing here — and the
+coordinator renews exactly those.  A single session-wide heartbeat
+thread covers the quiet stretches (long computes), staying silent
+whenever traffic flowed within the last interval; a worker that dies
+mid-pipeline simply stops reporting and the coordinator reassigns its
+whole window.
 
 Reconnect: a worker started before the coordinator is listening, or
 whose connection drops mid-run (network cut, chaos proxy reset),
@@ -55,11 +69,13 @@ from __future__ import annotations
 
 import argparse
 import os
+import select
 import socket as socketlib
 import sys
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..sim.rng import RngRegistry
 from .cache import DEFAULT_CACHE_DIR, CellCache
@@ -80,6 +96,14 @@ DEFAULT_CONNECT_BUDGET_S = 60.0
 #: Backoff shape: 50 ms doubling to a 2 s cap, times jitter in [0.5, 1.5).
 _BACKOFF_BASE_S = 0.05
 _BACKOFF_CAP_S = 2.0
+
+#: Keys per CACHE_MGET chunk during the WELCOME-time prefetch.
+_MGET_BATCH = 64
+
+#: Publish/report sub-batch: with a drained queue results go out
+#: immediately (exactly the old per-lease pattern); with a deep
+#: pipeline up to this many results amortise one CACHE_MPUT flush.
+_PUT_BATCH = 4
 
 
 def _monotonic() -> float:
@@ -115,28 +139,77 @@ def _claim_chaos_death() -> bool:
     return True
 
 
-class _Heartbeat:
-    """Background lease renewal while the main thread computes."""
+class _Link:
+    """The send side of one session: socket, lock, and lease ledger.
 
-    def __init__(self, sock: socketlib.socket, lock: threading.Lock,
-                 lease_id: int, interval_s: float):
-        self._sock = sock
-        self._lock = lock
-        self._lease_id = lease_id
+    ``holding`` is every lease id this worker has queued or is
+    computing; outgoing frames piggyback it so the coordinator can
+    renew the whole pipeline from ordinary traffic.  ``last_tx`` lets
+    the heartbeat thread stay silent while traffic flows.
+    """
+
+    def __init__(self, sock: socketlib.socket, lock: threading.Lock):
+        self.sock = sock
+        self.lock = lock
+        self.holding: set = set()
+        self.current: Optional[int] = None
+        self.last_tx = _monotonic()
+
+    def send(self, message: Dict, piggyback: bool = True) -> None:
+        with self.lock:
+            if piggyback and self.holding and "holding" not in message:
+                message = dict(message)
+                message["holding"] = sorted(self.holding)
+            send_frame(self.sock, message)
+            self.last_tx = _monotonic()
+
+    def add_holding(self, lease_id: int) -> None:
+        with self.lock:
+            self.holding.add(lease_id)
+
+    def settle(self, lease_id: int) -> None:
+        """The lease's RESULT is about to go out: stop claiming it."""
+        with self.lock:
+            self.holding.discard(lease_id)
+            if self.current == lease_id:
+                self.current = None
+
+
+class _SessionHeartbeat:
+    """Session-wide lease renewal, suppressed while frames flow.
+
+    One thread for the whole session (not one per lease): every
+    interval it reports the full ``holding`` list, keeping *queued*
+    leases alive while the head of the pipeline computes.  It stays
+    silent whenever any frame went out within the last interval —
+    result/cache traffic piggybacks the same list, so a busy pipeline
+    heartbeats for free.
+    """
+
+    def __init__(self, link: _Link, interval_s: float):
+        self._link = link
         self._interval_s = max(interval_s, 0.01)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval_s):
+            with self._link.lock:
+                holding = sorted(self._link.holding)
+                current = self._link.current
+                recent = (_monotonic() - self._link.last_tx
+                          < self._interval_s)
+            if not holding or recent:
+                continue
+            message: Dict = {"type": "HEARTBEAT", "holding": holding}
+            if current is not None:
+                message["lease"] = current
             try:
-                with self._lock:
-                    send_frame(self._sock, {"type": "HEARTBEAT",
-                                            "lease": self._lease_id})
+                self._link.send(message, piggyback=False)
             except OSError:
                 return
 
-    def __enter__(self) -> "_Heartbeat":
+    def __enter__(self) -> "_SessionHeartbeat":
         self._thread.start()
         return self
 
@@ -183,6 +256,11 @@ def serve(connect: str, worker_id: Optional[str] = None,
             try:
                 sock = socketlib.create_connection(address,
                                                    timeout=timeout_s)
+                # Result/cache batches are back-to-back small writes;
+                # without TCP_NODELAY, Nagle + delayed ACKs stall each
+                # flush ~40ms and erase the pipelining win.
+                sock.setsockopt(socketlib.IPPROTO_TCP,
+                                socketlib.TCP_NODELAY, 1)
             except OSError as exc:
                 now = _monotonic()
                 if deadline is None:
@@ -251,11 +329,10 @@ def _session(sock: socketlib.socket, worker_id: str,
     Raises :class:`_FatalRejection`/:class:`VersionMismatchError` when
     retrying cannot help.
     """
-    lock = threading.Lock()
-    with lock:
-        send_frame(sock, {"type": "HELLO", "proto": PROTOCOL_VERSION,
-                          "version": package_version(),
-                          "worker": worker_id})
+    link = _Link(sock, threading.Lock())
+    link.send({"type": "HELLO", "proto": PROTOCOL_VERSION,
+               "version": package_version(), "worker": worker_id},
+              piggyback=False)
     welcome = _recv_within(sock, deadline)
     if welcome is None:
         return "retry"
@@ -274,93 +351,254 @@ def _session(sock: socketlib.socket, worker_id: str,
     shared_cache = bool(welcome.get("cache"))
     heartbeat_s = float(welcome.get("heartbeat_s", 5.0))
     cache_wait_s = max(heartbeat_s * 4, 1.0)
+    announce = welcome.get("prefetch")
+    prefetch_mode = isinstance(announce, list)
+    pending: Deque[Dict] = deque()
     with _apply_context(ctx):
-        while True:
-            message = _recv_patiently(sock)
-            if message is None:
-                return "welcomed-retry"
-            if message.get("type") == "BYE":
-                error = message.get("error")
-                if error:
-                    raise _FatalRejection(str(error))
-                return "done"
-            if message.get("type") != "LEASE":
-                continue        # coordinator-side noise; ignore
-            _handle_lease(sock, lock, message, ctx, shared_cache,
-                          local_cache, keyer, heartbeat_s, cache_wait_s)
+        with _SessionHeartbeat(link, heartbeat_s):
+            announced = _announced_keys(announce, keyer, ctx) \
+                if prefetch_mode else set()
+            prefetched: Dict[str, object] = {}
+            if shared_cache and announced:
+                prefetched = _prefetch(sock, link, pending,
+                                       sorted(announced), cache_wait_s)
+            while True:
+                if not pending:
+                    message = _recv_patiently(sock)
+                    status = _route(message, pending, link)
+                    if status is not None:
+                        return status
+                status = _drain_ready(sock, pending, link)
+                if status is not None:
+                    return status
+                _process_batch(sock, link, pending, ctx, shared_cache,
+                               prefetch_mode, announced, prefetched,
+                               local_cache, keyer, cache_wait_s)
 
 
-def _handle_lease(sock, lock, message: Dict, ctx: RunContext,
-                  shared_cache: bool, local_cache: Optional[CellCache],
-                  keyer: CellCache, heartbeat_s: float,
-                  cache_wait_s: float) -> None:
-    lease_id = int(message["lease"])
-    task = (str(message["exp_id"]), message.get("index"))
-    key = keyer.key(task[0], ctx.quick, task[1])
+def _route(message: Optional[Dict], pending: Deque[Dict],
+           link: _Link) -> Optional[str]:
+    """File one incoming frame; returns a session status when it ends
+    the session, ``None`` when draining should continue.
 
-    # 1. the coordinator's shared cache (a hit is a "remote" hit)
-    if shared_cache:
-        payload = _cache_get(sock, lock, key, cache_wait_s)
+    LEASE frames join the local queue (and the holding ledger, so the
+    heartbeat thread keeps them alive before they even start); stray
+    frames — e.g. a chaos-duplicated CACHE reply for a finished wait —
+    are dropped, never misfiled.
+    """
+    if message is None:
+        return "welcomed-retry"
+    mtype = message.get("type")
+    if mtype == "BYE":
+        error = message.get("error")
+        if error:
+            raise _FatalRejection(str(error))
+        return "done"
+    if mtype == "LEASE":
+        pending.append(message)
+        link.add_holding(int(message["lease"]))
+    return None
+
+
+def _drain_ready(sock: socketlib.socket, pending: Deque[Dict],
+                 link: _Link) -> Optional[str]:
+    """Queue every frame already arriving on the socket, non-blocking.
+
+    ``select`` with a zero timeout tells us a frame has *started* to
+    arrive; :func:`recv_frame` then blocks (under the socket timeout)
+    only for the remainder of that frame — parser state never
+    fragments the way a truly non-blocking read could.
+    """
+    while select.select([sock], [], [], 0)[0]:
+        status = _route(recv_frame(sock), pending, link)
+        if status is not None:
+            return status
+    return None
+
+
+def _announced_keys(announce, keyer: CellCache, ctx: RunContext) -> set:
+    """Cache keys for the WELCOME's shard announcement.
+
+    The set doubles as the "known at WELCOME time" ledger: a lease for
+    a key *outside* it (work stolen from another worker's shard) still
+    gets the blocking CACHE_GET fallback, since our prefetch never
+    asked about it.
+    """
+    if not isinstance(announce, list):
+        return set()
+    keys = set()
+    for entry in announce:
+        try:
+            exp_id, index = entry
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed prefetch entry {entry!r}") from exc
+        keys.add(keyer.key(str(exp_id), ctx.quick, index))
+    return keys
+
+
+def _prefetch(sock: socketlib.socket, link: _Link, pending: Deque[Dict],
+              keys: List[str], wait_s: float) -> Dict[str, object]:
+    """Warm a session-local cache with our shard's keys.
+
+    Chunked CACHE_MGET round trips replace what was one blocking
+    CACHE_GET per cell.  Replies are merged until the ``eom`` chunk;
+    an unanswered chunk (chaos can drop either frame) times out as
+    all-miss — the worker just computes those cells, byte-identically.
+    LEASE frames arriving mid-wait are queued, never lost.
+    """
+    found: Dict[str, object] = {}
+    for start in range(0, len(keys), _MGET_BATCH):
+        link.send({"type": "CACHE_MGET",
+                   "keys": keys[start:start + _MGET_BATCH]})
+        deadline = _monotonic() + wait_s
+        while _monotonic() < deadline:
+            try:
+                reply = recv_frame(sock)
+            except socketlib.timeout:
+                continue
+            if reply is None:
+                raise OSError("coordinator went away during CACHE_MGET")
+            if reply.get("type") == "CACHE" and "entries" in reply:
+                entries = reply.get("entries")
+                if isinstance(entries, dict):
+                    for key, payload in entries.items():
+                        if payload is not None:
+                            found[str(key)] = payload
+                if reply.get("eom", True):
+                    break
+                continue
+            if _route(reply, pending, link) is not None:
+                raise OSError("coordinator ended session during "
+                              "CACHE_MGET")
+    return found
+
+
+def _process_batch(sock: socketlib.socket, link: _Link,
+                   pending: Deque[Dict], ctx: RunContext,
+                   shared_cache: bool, prefetch_mode: bool,
+                   announced: set, prefetched: Dict[str, object],
+                   local_cache: Optional[CellCache], keyer: CellCache,
+                   cache_wait_s: float) -> None:
+    """Drain the local lease queue, batching publishes and results.
+
+    Per lease, in order: the session prefetch map (a "remote" hit),
+    the local disk cache (a "local" hit, republished), a blocking
+    CACHE_GET only when this is a *reassigned* lease (``attempt > 1``
+    — the previous holder may have published right before dying; the
+    crash-window test pins this), when the key was never in our
+    prefetch announcement (a lease stolen from another worker's
+    shard), or when prefetch is off entirely, and finally a real
+    compute.  Computed and locally-loaded payloads
+    accumulate into one CACHE_MPUT flushed **before** their RESULTs —
+    the publish-then-report order (and the DIE_AFTER_PUT crash window
+    between the two) is exactly the single-frame protocol's.  With an
+    empty queue the flush is per-lease, i.e. the old wire pattern.
+    """
+    puts: Dict[str, object] = {}
+    computed = False
+    results: List[Dict] = []
+
+    def flush() -> None:
+        nonlocal puts, computed, results
+        if puts:
+            link.send({"type": "CACHE_MPUT", "entries": puts})
+            if computed and _claim_chaos_death():
+                # chaos hook: die in the exact window between
+                # publishing to the cache and reporting the RESULT
+                os._exit(17)
+        for frame in results:
+            link.settle(int(frame["lease"]))
+            link.send(frame)
+        puts, computed, results = {}, False, []
+
+    while pending:
+        message = pending.popleft()
+        lease_id = int(message["lease"])
+        task = (str(message["exp_id"]), message.get("index"))
+        attempt = int(message.get("attempt", 1))
+        key = keyer.key(task[0], ctx.quick, task[1])
+        payload = prefetched.get(key)
         if payload is not None:
-            _send_result(sock, lock, lease_id, payload=payload,
-                         cached="remote")
-            return
-    # 2. our own disk (a "local" hit, published so others share it)
-    if local_cache is not None:
-        payload = local_cache.load(key)
-        if payload is not None:
+            results.append(_result_frame(lease_id, payload=payload,
+                                         cached="remote"))
+        elif (local_cache is not None
+                and (payload := local_cache.load(key)) is not None):
             if shared_cache:
-                with lock:
-                    send_frame(sock, {"type": "CACHE_PUT", "key": key,
-                                      "payload": payload})
-            _send_result(sock, lock, lease_id, payload=payload,
-                         cached="local")
-            return
-    # 3. compute, under heartbeats
-    with _Heartbeat(sock, lock, lease_id, heartbeat_s):
+                puts[key] = payload
+            results.append(_result_frame(lease_id, payload=payload,
+                                         cached="local"))
+        else:
+            remote = None
+            if shared_cache and (attempt > 1 or not prefetch_mode
+                                 or key not in announced):
+                remote = _cache_get(sock, link, pending, key,
+                                    cache_wait_s)
+            if remote is not None:
+                results.append(_result_frame(lease_id, payload=remote,
+                                             cached="remote"))
+            else:
+                results.append(_compute(link, lease_id, task, key, ctx,
+                                        shared_cache, local_cache, puts))
+                if shared_cache and key in puts:
+                    computed = True
+        if not pending or len(results) >= _PUT_BATCH:
+            flush()
+    flush()
+
+
+def _compute(link: _Link, lease_id: int, task, key: str, ctx: RunContext,
+             shared_cache: bool, local_cache: Optional[CellCache],
+             puts: Dict[str, object]) -> Dict:
+    """Run one task body; returns its RESULT frame (error or payload)."""
+    with link.lock:
+        link.current = lease_id
+    try:
         sleep_s = _chaos_sleep_s()
         if sleep_s:
             time.sleep(sleep_s)
         try:
-            payload, snapshot = run_task(task, ctx)
-        except BaseException as exc:     # the coordinator judges retries
-            _send_result(sock, lock, lease_id,
-                         error=f"{task_key(task)}: {exc!r}")
-            return
+            payload, snapshot = run_task(tuple(task), ctx)
+        except BaseException as exc:    # the coordinator judges retries
+            return _result_frame(lease_id,
+                                 error=f"{task_key(tuple(task))}: {exc!r}")
+    finally:
+        with link.lock:
+            if link.current == lease_id:
+                link.current = None
     if local_cache is not None:
         try:
             local_cache.save(key, payload)
         except OSError:
             pass
     if shared_cache:
-        with lock:
-            send_frame(sock, {"type": "CACHE_PUT", "key": key,
-                              "payload": payload})
-        if _claim_chaos_death():
-            # chaos hook: die in the exact window between publishing
-            # to the cache and reporting the RESULT
-            os._exit(17)
-    _send_result(sock, lock, lease_id, payload=payload, snapshot=snapshot)
+        puts[key] = payload
+        return _result_frame(lease_id, payload=payload,
+                             snapshot=snapshot, key=key)
+    return _result_frame(lease_id, payload=payload, snapshot=snapshot)
 
 
-def _send_result(sock, lock, lease_id: int, payload=None, snapshot=None,
-                 cached: Optional[str] = None,
-                 error: Optional[str] = None) -> None:
-    with lock:
-        send_frame(sock, {"type": "RESULT", "lease": lease_id,
-                          "payload": payload, "snapshot": snapshot,
-                          "cached": cached, "error": error})
+def _result_frame(lease_id: int, payload=None, snapshot=None,
+                  cached: Optional[str] = None,
+                  error: Optional[str] = None,
+                  key: Optional[str] = None) -> Dict:
+    frame = {"type": "RESULT", "lease": lease_id, "payload": payload,
+             "snapshot": snapshot, "cached": cached, "error": error}
+    if key is not None:
+        frame["key"] = key      # lets the coordinator publish even if
+    return frame                # the CACHE_MPUT was lost on the wire
 
 
-def _cache_get(sock, lock, key: str, wait_s: float):
+def _cache_get(sock, link: _Link, pending: Deque[Dict], key: str,
+               wait_s: float):
     """Ask the shared cache for ``key``; bounded wait, miss on timeout.
 
     Under chaos the CACHE reply can be dropped on the wire — waiting
     forever would wedge the lease past its deadline, so after ``wait_s``
     the worker treats the query as a miss and computes locally (the
-    result is identical either way; only effort differs)."""
-    with lock:
-        send_frame(sock, {"type": "CACHE_GET", "key": key})
+    result is identical either way; only effort differs).  LEASE
+    frames arriving mid-wait are queued, never lost."""
+    link.send({"type": "CACHE_GET", "key": key})
     deadline = _monotonic() + wait_s
     while _monotonic() < deadline:
         try:
@@ -371,9 +609,8 @@ def _cache_get(sock, lock, key: str, wait_s: float):
             raise OSError("coordinator went away during CACHE_GET")
         if reply.get("type") == "CACHE" and reply.get("key") == key:
             return reply.get("payload")
-        if reply.get("type") == "BYE":
-            raise OSError("coordinator said BYE during CACHE_GET")
-        # anything else (e.g. a stray CACHE for an old key) is skipped
+        if _route(reply, pending, link) is not None:
+            raise OSError("coordinator ended session during CACHE_GET")
     return None
 
 

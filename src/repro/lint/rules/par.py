@@ -19,6 +19,13 @@ via a ``PACKET_TWIN`` global; a twin without the pointer, or a pointer
 to a module that no longer exists, orphans the equivalence wall
 (PAR304).
 
+The distributed wire protocol gets the same treatment: PAR307 reads
+``repro/exp/protocol.py`` and requires every frame type listed in
+``MESSAGE_TYPES`` to carry a malformed-body fixture in
+``FAIL_CLOSED_FIXTURES`` — the decode-fixture wall parametrizes over
+that dict, so a new frame type cannot ship without a fail-closed
+decode test.
+
 All rules but one are ``project``-scope: they need the whole file set
 and locate their anchors by path suffix (``repro/sim/_legacy.py``,
 ``repro/calibration.py``), which makes them equally happy on the real
@@ -39,7 +46,8 @@ from ..violations import Violation
 
 __all__ = ["LegacyPatchParity", "FastPumpLegacyTwin",
            "ProfileAttrParity", "FlowPacketTwin",
-           "BackendProtocolSurface", "MonotonicDurations"]
+           "BackendProtocolSurface", "MonotonicDurations",
+           "FrameFixtureCoverage"]
 
 _LEGACY_SUFFIX = "repro/sim/_legacy.py"
 _EXP_PACKAGE = "repro/exp/"
@@ -55,6 +63,7 @@ _NON_MONOTONIC_CLOCKS = {
     "datetime.datetime.today", "datetime.date.today",
 }
 _CALIBRATION_SUFFIX = "repro/calibration.py"
+_PROTOCOL_SUFFIX = "repro/exp/protocol.py"
 _BACKENDS_BASE_SUFFIX = "repro/exp/backends/base.py"
 _BACKENDS_PACKAGE = "repro/exp/backends/"
 _FLOW_PACKAGE = "repro/flow/"
@@ -532,3 +541,89 @@ class MonotonicDurations(Rule):
                 f"one can expire instantly or never; use "
                 f"time.monotonic() (suppress only for operational "
                 f"metadata such as journal run ids)")
+
+
+def _frozenset_strings(node: ast.AST) -> Optional[List[str]]:
+    """String elements of a ``frozenset({...})`` / ``frozenset([...])``
+    literal, or ``None`` when the value is not that shape."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "frozenset" and len(node.args) == 1
+            and not node.keywords):
+        return None
+    arg = node.args[0]
+    if not isinstance(arg, (ast.Set, ast.List, ast.Tuple)):
+        return None
+    out: List[str] = []
+    for elt in arg.elts:
+        if not (isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)):
+            return None
+        out.append(elt.value)
+    return out
+
+
+def _global_assign(ctx: FileContext, name: str) -> Optional[ast.AST]:
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in node.targets):
+            return node
+        if (isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == name and node.value is not None):
+            return node
+    return None
+
+
+@register
+class FrameFixtureCoverage(Rule):
+    id = "PAR307"
+    name = "frame-fixture-coverage"
+    summary = ("every protocol MESSAGE_TYPES frame type must have a "
+               "fail-closed decode fixture in FAIL_CLOSED_FIXTURES")
+    scope = "project"
+
+    def check_project(
+            self, files: Dict[str, FileContext]) -> Iterator[Violation]:
+        proto = _find_file(files, _PROTOCOL_SUFFIX)
+        if proto is None:
+            return  # protocol outside the lint set; nothing to check
+        types_node = _global_assign(proto, "MESSAGE_TYPES")
+        if types_node is None:
+            return
+        types = _frozenset_strings(types_node.value)
+        if types is None:
+            yield self.violation(
+                proto, types_node,
+                "MESSAGE_TYPES must be a frozenset literal of string "
+                "frame types — a computed value hides the protocol "
+                "vocabulary from static fixture-coverage checking")
+            return
+        fixtures_node = _global_assign(proto, "FAIL_CLOSED_FIXTURES")
+        if fixtures_node is None:
+            yield self.violation(
+                proto, types_node,
+                "protocol.py declares MESSAGE_TYPES but no "
+                "FAIL_CLOSED_FIXTURES dict — no frame type has a "
+                "fail-closed decode fixture, so malformed-frame "
+                "handling is untested")
+            return
+        value = fixtures_node.value
+        if not isinstance(value, ast.Dict):
+            yield self.violation(
+                proto, fixtures_node,
+                "FAIL_CLOSED_FIXTURES must be an explicit dict literal "
+                "keyed by frame type — a comprehension or computed "
+                "value defeats static coverage checking")
+            return
+        covered = {k.value for k in value.keys
+                   if isinstance(k, ast.Constant)
+                   and isinstance(k.value, str)}
+        for mtype in types:
+            if mtype not in covered:
+                yield self.violation(
+                    proto, fixtures_node,
+                    f"frame type {mtype!r} is in MESSAGE_TYPES but has "
+                    f"no FAIL_CLOSED_FIXTURES entry — the decode-fixture "
+                    f"wall never proves decode_body fails closed on a "
+                    f"malformed {mtype} body")

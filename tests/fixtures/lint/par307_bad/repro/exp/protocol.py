@@ -1,0 +1,13 @@
+"""PAR307 bad fixture: a frame type with no fail-closed decode fixture.
+
+``PING`` is in MESSAGE_TYPES but FAIL_CLOSED_FIXTURES has no entry for
+it — the decode-fixture wall would never prove decode_body fails
+closed on a malformed PING body.
+"""
+
+MESSAGE_TYPES = frozenset({"HELLO", "RESULT", "PING"})
+
+FAIL_CLOSED_FIXTURES = {
+    "HELLO": b'{"type":"HELLO","proto":',
+    "RESULT": b'{"type":"RESULT","lease":1,"payload":',
+}

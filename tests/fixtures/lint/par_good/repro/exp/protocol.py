@@ -1,0 +1,9 @@
+"""PAR307 good fixture: every frame type has a fail-closed fixture."""
+
+MESSAGE_TYPES = frozenset({"HELLO", "RESULT", "BYE"})
+
+FAIL_CLOSED_FIXTURES = {
+    "HELLO": b'{"type":"HELLO","proto":',
+    "RESULT": b'{"type":"RESULT","lease":1,"payload":',
+    "BYE": b'{"type":"BYE","error":"',
+}

@@ -45,7 +45,9 @@ from repro.exp import (BACKENDS, CellCache, DryRunBackend, ExecutionBackend,
 from repro.exp.leases import LeaseTable
 from repro.exp.planner import (RunContext, build_tasks, plan_shards,
                                run_task, shard_of, task_key)
-from repro.exp.protocol import (MAX_FRAME, PROTOCOL_VERSION, ProtocolError,
+from repro.exp.protocol import (COMPRESS_MAGIC, FAIL_CLOSED_FIXTURES,
+                                MAX_FRAME, MESSAGE_TYPES, PROTOCOL_VERSION,
+                                ProtocolError, decode_body, encode_frame,
                                 package_version, recv_frame, send_frame)
 from repro.exp.worker import serve
 
@@ -95,6 +97,38 @@ def test_local_pool_byte_identical(workers, serial_bytes):
     with LocalPoolBackend(jobs=workers) as backend:
         got = run_experiments(SUBSET, quick=True, backend=backend)
     _assert_identical(got, serial_bytes)
+
+
+def test_local_pool_decodes_context_once_per_process(serial_bytes):
+    """The warm-worker fast path: RunContext is decoded in the pool
+    initializer, exactly once per worker process, never per task."""
+    backend = LocalPoolBackend(jobs=3)
+    got = run_experiments(SUBSET, quick=True, backend=backend)
+    _assert_identical(got, serial_bytes)
+    assert backend.ctx_decodes, "no chunk reported its decode count"
+    assert all(count == 1 for count in backend.ctx_decodes.values()), \
+        backend.ctx_decodes
+
+
+@pytest.mark.parametrize("window", [1, 4, 16])
+def test_pipelined_windows_byte_identical(window, serial_bytes):
+    """The credit window is a wire-efficiency knob, not a semantics
+    knob: every window produces the serial store, byte for byte."""
+    backend = SocketWorkerBackend(workers=2, spawn=False,
+                                  lease_timeout_s=10.0, pipeline=window)
+    try:
+        with thread_workers(backend.address, 2):
+            got = run_experiments(SUBSET, quick=True, backend=backend)
+    finally:
+        backend.close()
+    _assert_identical(got, serial_bytes)
+    assert backend.stats["results"] == 5
+    if window > 1:
+        # with more credit than workers, some grant must have landed on
+        # a worker that already had a lease in flight
+        assert backend.stats.get("leases_pipelined", 0) >= 1
+    plan = backend.plan(build_tasks(SUBSET, quick=True), CTX)
+    assert plan["pipeline"] == window
 
 
 @pytest.mark.parametrize("workers", [1, 2, 5])
@@ -299,6 +333,36 @@ def test_lease_settled_and_validation():
     assert table.issue("w", now=0.0) is None
 
 
+def test_renew_worker_renews_exactly_the_holding_list():
+    """Piggybacked liveness: a worker's ``holding`` list renews those
+    leases and no others — a peer's lease must still expire."""
+    table = LeaseTable(TASKS, lease_timeout_s=1.0)
+    l1 = table.issue("w1", now=0.0)
+    l2 = table.issue("w1", now=0.0)
+    l3 = table.issue("w2", now=0.0)
+    assert table.renew_worker("w1", now=0.9,
+                              holding=[l1.lease_id, l2.lease_id]) == 2
+    expired = table.expire(now=1.5)
+    assert {le.lease_id for le in expired} == {l3.lease_id}
+
+
+def test_renew_worker_never_renews_unheld_leases():
+    """A lease id in ``holding`` that belongs to another worker (or a
+    LEASE frame dropped on the wire) is NOT renewed — blanket renewal
+    would keep a held-by-nobody task alive forever."""
+    table = LeaseTable(TASKS, lease_timeout_s=1.0)
+    l1 = table.issue("w1", now=0.0)
+    l2 = table.issue("w2", now=0.0)
+    # w1 claims w2's lease id too: only its own is renewed
+    assert table.renew_worker("w1", now=0.9,
+                              holding=[l1.lease_id, l2.lease_id]) == 1
+    expired = table.expire(now=1.8)
+    assert {le.lease_id for le in expired} == {l2.lease_id}
+    # omitting holding renews the worker's whole pipeline
+    assert table.renew_worker("w1", now=2.0) == 1
+    assert not table.expire(now=2.9)
+
+
 # -- the wire protocol: fail closed, never hang ------------------------------
 
 def _pair():
@@ -339,11 +403,67 @@ def test_protocol_malformed_frames_fail_closed(raw, why):
 
 
 def test_protocol_oversized_outgoing_rejected():
+    # MAX_FRAME bounds the decoded body, so even this perfectly
+    # compressible payload must be rejected before the zlib fast path.
     a, b = _pair()
     with pytest.raises(ProtocolError):
         send_frame(a, {"type": "RESULT", "payload": "x" * (MAX_FRAME + 1)})
     a.close()
     b.close()
+
+
+# -- the decode-fixture wall (PAR307's runtime half) -------------------------
+
+def test_every_frame_type_has_a_fail_closed_fixture():
+    """The static contract PAR307 lints, re-proved at runtime: the
+    fixture dict and the message vocabulary are the same set."""
+    assert set(FAIL_CLOSED_FIXTURES) == set(MESSAGE_TYPES)
+
+
+@pytest.mark.parametrize("mtype", sorted(FAIL_CLOSED_FIXTURES))
+def test_malformed_body_fixture_fails_closed(mtype):
+    with pytest.raises(ProtocolError):
+        decode_body(FAIL_CLOSED_FIXTURES[mtype])
+
+
+# -- compressed frames --------------------------------------------------------
+
+def test_protocol_big_body_compresses_and_roundtrips():
+    big = {"type": "RESULT", "lease": 1,
+           "payload": [{"row": i, "lat_us": 12.5} for i in range(2000)]}
+    frame, compressed = encode_frame(big)
+    assert compressed
+    assert frame[4:5] == COMPRESS_MAGIC
+    a, b = _pair()
+    a.sendall(frame)
+    a.close()
+    assert recv_frame(b) == big
+    b.close()
+
+
+def test_protocol_small_bodies_stay_raw_json():
+    frame, compressed = encode_frame({"type": "HEARTBEAT", "lease": 7})
+    assert not compressed
+    assert frame[4:5] == b"{"
+
+
+def test_protocol_compressed_garbage_fails_closed():
+    import zlib
+    good = zlib.compress(json.dumps({"type": "BYE"}).encode())
+    for bad in (COMPRESS_MAGIC + b"not a zlib stream",
+                COMPRESS_MAGIC + good[:-2],          # truncated stream
+                COMPRESS_MAGIC + good + b"trailing"):
+        with pytest.raises(ProtocolError):
+            decode_body(bad)
+
+
+def test_protocol_decompression_bomb_fails_closed():
+    """A tiny body must not inflate past MAX_FRAME."""
+    import zlib
+    bomb = COMPRESS_MAGIC + zlib.compress(b"0" * (MAX_FRAME + 4096))
+    assert len(bomb) < 64 * 1024
+    with pytest.raises(ProtocolError, match="MAX_FRAME"):
+        decode_body(bomb)
 
 
 @settings(max_examples=40, deadline=None)
@@ -435,6 +555,64 @@ def test_sigkilled_worker_mid_lease_reassigns(tmp_path, monkeypatch,
     reassigned = (backend.stats.get("reassignments_death", 0)
                   + backend.stats.get("reassignments_expiry", 0))
     assert reassigned >= 1
+
+
+def test_pipelined_queue_outlives_lease_timeout(monkeypatch, serial_bytes):
+    """Regression (heartbeat coalescing): one worker holds a window of
+    4 leases whose queue takes 2s to drain against a 1s lease timeout.
+    Piggybacked ``holding`` renewal must keep the *queued* leases alive
+    — under the old per-current-lease heartbeat they expire while
+    waiting and the run thrashes through reassignments."""
+    monkeypatch.setenv("REPRO_EXP_TASK_SLEEP_S", "0.4")
+    backend = SocketWorkerBackend(workers=1, spawn=False,
+                                  lease_timeout_s=1.0, pipeline=4)
+    try:
+        with thread_workers(backend.address, 1):
+            got = run_experiments(SUBSET, quick=True, backend=backend)
+    finally:
+        backend.close()
+    _assert_identical(got, serial_bytes)
+    assert backend.stats.get("reassignments_expiry", 0) == 0, backend.stats
+    assert backend.stats.get("leases_pipelined", 0) >= 3
+
+
+def test_sigkill_with_full_pipeline_window_frees_every_lease(monkeypatch,
+                                                             serial_bytes):
+    """A worker dies holding its entire credit window: every lease it
+    held is reassigned for free (retries=0) and a late-joining worker
+    completes the sweep byte-identically."""
+    monkeypatch.setenv("REPRO_EXP_TASK_SLEEP_S", "0.5")
+    backend = SocketWorkerBackend(workers=1, spawn=True,
+                                  lease_timeout_s=15.0, pipeline=8)
+    killed = []
+
+    def assassin_then_rescuer():
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if (backend.stats.get("leases_issued", 0) >= 5
+                    and backend.worker_pids):
+                time.sleep(0.1)          # into the first task's sleep
+                os.kill(backend.worker_pids[0], signal.SIGKILL)
+                killed.append(backend.worker_pids[0])
+                host, port = backend.address
+                serve(f"{host}:{port}", worker_id="rescuer",
+                      timeout_s=30.0)
+                return
+            time.sleep(0.02)
+
+    thread = threading.Thread(target=assassin_then_rescuer, daemon=True)
+    thread.start()
+    try:
+        got = run_experiments(SUBSET, quick=True, backend=backend,
+                              retries=0)
+    finally:
+        backend.close()
+        thread.join(timeout=10)
+    assert killed, "assassin never saw a full window"
+    _assert_identical(got, serial_bytes)
+    freed = (backend.stats.get("reassignments_death", 0)
+             + backend.stats.get("reassignments_expiry", 0))
+    assert freed >= 4, backend.stats
 
 
 def test_silent_lease_expires_and_reassigns(serial_bytes):

@@ -229,6 +229,31 @@ def test_probabilistic_chaos_is_byte_identical(seed, serial_bytes):
     _assert_identical(results, serial_bytes)
 
 
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_chaos_over_pipelined_batched_cache_frames(seed, tmp_path,
+                                                   serial_bytes):
+    """The batched protocol under fire: a deep credit window plus
+    CACHE_MGET prefetch and CACHE_MPUT publishes, with frames dropped,
+    duplicated, reordered and corrupted.  Sweep 1 populates the shared
+    cell cache through chaos; sweep 2 is served from it through chaos.
+    Both must match the serial store byte for byte — a lost MGET reply
+    degrades to recompute, a corrupted MPUT fails the connection
+    closed, never the store."""
+    spec = f"drop=0.05,dup=0.05,reorder=0.08,corrupt=0.02,seed={seed}"
+    cells = str(tmp_path / "cells")
+    for _sweep in range(2):
+        backend = SocketWorkerBackend(workers=2, spawn=False,
+                                      lease_timeout_s=5.0, chaos=spec,
+                                      cache_dir=cells, pipeline=4)
+        try:
+            with thread_workers(backend.public_address, 2):
+                results = run_experiments(SUBSET, quick=True,
+                                          backend=backend)
+        finally:
+            backend.close()
+        _assert_identical(results, serial_bytes)
+
+
 # Targeted scenarios need parameters the fault can't livelock: resets
 # repeat per connection, so the per-session frame budget (reset frame
 # minus HELLO) must fit the largest single lease — fast tasks only,

@@ -308,6 +308,37 @@ def test_sigkilled_coordinator_resumes_byte_identical(
     journal.close()
 
 
+def test_sigkilled_pipelined_run_resumes_byte_identical(tmp_path,
+                                                        baseline_bytes):
+    """The crash wall over the credit-pipelined wire: a coordinator
+    killed with a full lease window in flight resumes to the same
+    bytes — journaled results are skipped, in-flight ones re-executed."""
+    run_id = "crash-socket-pipelined"
+    out = tmp_path / "out.jsonl"
+    crashed = _cli(
+        ["experiments", *IDS, "--jobs", "2", "--backend", "socket",
+         "--workers", "2", "--pipeline", "4",
+         "--journal-dir", str(tmp_path), "--journal-id", run_id,
+         "--out", str(out)],
+        {"REPRO_EXP_CRASH_POINT": "journal.result:2",
+         # orphaned workers must give up quickly, not hold the port
+         "REPRO_EXP_CONNECT_BUDGET_S": "5"})
+    assert crashed.returncode == -signal.SIGKILL, crashed.stderr
+    assert not out.exists()
+
+    resumed = _cli(["experiments", "--resume", run_id,
+                    "--journal-dir", str(tmp_path), "--out", str(out)])
+    assert resumed.returncode == 0, resumed.stderr
+    assert out.read_bytes() == baseline_bytes
+    journal = RunJournal.resume(tmp_path, run_id)
+    records = journal.records()
+    result_tasks = [r["task"] for r in records if r["type"] == "result"]
+    assert sorted(result_tasks) == sorted(set(result_tasks))
+    assert len(result_tasks) == N_TASKS
+    assert records[-1]["type"] == "end"
+    journal.close()
+
+
 def test_cli_resume_of_unknown_run_exits_2(tmp_path):
     rc = main(["experiments", "--resume", "ghost",
                "--journal-dir", str(tmp_path)])

@@ -32,7 +32,8 @@ load_builtin_rules()
 #: rule id -> fixture stem; PAR rules use whole fixture trees instead.
 FILE_RULES = ["DET101", "DET102", "DET103", "DET104", "DET105",
               "SIM201", "SIM202", "SIM203", "SIM204"]
-PAR_RULES = ["PAR301", "PAR302", "PAR303", "PAR304", "PAR305", "PAR306"]
+PAR_RULES = ["PAR301", "PAR302", "PAR303", "PAR304", "PAR305", "PAR306",
+             "PAR307"]
 
 
 def lint_paths(*paths, select=None, ignore=(), cache=None, root=None):
@@ -64,7 +65,8 @@ def test_good_fixture_is_clean(rule):
                                        ("par303_bad", "PAR303"),
                                        ("par304_bad", "PAR304"),
                                        ("par305_bad", "PAR305"),
-                                       ("par306_bad", "PAR306")])
+                                       ("par306_bad", "PAR306"),
+                                       ("par307_bad", "PAR307")])
 def test_par_bad_tree_triggers_exactly_its_rule(tree, rule):
     report = lint_paths(FIXTURES / tree, root=FIXTURES / tree)
     assert report.violations
@@ -166,6 +168,23 @@ def test_par306_only_polices_the_exp_package(tmp_path):
     mod.parent.mkdir(parents=True)
     mod.write_text("import time\n\ndef stamp():\n    return time.time()\n")
     report = lint_paths(mod, root=tmp_path, select=["PAR306"])
+    assert report.violations == []
+
+
+def test_par307_names_the_uncovered_frame_type():
+    report = lint_paths(FIXTURES / "par307_bad",
+                        root=FIXTURES / "par307_bad", select=["PAR307"])
+    assert len(report.violations) == 1
+    assert "'PING'" in report.violations[0].message
+    assert "FAIL_CLOSED_FIXTURES" in report.violations[0].message
+
+
+def test_par307_silent_without_protocol_in_lint_set(tmp_path):
+    # A tree with no repro/exp/protocol.py has no vocabulary to check.
+    mod = tmp_path / "repro" / "exp" / "other.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text("X = 1\n")
+    report = lint_paths(mod, root=tmp_path, select=["PAR307"])
     assert report.violations == []
 
 

@@ -1,0 +1,365 @@
+#!/usr/bin/env python
+"""Scheduler wire-efficiency benchmark: pipelined vs stop-and-wait.
+
+Measures the credit-pipelined + batched-cache socket protocol (PR 9)
+against the PR-8 wire pattern — one lease in flight per worker, one
+blocking CACHE_GET per cell — emulated on the same source tree with
+``SocketWorkerBackend(pipeline=1, prefetch=False)``, so the comparison
+is honest before/after, not old-commit/new-commit.
+
+The workload is the adversarial case for a stop-and-wait wire: a
+many-tiny-cell quick grid (hundreds of cells whose compute time is
+microseconds, so coordinator round trips dominate) plus a handful of
+wide cells whose payloads exceed the compression threshold.  The
+experiments are registered at runtime and the workers run as in-process
+threads (``serve()``), sharing the registry — exactly the harness the
+conformance wall uses.  Worker connections are routed through an
+emulated WAN hop (``_WanRelay``: fixed one-way propagation delay, 3ms
+RTT, chunks overlap in flight) so round trips cost what they cost over
+the paper's InfiniBand-WAN setting rather than ~0us loopback.
+
+Three measurements, written to ``BENCH_sched.json`` at the repo root:
+
+* **cold sweep** — pipelined run that populates the shared cell cache
+  (informational; it also exercises CACHE_MPUT batching);
+* **warm stop-and-wait** — the PR-8 pattern over a warm shared cache:
+  every cell pays a grant wait plus a blocking CACHE_GET (~2 round
+  trips per task);
+* **warm pipelined** — the PR-9 pattern: shard keys prefetched in
+  chunked CACHE_MGET at WELCOME, leases streamed under a credit
+  window, results streamed back.
+
+Gates (exit 1 on failure):
+
+* pipelined warm throughput >= 3x stop-and-wait (full mode only;
+  smoke records the ratio without gating — CI boxes are noisy);
+* pipelined coordinator round trips per task < 0.5 (gated in smoke
+  too: it is a wire-pattern property, not a timing one);
+* byte identity: both socket runs match the serial store exactly;
+* the ``repro.obs`` counters ``exp/leases_pipelined``,
+  ``exp/cache_prefetch_hits`` and ``exp/frames_compressed`` are all
+  nonzero in the pipelined run.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sched.py            # full run
+    PYTHONPATH=src python tools/bench_sched.py --smoke    # CI-sized
+    PYTHONPATH=src python tools/bench_sched.py --out x.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import queue
+import socket as socketlib
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.registry import CellPlan, experiment  # noqa: E402
+from repro.exp import SocketWorkerBackend, run_experiments  # noqa: E402
+from repro.exp.worker import serve  # noqa: E402
+from repro.obs import MetricsRegistry, use_registry  # noqa: E402
+
+TARGET_THROUGHPUT_SPEEDUP = 3.0
+TARGET_ROUND_TRIPS_PER_TASK = 0.5
+
+TINY_ID = "bench_sched_tiny"
+WIDE_ID = "bench_sched_wide"
+WORKERS = 4
+WAN_ONE_WAY_S = 0.0015  # emulated one-way propagation delay (3ms RTT)
+
+
+def _register(n_tiny: int, n_wide: int, wide_chars: int) -> list:
+    """Register the synthetic grid; returns the experiment ids."""
+
+    def tiny_params(quick):
+        return list(range(n_tiny))
+
+    def tiny_cell(quick, i):
+        # Arithmetic only: the cell must cost microseconds so the wire
+        # pattern, not the compute, is what the clock sees.
+        return (i, (i * 2654435761) % 997, (i * 40503) % 65521)
+
+    @experiment(TINY_ID, "many tiny cells (wire-pattern stress)",
+                cells=CellPlan(params_of=tiny_params, run_cell=tiny_cell))
+    def bench_tiny(quick, rows):
+        return ["i", "a", "b"], rows, ""
+
+    def wide_params(quick):
+        return list(range(n_wide))
+
+    def wide_cell(quick, i):
+        # A payload past COMPRESS_MIN: RESULT/CACHE frames carrying it
+        # must take the compressed-body fast path.
+        return (i, "".join(chr(97 + (i + j) % 17) for j in range(23))
+                * (wide_chars // 23))
+
+    @experiment(WIDE_ID, "wide cells (compression stress)",
+                cells=CellPlan(params_of=wide_params, run_cell=wide_cell))
+    def bench_wide(quick, rows):
+        return ["i", "blob"], rows, ""
+
+    return [TINY_ID, WIDE_ID]
+
+
+class _WanRelay:
+    """An emulated WAN hop: TCP relay adding fixed one-way propagation
+    delay in each direction.
+
+    Chunks overlap in flight (a reader thread timestamps, a writer
+    thread forwards once the deadline passes), so the relay models
+    *propagation* delay, not serialization — back-to-back pipelined
+    frames still stream at full rate, exactly like a long fat link.
+    This is the condition the wire pattern is designed for: over a WAN,
+    every stop-and-wait exchange costs a full RTT while a credit window
+    costs none.
+    """
+
+    def __init__(self, target, one_way_s: float):
+        self.target = target
+        self.one_way_s = one_way_s
+        self._stop = threading.Event()
+        self._server = socketlib.socket()
+        self._server.bind(("127.0.0.1", 0))
+        self._server.listen(32)
+        self._server.settimeout(0.2)
+        self.address = self._server.getsockname()[:2]
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self):
+        while not self._stop.is_set():
+            try:
+                client, _addr = self._server.accept()
+            except socketlib.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                upstream = socketlib.create_connection(self.target,
+                                                       timeout=30.0)
+            except OSError:
+                client.close()
+                continue
+            for sock in (client, upstream):
+                sock.settimeout(0.2)
+                sock.setsockopt(socketlib.IPPROTO_TCP,
+                                socketlib.TCP_NODELAY, 1)
+            for src, dst in ((client, upstream), (upstream, client)):
+                pipe = queue.Queue()
+                threading.Thread(target=self._read, args=(src, pipe),
+                                 daemon=True).start()
+                threading.Thread(target=self._write, args=(dst, pipe),
+                                 daemon=True).start()
+
+    def _read(self, src, pipe):
+        while not self._stop.is_set():
+            try:
+                chunk = src.recv(65536)
+            except socketlib.timeout:
+                continue
+            except OSError:
+                break
+            # repro-lint: disable=DET101 -- relay propagation clock
+            pipe.put((time.monotonic() + self.one_way_s, chunk))
+            if not chunk:
+                break
+
+    def _write(self, dst, pipe):
+        while True:
+            try:
+                deadline, chunk = pipe.get(timeout=0.2)
+            except queue.Empty:
+                if self._stop.is_set():
+                    break
+                continue
+            # repro-lint: disable=DET101 -- relay propagation clock
+            lag = deadline - time.monotonic()
+            if lag > 0:
+                time.sleep(lag)
+            try:
+                if chunk:
+                    dst.sendall(chunk)
+                else:
+                    dst.shutdown(socketlib.SHUT_WR)
+                    break
+            except OSError:
+                break
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+
+@contextlib.contextmanager
+def _thread_workers(address, n):
+    host, port = address
+    threads = []
+    for i in range(n):
+        t = threading.Thread(
+            target=serve, args=(f"{host}:{port}",),
+            kwargs={"worker_id": f"bench-{i}", "timeout_s": 60.0,
+                    "connect_budget_s": 60.0},
+            daemon=True)
+        t.start()
+        threads.append(t)
+    try:
+        yield
+    finally:
+        for t in threads:
+            t.join(timeout=60)
+
+
+def _round_trips(stats: dict) -> int:
+    return sum(v for k, v in stats.items() if k.startswith("round_trips"))
+
+
+def _socket_run(ids, cache_dir, *, pipeline, prefetch, registry=None,
+                wan_one_way_s=WAN_ONE_WAY_S):
+    """One timed socket sweep over the emulated WAN hop.
+
+    Returns (results, seconds, stats).  Every worker connection goes
+    through a ``_WanRelay`` so both wire patterns pay the same
+    propagation delay per round trip — on loopback the RTT is ~0 and
+    the difference between the patterns would be invisible.
+    """
+    backend = SocketWorkerBackend(workers=WORKERS, spawn=False,
+                                  lease_timeout_s=60.0,
+                                  cache_dir=cache_dir,
+                                  pipeline=pipeline, prefetch=prefetch)
+    relay = _WanRelay(backend.address, wan_one_way_s)
+    scope = use_registry(registry) if registry is not None \
+        else contextlib.nullcontext()
+    try:
+        with scope:
+            with _thread_workers(relay.address, WORKERS):
+                # repro-lint: disable=DET101 -- wall-clock bench timing
+                t0 = time.perf_counter()
+                results = run_experiments(ids, quick=True, backend=backend)
+                # repro-lint: disable=DET101 -- wall-clock bench timing
+                dt = time.perf_counter() - t0
+    finally:
+        backend.close()
+        relay.close()
+    return results, dt, dict(backend.stats)
+
+
+def _as_bytes(results):
+    return {r.exp_id: r.to_json() for r in results}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small grid, throughput gate waived (CI)")
+    ap.add_argument("--out", default=str(REPO / "BENCH_sched.json"))
+    args = ap.parse_args(argv)
+
+    n_tiny = 96 if args.smoke else 480
+    ids = _register(n_tiny, n_wide=4, wide_chars=32 * 1024)
+    n_tasks = n_tiny + 4
+
+    print(f"grid: {n_tiny} tiny + 4 wide cells, {WORKERS} workers")
+    serial = _as_bytes(run_experiments(ids, quick=True, jobs=1))
+
+    with tempfile.TemporaryDirectory(prefix="bench-sched-") as cells:
+        cold_res, cold_s, cold_stats = _socket_run(
+            ids, cells, pipeline=None, prefetch=True)
+        assert _as_bytes(cold_res) == serial, "cold sweep diverged"
+        print(f"cold pipelined populate: {cold_s:.2f}s "
+              f"({n_tasks / cold_s:,.0f} tasks/s)")
+
+        base_res, base_s, base_stats = _socket_run(
+            ids, cells, pipeline=1, prefetch=False)
+        assert _as_bytes(base_res) == serial, "stop-and-wait diverged"
+        base_rt = _round_trips(base_stats) / n_tasks
+        print(f"warm stop-and-wait: {base_s:.2f}s "
+              f"({n_tasks / base_s:,.0f} tasks/s, "
+              f"{base_rt:.2f} round trips/task)")
+
+        reg = MetricsRegistry()
+        pipe_res, pipe_s, pipe_stats = _socket_run(
+            ids, cells, pipeline=None, prefetch=True, registry=reg)
+        assert _as_bytes(pipe_res) == serial, "pipelined sweep diverged"
+        pipe_rt = _round_trips(pipe_stats) / n_tasks
+        print(f"warm pipelined: {pipe_s:.2f}s "
+              f"({n_tasks / pipe_s:,.0f} tasks/s, "
+              f"{pipe_rt:.2f} round trips/task)")
+
+    speedup = base_s / pipe_s
+    counters = {}
+    for name in ("leases_pipelined", "cache_prefetch_hits",
+                 "frames_compressed"):
+        counter = reg.get("exp", name, backend="socket")
+        counters[name] = counter.value if counter is not None else 0
+    print(f"throughput: {speedup:.2f}x; counters: {counters}")
+
+    doc = {
+        "protocol": {
+            "workload": f"{n_tiny} tiny + 4 wide quick cells, "
+                        f"{WORKERS} in-process thread workers, "
+                        "warm shared cell cache, emulated WAN hop "
+                        f"({WAN_ONE_WAY_S * 2000:.0f}ms RTT)",
+            "baseline": "pipeline=1, prefetch off (the PR-8 "
+                        "stop-and-wait wire pattern)",
+            "metric": "wall-clock seconds per sweep; coordinator round "
+                      "trips = grant waits + CACHE_GET + CACHE_MGET",
+            "smoke": args.smoke,
+        },
+        "targets": {
+            "throughput_speedup": TARGET_THROUGHPUT_SPEEDUP,
+            "round_trips_per_task": TARGET_ROUND_TRIPS_PER_TASK,
+        },
+        "n_tasks": n_tasks,
+        "cold_populate": {"seconds": round(cold_s, 3),
+                          "tasks_per_sec": round(n_tasks / cold_s, 1),
+                          "round_trips_per_task": round(
+                              _round_trips(cold_stats) / n_tasks, 3)},
+        "stop_and_wait": {"seconds": round(base_s, 3),
+                          "tasks_per_sec": round(n_tasks / base_s, 1),
+                          "round_trips_per_task": round(base_rt, 3)},
+        "pipelined": {"seconds": round(pipe_s, 3),
+                      "tasks_per_sec": round(n_tasks / pipe_s, 1),
+                      "round_trips_per_task": round(pipe_rt, 3),
+                      "leases_pipelined":
+                          pipe_stats.get("leases_pipelined", 0),
+                      "cache_prefetch_hits":
+                          pipe_stats.get("cache_prefetch_hits", 0),
+                      "frames_compressed":
+                          pipe_stats.get("frames_compressed", 0)},
+        "throughput_speedup": round(speedup, 2),
+        "obs_counters": counters,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    failures = []
+    if pipe_rt >= TARGET_ROUND_TRIPS_PER_TASK:
+        failures.append(f"round trips/task {pipe_rt:.2f} >= "
+                        f"{TARGET_ROUND_TRIPS_PER_TASK}")
+    for name, value in counters.items():
+        if value <= 0:
+            failures.append(f"obs counter exp/{name} never incremented")
+    if not args.smoke and speedup < TARGET_THROUGHPUT_SPEEDUP:
+        failures.append(f"throughput speedup {speedup:.2f}x < "
+                        f"{TARGET_THROUGHPUT_SPEEDUP}x")
+    if failures:
+        print("GATES MISSED: " + "; ".join(failures))
+        return 1
+    print("targets: MET")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
