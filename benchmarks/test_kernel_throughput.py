@@ -11,6 +11,7 @@ The speedup assertions here are deliberately loose (CI boxes are
 noisy); the committed reference numbers live in ``BENCH_kernel.json``,
 regenerated with ``tools/bench_kernel.py``.
 """
+# repro-lint: disable-file=DET101 -- host-side benchmark: perf_counter times the real machine, not the simulation; determinism rules apply to sim code only
 
 import gc
 import time

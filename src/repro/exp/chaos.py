@@ -440,7 +440,10 @@ class ChaosProxy:
                     target=self._pump, args=(src, dst, injector),
                     daemon=True)
                 thread.start()
-                self._threads.append(thread)
+                # close() walks this list from the main thread, so the
+                # accept-loop append must happen under the same lock.
+                with self._lock:
+                    self._threads.append(thread)
 
     def _pump(self, src: socketlib.socket, dst: socketlib.socket,
               injector: FrameInjector) -> None:
@@ -514,10 +517,11 @@ class ChaosProxy:
             pass
         with self._lock:
             socks = list(self._socks)
+            threads = list(self._threads)
         for sock in socks:
             try:
                 sock.close()
             except OSError:
                 pass
-        for thread in self._threads:
+        for thread in threads:
             thread.join(timeout=5)

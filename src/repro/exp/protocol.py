@@ -117,6 +117,20 @@ FAIL_CLOSED_FIXTURES: Dict[str, bytes] = {
     "BYE": b'{"type":"BYE","error":"',
 }
 
+#: Message fields that only exist from a given protocol version on.
+#: A peer older than the listed version simply omits the field, so
+#: endpoint modules may only read these behind a version gate
+#: (``check_versions`` / an explicit ``PROTOCOL_VERSION`` comparison);
+#: the WIRE504 lint rule enforces that statically.
+VERSION_GATED_FIELDS: Dict[str, int] = {
+    "holding": 3,    # HEARTBEAT/RESULT piggybacked lease ledger
+    "attempt": 3,    # LEASE retry counter (pipelined grants)
+    "entries": 3,    # CACHE/CACHE_MPUT batched payload maps
+    "keys": 3,       # CACHE_MGET batched query list
+    "prefetch": 3,   # WELCOME shard-prefetch task list
+    "eom": 3,        # CACHE end-of-multiget marker
+}
+
 _LEN = struct.Struct(">I")
 
 

@@ -160,6 +160,10 @@ class _Link:
             if piggyback and self.holding and "holding" not in message:
                 message = dict(message)
                 message["holding"] = sorted(self.holding)
+            # The lock exists precisely to serialise whole frames onto
+            # the shared socket: the only contender is the heartbeat
+            # thread, which must not interleave its frame with ours.
+            # repro-lint: disable=CON402 -- frame atomicity on the shared socket is the point of this lock; the only waiter is the heartbeat thread
             send_frame(self.sock, message)
             self.last_tx = _monotonic()
 
@@ -376,6 +380,7 @@ def _session(sock: socketlib.socket, worker_id: str,
                                local_cache, keyer, cache_wait_s)
 
 
+# repro-lint: disable=WIRE502 -- _route deliberately drops stray frames: late CACHE replies after a timeout are legal here, and the fail-closed arm lives one level up in _session
 def _route(message: Optional[Dict], pending: Deque[Dict],
            link: _Link) -> Optional[str]:
     """File one incoming frame; returns a session status when it ends

@@ -16,7 +16,8 @@ from typing import List, Optional, Sequence
 from .cache import DEFAULT_CACHE_DIR, LintCache
 from .engine import LintEngine, discover_files
 from .registry import SelectionError, load_builtin_rules
-from .report import render_json, render_rule_table, render_text
+from .report import (render_json, render_rule_table, render_sarif,
+                     render_text)
 
 __all__ = ["main", "build_parser"]
 
@@ -38,8 +39,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore", default="", metavar="RULES",
         help="comma-separated rule ids or family prefixes to disable")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)")
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits a SARIF "
+             "2.1.0 document for code-scanning upload")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan file-scope rules out over N worker processes "
+             "(project rules stay serial; output is byte-identical "
+             "to --jobs 1)")
     parser.add_argument(
         "--out", default=None, metavar="FILE",
         help="also write the report to FILE (CI artifact)")
@@ -56,7 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _default_paths() -> List[Path]:
-    paths = [Path(p) for p in ("src", "tools") if Path(p).is_dir()]
+    paths = [Path(p) for p in ("src", "tools", "benchmarks")
+             if Path(p).is_dir()]
     return paths or [Path(".")]
 
 
@@ -68,11 +76,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_rule_table())
         return 0
 
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else []
     cache = LintCache(args.cache_dir) if args.incremental else None
     try:
-        engine = LintEngine(select=select, ignore=ignore, cache=cache)
+        engine = LintEngine(select=select, ignore=ignore, cache=cache,
+                            jobs=args.jobs)
     except SelectionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -89,8 +101,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     report = engine.run(files)
-    rendered = (render_json(report) if args.format == "json"
-                else render_text(report) + "\n")
+    renderers = {"json": render_json, "sarif": render_sarif,
+                 "text": lambda r: render_text(r) + "\n"}
+    rendered = renderers[args.format](report)
     sys.stdout.write(rendered)
     if args.out:
         Path(args.out).write_text(rendered)

@@ -19,11 +19,12 @@ from .suppress import SuppressionSet, parse_suppressions
 from .violations import Violation
 
 __all__ = ["ENGINE_VERSION", "FileContext", "LintReport", "LintEngine",
-           "discover_files"]
+           "discover_files", "check_single_file"]
 
 #: Bumped whenever rule semantics change incompatibly; part of the
 #: incremental-cache key, so stale cached verdicts are never reused.
-ENGINE_VERSION = "1"
+#: v2: CON/WIRE families, shared project symbol-table pass.
+ENGINE_VERSION = "2"
 
 
 class FileContext:
@@ -140,11 +141,53 @@ def discover_files(paths: Sequence[Path]) -> List[Path]:
     return [seen[k] for k in sorted(seen)]
 
 
+def check_single_file(ctx: FileContext, supp: SuppressionSet,
+                      enabled: Sequence[str]) -> List[Violation]:
+    """Meta + file-scope violations for one file (the cache payload).
+
+    Module-level (not a method) so the ``--jobs`` process pool can run
+    it in a child without pickling engine state.
+    """
+    found: List[Violation] = []
+    _, meta = parse_suppressions(ctx.rel, ctx.source)
+    found.extend(v for v in meta if v.rule in enabled)
+    if ctx.syntax_error is not None:
+        if "LNT003" in enabled:
+            err = ctx.syntax_error
+            found.append(Violation(
+                "LNT003", "syntax-error", ctx.rel, err.lineno or 1,
+                (err.offset or 1) - 1, f"syntax error: {err.msg}"))
+        return found
+    for rid in enabled:
+        rule = RULES[rid]
+        if rule.scope != "file":
+            continue
+        for v in rule.check(ctx):
+            if not supp.is_suppressed(v.rule, v.line):
+                found.append(v)
+    return found
+
+
+def _pool_check(args: tuple) -> List[dict]:
+    """Process-pool worker: lint one file, return violation dicts.
+
+    Re-reads and re-parses the file in the child (AST contexts are not
+    worth pickling) and ships violations back as plain dicts so the
+    parent can rebuild them regardless of pickle protocol quirks.
+    """
+    path_str, rel, enabled = args
+    load_builtin_rules()
+    source = Path(path_str).read_text(encoding="utf-8", errors="replace")
+    ctx = FileContext(Path(path_str), rel, source)
+    supp, _ = parse_suppressions(rel, source)
+    return [v.to_dict() for v in check_single_file(ctx, supp, enabled)]
+
+
 class LintEngine:
     """Runs the selected rules over a file set."""
 
     def __init__(self, select: Optional[Sequence[str]] = None,
-                 ignore: Sequence[str] = (), cache=None):
+                 ignore: Sequence[str] = (), cache=None, jobs: int = 1):
         load_builtin_rules()
         from .registry import expand_selection
         enabled = (expand_selection(select) if select
@@ -157,6 +200,10 @@ class LintEngine:
         #: Optional :class:`repro.lint.cache.LintCache` for incremental
         #: runs; project rules always re-run (they are cross-file).
         self.cache = cache
+        #: File-scope fan-out width.  Project rules always run serially
+        #: in the parent: they need every context at once, and their
+        #: verdicts depend on *pairs* of files.
+        self.jobs = max(1, int(jobs))
 
     # -- internals -------------------------------------------------------
     def _file_rules(self):
@@ -169,30 +216,17 @@ class LintEngine:
 
     def _check_one(self, ctx: FileContext,
                    supp: SuppressionSet) -> List[Violation]:
-        """Meta + file-scope violations for one file (cache payload)."""
-        found: List[Violation] = []
-        _, meta = parse_suppressions(ctx.rel, ctx.source)
-        found.extend(v for v in meta if v.rule in self.enabled)
-        if ctx.syntax_error is not None:
-            if "LNT003" in self.enabled:
-                err = ctx.syntax_error
-                found.append(Violation(
-                    "LNT003", "syntax-error", ctx.rel, err.lineno or 1,
-                    (err.offset or 1) - 1, f"syntax error: {err.msg}"))
-            return found
-        for rule in self._file_rules():
-            for v in rule.check(ctx):
-                if not supp.is_suppressed(v.rule, v.line):
-                    found.append(v)
-        return found
+        return check_single_file(ctx, supp, self.enabled)
 
     # -- entry point -----------------------------------------------------
     def run(self, files: Sequence[Path],
             root: Optional[Path] = None) -> LintReport:
+        from .project import ProjectIndex
         root = root or Path.cwd()
         contexts: Dict[str, FileContext] = {}
         supps: Dict[str, SuppressionSet] = {}
         violations: List[Violation] = []
+        pending: List[tuple] = []  # cache misses for the pool
         hits = misses = 0
 
         for path in files:
@@ -213,15 +247,22 @@ class LintEngine:
                     violations.extend(cached)
                     continue
                 misses += 1
+            if self.jobs > 1:
+                pending.append((str(path), rel, list(self.enabled)))
+                continue
             found = self._check_one(ctx, supp)
             violations.extend(found)
             if self.cache is not None:
                 self.cache.save(rel, source, self.enabled, found)
 
+        if pending:
+            violations.extend(self._run_pool(pending, contexts))
+
         # Project rules see every file and always run: their verdicts
         # depend on *pairs* of files, which a per-file digest cannot key.
+        index = ProjectIndex(contexts)
         for rule in self._project_rules():
-            for v in rule.check_project(contexts):
+            for v in rule.check_project(contexts, index):
                 supp = supps.get(v.path)
                 if supp is None or not supp.is_suppressed(v.rule, v.line):
                     violations.append(v)
@@ -229,3 +270,28 @@ class LintEngine:
         return LintReport(violations, files_checked=len(files),
                           cache_hits=hits, cache_misses=misses,
                           incremental=self.cache is not None)
+
+    def _run_pool(self, pending: List[tuple],
+                  contexts: Dict[str, FileContext]) -> List[Violation]:
+        """Fan file-scope checks out over a process pool.
+
+        ``executor.map`` preserves submission order, and the report
+        sorts violations by location anyway, so ``--jobs N`` output is
+        byte-identical to ``--jobs 1`` (pinned by a test).  Falls back
+        to serial when the platform cannot spawn processes.
+        """
+        import concurrent.futures
+        found_all: List[Violation] = []
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.jobs) as pool:
+                results = list(pool.map(_pool_check, pending))
+        except (OSError, ImportError):  # pragma: no cover - no fork
+            results = [_pool_check(args) for args in pending]
+        for (path_str, rel, _enabled), dicts in zip(pending, results):
+            found = [Violation.from_dict(d) for d in dicts]
+            found_all.extend(found)
+            if self.cache is not None:
+                ctx = contexts[rel]
+                self.cache.save(rel, ctx.source, self.enabled, found)
+        return found_all

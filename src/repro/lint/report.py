@@ -21,7 +21,12 @@ from typing import Dict
 from .engine import ENGINE_VERSION, LintReport
 from .registry import RULES
 
-__all__ = ["render_text", "render_json", "render_rule_table"]
+__all__ = ["render_text", "render_json", "render_sarif",
+           "render_rule_table"]
+
+#: Canonical SARIF 2.1.0 schema URI (the store URL GitHub code
+#: scanning and VS Code both accept).
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(report: LintReport) -> str:
@@ -50,6 +55,53 @@ def render_json(report: LintReport) -> str:
         "cache": {"incremental": report.incremental,
                   "hits": report.cache_hits,
                   "misses": report.cache_misses},
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 document: rule metadata + physical locations.
+
+    Every registered rule is listed in the driver (stable ``ruleIndex``
+    regardless of what fired), each violation becomes one ``error``
+    result, and columns are converted from the engine's 0-based to
+    SARIF's 1-based convention.  CI uploads this so findings annotate
+    pull requests as code-scanning results.
+    """
+    rule_ids = list(RULES)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = [{
+        "id": rid,
+        "name": RULES[rid].name,
+        "shortDescription": {"text": RULES[rid].summary},
+        "defaultConfiguration": {"level": "error"},
+        "properties": {"scope": RULES[rid].scope},
+    } for rid in rule_ids]
+    results = [{
+        "ruleId": v.rule,
+        "ruleIndex": rule_index.get(v.rule, -1),
+        "level": "error",
+        "message": {"text": f"[{v.name}] {v.message}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": v.path},
+                "region": {"startLine": max(v.line, 1),
+                           "startColumn": v.col + 1},
+            },
+        }],
+    } for v in report.violations]
+    doc: Dict = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro.lint",
+                "version": ENGINE_VERSION,
+                "rules": rules,
+            }},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
     }
     return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 

@@ -41,6 +41,9 @@ import ast
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..engine import FileContext
+from ..project import (FUNC_NODES, ProjectIndex, find_file,
+                       frozenset_strings, global_assign, module_parts,
+                       resolve_imports)
 from ..registry import Rule, register
 from ..violations import Violation
 
@@ -70,48 +73,12 @@ _FLOW_PACKAGE = "repro/flow/"
 #: Packet-protocol packages a flow twin shadows.
 _PACKET_PACKAGES = (("repro", "tcp"), ("repro", "verbs"),
                     ("repro", "ipoib"))
-_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
-
-
-def _find_file(files: Dict[str, FileContext],
-               suffix: str) -> Optional[FileContext]:
-    for rel, ctx in files.items():
-        if rel.endswith(suffix) and ctx.tree is not None:
-            return ctx
-    return None
-
-
-def _module_parts(rel: str) -> List[str]:
-    """``src/repro/sim/_legacy.py`` -> ``["repro", "sim", "_legacy"]``
-    (best effort: everything from the first ``repro`` component on)."""
-    parts = rel[:-3].split("/") if rel.endswith(".py") else rel.split("/")
-    if "repro" in parts:
-        parts = parts[parts.index("repro"):]
-    return parts
-
-
-def _resolve_imports(ctx: FileContext) -> Dict[str, List[str]]:
-    """Local alias -> absolute dotted-path parts, for every import in
-    the file, with relative levels resolved against the file path."""
-    pkg = _module_parts(ctx.rel)[:-1]  # containing package
-    table: Dict[str, List[str]] = {}
-    for node in ast.walk(ctx.tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                local = alias.asname or alias.name.split(".")[0]
-                table[local] = (alias.name.split(".") if alias.asname
-                                else [alias.name.split(".")[0]])
-        elif isinstance(node, ast.ImportFrom):
-            if node.level:
-                base = pkg[:len(pkg) - (node.level - 1)] if node.level <= len(pkg) + 1 else []
-            else:
-                base = []
-            base = base + (node.module.split(".") if node.module else [])
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                table[alias.asname or alias.name] = base + [alias.name]
-    return table
+#: Shared helpers live in :mod:`repro.lint.project` since PR 10; the
+#: private aliases keep this module's call sites unchanged.
+_FUNC_NODES = FUNC_NODES
+_find_file = find_file
+_module_parts = module_parts
+_resolve_imports = resolve_imports
 
 
 def _signature(fn: ast.AST) -> Tuple:
@@ -179,8 +146,9 @@ class LegacyPatchParity(Rule):
                "its target, with the shim matching the real signature")
     scope = "project"
 
-    def check_project(
-            self, files: Dict[str, FileContext]) -> Iterator[Violation]:
+    def check_project(self, files: Dict[str, FileContext],
+                      index: Optional[ProjectIndex] = None
+                      ) -> Iterator[Violation]:
         legacy = _find_file(files, _LEGACY_SUFFIX)
         if legacy is None:
             return
@@ -238,8 +206,9 @@ class FastPumpLegacyTwin(Rule):
                "by legacy_dispatch and keep a generator-mode pump twin")
     scope = "project"
 
-    def check_project(
-            self, files: Dict[str, FileContext]) -> Iterator[Violation]:
+    def check_project(self, files: Dict[str, FileContext],
+                      index: Optional[ProjectIndex] = None
+                      ) -> Iterator[Violation]:
         legacy = _find_file(files, _LEGACY_SUFFIX)
         flipped: set = set()
         if legacy is not None:
@@ -325,8 +294,9 @@ class ProfileAttrParity(Rule):
                "drift from the calibration schema")
     scope = "project"
 
-    def check_project(
-            self, files: Dict[str, FileContext]) -> Iterator[Violation]:
+    def check_project(self, files: Dict[str, FileContext],
+                      index: Optional[ProjectIndex] = None
+                      ) -> Iterator[Violation]:
         calib = _find_file(files, _CALIBRATION_SUFFIX)
         if calib is None:
             return  # calibration outside the lint set; nothing to check
@@ -361,8 +331,9 @@ class FlowPacketTwin(Rule):
                "resolve")
     scope = "project"
 
-    def check_project(
-            self, files: Dict[str, FileContext]) -> Iterator[Violation]:
+    def check_project(self, files: Dict[str, FileContext],
+                      index: Optional[ProjectIndex] = None
+                      ) -> Iterator[Violation]:
         # Twin resolution is only meaningful when the repro package
         # root is in the lint set (single-file runs cannot tell a
         # renamed twin from an unlinted one).
@@ -443,8 +414,9 @@ class BackendProtocolSurface(Rule):
                "set a non-empty registry name")
     scope = "project"
 
-    def check_project(
-            self, files: Dict[str, FileContext]) -> Iterator[Violation]:
+    def check_project(self, files: Dict[str, FileContext],
+                      index: Optional[ProjectIndex] = None
+                      ) -> Iterator[Violation]:
         base_ctx = _find_file(files, _BACKENDS_BASE_SUFFIX)
         if base_ctx is None:
             return  # base outside the lint set; nothing to check
@@ -543,36 +515,8 @@ class MonotonicDurations(Rule):
                 f"metadata such as journal run ids)")
 
 
-def _frozenset_strings(node: ast.AST) -> Optional[List[str]]:
-    """String elements of a ``frozenset({...})`` / ``frozenset([...])``
-    literal, or ``None`` when the value is not that shape."""
-    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
-            and node.func.id == "frozenset" and len(node.args) == 1
-            and not node.keywords):
-        return None
-    arg = node.args[0]
-    if not isinstance(arg, (ast.Set, ast.List, ast.Tuple)):
-        return None
-    out: List[str] = []
-    for elt in arg.elts:
-        if not (isinstance(elt, ast.Constant)
-                and isinstance(elt.value, str)):
-            return None
-        out.append(elt.value)
-    return out
-
-
-def _global_assign(ctx: FileContext, name: str) -> Optional[ast.AST]:
-    for node in ctx.tree.body:
-        if isinstance(node, ast.Assign) and any(
-                isinstance(t, ast.Name) and t.id == name
-                for t in node.targets):
-            return node
-        if (isinstance(node, ast.AnnAssign)
-                and isinstance(node.target, ast.Name)
-                and node.target.id == name and node.value is not None):
-            return node
-    return None
+_frozenset_strings = frozenset_strings
+_global_assign = global_assign
 
 
 @register
@@ -583,8 +527,9 @@ class FrameFixtureCoverage(Rule):
                "fail-closed decode fixture in FAIL_CLOSED_FIXTURES")
     scope = "project"
 
-    def check_project(
-            self, files: Dict[str, FileContext]) -> Iterator[Violation]:
+    def check_project(self, files: Dict[str, FileContext],
+                      index: Optional[ProjectIndex] = None
+                      ) -> Iterator[Violation]:
         proto = _find_file(files, _PROTOCOL_SUFFIX)
         if proto is None:
             return  # protocol outside the lint set; nothing to check

@@ -1,0 +1,23 @@
+"""CON401 bad fixture: a relay thread and the main thread both write
+``self._frames`` with no common lock guard."""
+
+import threading
+
+
+class Relay:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._frames = []
+        self._thread = threading.Thread(target=self._pump, daemon=True)
+
+    def start(self):
+        self._thread.start()
+
+    def _pump(self):
+        while True:
+            self._frames.append(b"frame")
+
+    def drain(self):
+        out = list(self._frames)
+        self._frames = []
+        return out

@@ -1,0 +1,25 @@
+"""CON401 good fixture: every write to the shared list happens under
+the same ``with self._lock:`` guard."""
+
+import threading
+
+
+class Relay:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._frames = []
+        self._thread = threading.Thread(target=self._pump, daemon=True)
+
+    def start(self):
+        self._thread.start()
+
+    def _pump(self):
+        while True:
+            with self._lock:
+                self._frames.append(b"frame")
+
+    def drain(self):
+        with self._lock:
+            out = list(self._frames)
+            self._frames = []
+        return out

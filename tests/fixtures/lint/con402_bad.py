@@ -1,0 +1,21 @@
+"""CON402 bad fixture: a blocking socket send inside the critical
+section — every contender now waits on the network."""
+
+import threading
+import time
+
+
+class Sender:
+    def __init__(self, sock):
+        self._lock = threading.Lock()
+        self._sock = sock
+        self._seq = 0
+
+    def send(self, frame):
+        with self._lock:
+            self._sock.sendall(frame)
+            self._seq += 1
+
+    def backoff(self):
+        with self._lock:
+            time.sleep(0.5)

@@ -1,0 +1,21 @@
+"""CON402 good fixture: state is updated under the lock, the blocking
+socket call happens after release."""
+
+import threading
+import time
+
+
+class Sender:
+    def __init__(self, sock):
+        self._lock = threading.Lock()
+        self._sock = sock
+        self._seq = 0
+
+    def send(self, frame):
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        self._sock.sendall(frame + str(seq).encode())
+
+    def backoff(self):
+        time.sleep(0.5)

@@ -1,0 +1,13 @@
+"""CON403 bad fixture: a bare ``acquire()`` with the release left to
+luck — any raise in between wedges every other thread forever."""
+
+import threading
+
+_registry_lock = threading.Lock()
+_registry = {}
+
+
+def register(name, value):
+    _registry_lock.acquire()
+    _registry[name] = value
+    _registry_lock.release()

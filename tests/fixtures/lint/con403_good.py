@@ -1,0 +1,20 @@
+"""CON403 good fixture: acquire immediately followed by try/finally
+release (and the preferred ``with`` form alongside)."""
+
+import threading
+
+_registry_lock = threading.Lock()
+_registry = {}
+
+
+def register(name, value):
+    _registry_lock.acquire()
+    try:
+        _registry[name] = value
+    finally:
+        _registry_lock.release()
+
+
+def lookup(name):
+    with _registry_lock:
+        return _registry.get(name)

@@ -1,0 +1,19 @@
+"""CON404 bad fixture: a daemon watchdog mutating module state next to
+a fork-based pool — children fork whatever half-written snapshot the
+daemon left behind."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_POOL_STATE = {"generation": 0}
+
+
+def _watch():
+    while True:
+        _POOL_STATE["generation"] = _POOL_STATE["generation"] + 1
+
+
+def start(workers):
+    pool = ProcessPoolExecutor(max_workers=workers)
+    threading.Thread(target=_watch, daemon=True).start()
+    return pool

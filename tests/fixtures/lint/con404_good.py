@@ -1,0 +1,21 @@
+"""CON404 good fixture: the daemon watchdog only reads process state
+and exits — no module global is mutated from thread context."""
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_PARENT = {"pid": 0}
+
+
+def start(workers):
+    _PARENT["pid"] = os.getpid()
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def watch():
+        while os.getppid() == _PARENT["pid"]:
+            pass
+        os._exit(2)
+
+    threading.Thread(target=watch, daemon=True).start()
+    return pool

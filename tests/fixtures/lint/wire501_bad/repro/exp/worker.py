@@ -1,0 +1,22 @@
+"""WIRE501 bad fixture worker: sends a PING frame the coordinator
+has no dispatch arm for."""
+
+from .protocol import (PROTOCOL_VERSION, ProtocolError, check_versions,
+                       recv_frame, send_frame)
+
+
+def run(sock, payload):
+    send_frame(sock, {"type": "HELLO", "proto": PROTOCOL_VERSION})
+    send_frame(sock, {"type": "PING", "nonce": 1})
+    welcome = check_versions(recv_frame(sock))
+    resume = welcome.get("resume")
+    send_frame(sock, {"type": "RESULT", "payload": payload,
+                      "resume": resume})
+    while True:
+        message = recv_frame(sock)
+        mtype = message.get("type")
+        if mtype == "WELCOME":
+            continue
+        if mtype == "BYE":
+            return message.get("error")
+        raise ProtocolError(f"unexpected frame {mtype!r}")

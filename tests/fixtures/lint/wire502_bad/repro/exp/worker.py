@@ -1,0 +1,21 @@
+"""WIRE502 bad fixture worker: the frame dispatch falls through
+without a raise — unknown frames are silently dropped."""
+
+from .protocol import (PROTOCOL_VERSION, ProtocolError, check_versions,
+                       recv_frame, send_frame)
+
+
+def run(sock, payload):
+    send_frame(sock, {"type": "HELLO", "proto": PROTOCOL_VERSION})
+    welcome = check_versions(recv_frame(sock))
+    resume = welcome.get("resume")
+    send_frame(sock, {"type": "RESULT", "payload": payload,
+                      "resume": resume})
+    while True:
+        message = recv_frame(sock)
+        mtype = message.get("type")
+        if mtype == "WELCOME":
+            continue
+        if mtype == "BYE":
+            return message.get("error")
+        continue

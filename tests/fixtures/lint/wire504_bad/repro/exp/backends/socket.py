@@ -1,0 +1,25 @@
+"""WIRE good fixture coordinator: dispatches HELLO/RESULT fail-closed,
+sends WELCOME/BYE, validates wire paths before touching disk."""
+
+from ..protocol import (PROTOCOL_VERSION, ProtocolError, decode_body,
+                        send_frame, valid_key)
+
+
+def handle(sock, raw, results_dir):
+    message = decode_body(raw)
+    mtype = message.get("type")
+    if mtype == "HELLO":
+        if message.get("proto") != PROTOCOL_VERSION:
+            send_frame(sock, {"type": "BYE", "error": "version"})
+            return
+        send_frame(sock, {"type": "WELCOME",
+                          "proto": PROTOCOL_VERSION})
+        return
+    if mtype == "RESULT":
+        key = valid_key(message.get("payload"))
+        with open(results_dir + "/" + key, "w",
+                  encoding="utf-8") as fh:
+            fh.write("ok")
+        send_frame(sock, {"type": "BYE", "error": ""})
+        return
+    raise ProtocolError(f"unexpected frame {mtype!r}")

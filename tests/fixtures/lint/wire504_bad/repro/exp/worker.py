@@ -1,0 +1,20 @@
+"""WIRE504 bad fixture worker: reads the version-gated "resume"
+field without ever checking the protocol version."""
+
+from .protocol import (ProtocolError, recv_frame, send_frame)
+
+
+def run(sock, payload):
+    send_frame(sock, {"type": "HELLO", "proto": 2})
+    welcome = recv_frame(sock)
+    resume = welcome.get("resume")
+    send_frame(sock, {"type": "RESULT", "payload": payload,
+                      "resume": resume})
+    while True:
+        message = recv_frame(sock)
+        mtype = message.get("type")
+        if mtype == "WELCOME":
+            continue
+        if mtype == "BYE":
+            return message.get("error")
+        raise ProtocolError(f"unexpected frame {mtype!r}")

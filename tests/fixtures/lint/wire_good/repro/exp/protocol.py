@@ -1,0 +1,43 @@
+"""WIRE good fixture protocol: vocabulary, fixtures, version gates."""
+
+PROTOCOL_VERSION = 2
+
+MESSAGE_TYPES = frozenset({"HELLO", "WELCOME", "RESULT", "BYE"})
+
+FAIL_CLOSED_FIXTURES = {
+    "HELLO": b'{"type":"HELLO","proto":',
+    "WELCOME": b'{"type":"WELCOME","proto":',
+    "RESULT": b'{"type":"RESULT","payload":',
+    "BYE": b'{"type":"BYE","error":"',
+}
+
+VERSION_GATED_FIELDS = {"resume": 2}
+
+
+class ProtocolError(Exception):
+    pass
+
+
+def send_frame(sock, message):
+    raise NotImplementedError
+
+
+def recv_frame(sock):
+    raise NotImplementedError
+
+
+def decode_body(raw):
+    raise NotImplementedError
+
+
+def check_versions(welcome):
+    if welcome.get("proto") != PROTOCOL_VERSION:
+        raise ProtocolError("protocol version mismatch")
+    return welcome
+
+
+def valid_key(value):
+    text = str(value)
+    if not text.isalnum():
+        raise ProtocolError(f"bad key {text!r}")
+    return text

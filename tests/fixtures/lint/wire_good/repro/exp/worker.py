@@ -1,0 +1,21 @@
+"""WIRE good fixture worker: sends HELLO/RESULT, dispatches
+WELCOME/BYE fail-closed, reads gated fields behind check_versions."""
+
+from .protocol import (PROTOCOL_VERSION, ProtocolError, check_versions,
+                       recv_frame, send_frame)
+
+
+def run(sock, payload):
+    send_frame(sock, {"type": "HELLO", "proto": PROTOCOL_VERSION})
+    welcome = check_versions(recv_frame(sock))
+    resume = welcome.get("resume")
+    send_frame(sock, {"type": "RESULT", "payload": payload,
+                      "resume": resume})
+    while True:
+        message = recv_frame(sock)
+        mtype = message.get("type")
+        if mtype == "WELCOME":
+            continue
+        if mtype == "BYE":
+            return message.get("error")
+        raise ProtocolError(f"unexpected frame {mtype!r}")

@@ -13,6 +13,7 @@ Four layers, mirroring the engine's own structure:
 """
 
 import json
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -29,11 +30,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 load_builtin_rules()
 
-#: rule id -> fixture stem; PAR rules use whole fixture trees instead.
+#: rule id -> fixture stem; PAR/WIRE rules use whole fixture trees
+#: instead.
 FILE_RULES = ["DET101", "DET102", "DET103", "DET104", "DET105",
-              "SIM201", "SIM202", "SIM203", "SIM204"]
+              "SIM201", "SIM202", "SIM203", "SIM204",
+              "CON401", "CON402", "CON403", "CON404"]
 PAR_RULES = ["PAR301", "PAR302", "PAR303", "PAR304", "PAR305", "PAR306",
              "PAR307"]
+WIRE_RULES = ["WIRE501", "WIRE502", "WIRE503", "WIRE504"]
 
 
 def lint_paths(*paths, select=None, ignore=(), cache=None, root=None):
@@ -190,8 +194,203 @@ def test_par307_silent_without_protocol_in_lint_set(tmp_path):
 
 def test_at_least_eight_rules_have_fixture_coverage():
     # The acceptance bar: >= 8 distinct rules demonstrably catch their
-    # bad fixture.  9 file rules + 4 project rules are covered above.
-    assert len(FILE_RULES) + len(PAR_RULES) >= 8
+    # bad fixture.  13 file rules + 11 project rules are covered above.
+    assert len(FILE_RULES) + len(PAR_RULES) + len(WIRE_RULES) >= 8
+
+
+# ---------------------------------------------------------------------------
+# CON rule semantics
+# ---------------------------------------------------------------------------
+
+def test_con401_names_attr_and_contexts():
+    report = lint_paths(FIXTURES / "con401_bad.py", select=["CON401"])
+    assert len(report.violations) == 1
+    msg = report.violations[0].message
+    assert "`Relay._frames`" in msg
+    assert "spawned thread" in msg and "main-thread" in msg
+
+
+def test_con401_silent_without_thread_entries(tmp_path):
+    # The same unguarded writes with no Thread(target=...) in the
+    # module are single-threaded code, not a race.
+    mod = _write(tmp_path, "mod.py", (
+        "class Box:\n"
+        "    def __init__(self):\n"
+        "        self._items = []\n"
+        "    def put(self, x):\n"
+        "        self._items.append(x)\n"
+        "    def drain(self):\n"
+        "        out = list(self._items)\n"
+        "        self._items = []\n"
+        "        return out\n"))
+    assert lint_paths(mod, select=["CON401"]).violations == []
+
+
+def test_con401_different_locks_are_not_a_common_guard(tmp_path):
+    mod = _write(tmp_path, "mod.py", (
+        "import threading\n"
+        "class Pair:\n"
+        "    def __init__(self):\n"
+        "        self._a_lock = threading.Lock()\n"
+        "        self._b_lock = threading.Lock()\n"
+        "        self._items = []\n"
+        "        self._t = threading.Thread(target=self._pump)\n"
+        "    def _pump(self):\n"
+        "        with self._a_lock:\n"
+        "            self._items.append(1)\n"
+        "    def drain(self):\n"
+        "        with self._b_lock:\n"
+        "            self._items = []\n"))
+    report = lint_paths(mod, select=["CON401"])
+    assert len(report.violations) == 1
+    assert "no single lock covers" in report.violations[0].message
+
+
+def test_con402_flags_sleep_and_socket_send_under_lock():
+    report = lint_paths(FIXTURES / "con402_bad.py", select=["CON402"])
+    messages = "\n".join(v.message for v in report.violations)
+    assert "`time.sleep()`" in messages
+    assert "sendall" in messages
+    assert len(report.violations) == 2
+
+
+def test_con403_names_the_lock():
+    report = lint_paths(FIXTURES / "con403_bad.py", select=["CON403"])
+    assert len(report.violations) == 1
+    assert "_registry_lock.acquire()" in report.violations[0].message
+
+
+def test_con404_silent_without_a_pool(tmp_path):
+    # A daemon thread mutating module state is only CON404's business
+    # when the module also forks a pool.
+    mod = _write(tmp_path, "mod.py", (
+        "import threading\n"
+        "_STATE = {}\n"
+        "def _watch():\n"
+        "    _STATE['x'] = 1\n"
+        "def start():\n"
+        "    threading.Thread(target=_watch, daemon=True).start()\n"))
+    assert lint_paths(mod, select=["CON404"]).violations == []
+
+
+# ---------------------------------------------------------------------------
+# WIRE trees
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("tree,rule", [("wire501_bad", "WIRE501"),
+                                       ("wire502_bad", "WIRE502"),
+                                       ("wire503_bad", "WIRE503"),
+                                       ("wire504_bad", "WIRE504")])
+def test_wire_bad_tree_triggers_exactly_its_rule(tree, rule):
+    report = lint_paths(FIXTURES / tree, root=FIXTURES / tree)
+    assert report.violations
+    assert {v.rule for v in report.violations} == {rule}
+
+
+def test_wire_good_tree_is_clean():
+    report = lint_paths(FIXTURES / "wire_good",
+                        root=FIXTURES / "wire_good")
+    assert report.violations == []
+
+
+def test_wire501_names_the_orphan_frame_type():
+    report = lint_paths(FIXTURES / "wire501_bad",
+                        root=FIXTURES / "wire501_bad", select=["WIRE501"])
+    messages = "\n".join(v.message for v in report.violations)
+    assert "'PING'" in messages
+    assert "never dispatches" in messages        # sent but unhandled
+    assert "no dispatch arm in either" in messages  # vocab orphan
+    assert len(report.violations) == 2
+
+
+def test_wire502_names_the_function_and_types():
+    report = lint_paths(FIXTURES / "wire502_bad",
+                        root=FIXTURES / "wire502_bad", select=["WIRE502"])
+    assert len(report.violations) == 1
+    msg = report.violations[0].message
+    assert "`run`" in msg and "BYE" in msg and "WELCOME" in msg
+
+
+def test_wire503_catches_unvalidated_path_and_validator_clears_it():
+    report = lint_paths(FIXTURES / "wire503_bad",
+                        root=FIXTURES / "wire503_bad", select=["WIRE503"])
+    assert len(report.violations) == 1
+    assert "filesystem" in report.violations[0].message
+    # The good tree differs only by routing through valid_key().
+    clean = lint_paths(FIXTURES / "wire_good",
+                       root=FIXTURES / "wire_good", select=["WIRE503"])
+    assert clean.violations == []
+
+
+def test_wire504_names_field_and_version():
+    report = lint_paths(FIXTURES / "wire504_bad",
+                        root=FIXTURES / "wire504_bad", select=["WIRE504"])
+    assert len(report.violations) == 1
+    msg = report.violations[0].message
+    assert "'resume'" in msg and "protocol v2" in msg
+
+
+def test_wire_rules_silent_without_both_endpoints(tmp_path):
+    # WIRE501 needs protocol + worker + coordinator in the lint set;
+    # a protocol-only run must not produce phantom duality findings.
+    report = lint_paths(
+        FIXTURES / "wire501_bad" / "repro" / "exp" / "protocol.py",
+        root=FIXTURES / "wire501_bad", select=["WIRE"])
+    assert report.violations == []
+
+
+def test_deleting_a_coordinator_handler_breaks_the_gate(tmp_path):
+    """Acceptance criterion: removing any `_handle` dispatch branch in
+    backends/socket.py makes `python -m repro.lint` exit nonzero."""
+    exp = tmp_path / "repro" / "exp"
+    (exp / "backends").mkdir(parents=True)
+    real = REPO_ROOT / "src" / "repro" / "exp"
+    (exp / "protocol.py").write_text(
+        (real / "protocol.py").read_text())
+    (exp / "worker.py").write_text((real / "worker.py").read_text())
+    # Renaming the comparison constant is equivalent to deleting the
+    # HEARTBEAT dispatch branch: the arm no longer matches the frame.
+    coord = (real / "backends" / "socket.py").read_text()
+    assert '== "HEARTBEAT"' in coord
+    (exp / "backends" / "socket.py").write_text(
+        coord.replace('== "HEARTBEAT"', '== "HEARTBEAT_X"'))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(tmp_path)],
+        capture_output=True, text=True, cwd=tmp_path,
+        env=_pythonpath_env())
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "WIRE501" in proc.stdout
+
+
+def test_deleting_a_worker_handler_breaks_the_gate(tmp_path):
+    """Acceptance criterion, worker side: removing the CACHE handler
+    from worker.py trips WIRE501 on the coordinator's sends."""
+    exp = tmp_path / "repro" / "exp"
+    (exp / "backends").mkdir(parents=True)
+    real = REPO_ROOT / "src" / "repro" / "exp"
+    (exp / "protocol.py").write_text(
+        (real / "protocol.py").read_text())
+    (exp / "backends" / "socket.py").write_text(
+        (real / "backends" / "socket.py").read_text())
+    worker = (real / "worker.py").read_text()
+    assert '== "CACHE"' in worker
+    (exp / "worker.py").write_text(
+        worker.replace('== "CACHE"', '== "CACHE_X"'))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(tmp_path)],
+        capture_output=True, text=True, cwd=tmp_path,
+        env=_pythonpath_env())
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "WIRE501" in proc.stdout
+
+
+def _pythonpath_env():
+    import os
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    return env
 
 
 # ---------------------------------------------------------------------------
@@ -261,6 +460,44 @@ def test_multi_rule_suppression(tmp_path):
         "x = (time.time(), uuid.uuid4())"
         "  # repro-lint: disable=DET101,DET102 -- fixture exercising both\n"))
     assert lint_paths(path).violations == []
+
+
+def test_file_and_line_pragmas_coexist(tmp_path):
+    # A file-wide disable and a same-line disable for a *different*
+    # rule must compose: neither widens or cancels the other.
+    path = _write(tmp_path, "mod.py", (
+        "# repro-lint: disable-file=DET101 -- bench module, wall clock ok\n"
+        "import time, uuid\n"
+        "t = time.time()\n"
+        "u = uuid.uuid4()  # repro-lint: disable=DET102 -- probe id\n"
+        "v = uuid.uuid4()\n"))
+    report = lint_paths(path)
+    assert [(v.rule, v.line) for v in report.violations] == [("DET102", 5)]
+
+
+def test_unknown_rule_in_file_pragma_reports_lnt002(tmp_path):
+    path = _write(tmp_path, "mod.py", (
+        "# repro-lint: disable-file=NOPE999 -- typo'd family\n"
+        "import time\n"
+        "t = time.time()\n"))
+    report = lint_paths(path)
+    assert {v.rule for v in report.violations} == {"LNT002", "DET101"}
+
+
+def test_project_rule_suppressed_from_its_anchor_file(tmp_path):
+    # Project-scope findings honour suppressions in the file the
+    # violation anchors to, same as file-scope rules.
+    tree = tmp_path / "wire502"
+    shutil.copytree(FIXTURES / "wire502_bad", tree)
+    worker = tree / "repro" / "exp" / "worker.py"
+    text = worker.read_text()
+    assert "def run(" in text
+    worker.write_text(text.replace(
+        "def run(",
+        "# repro-lint: disable=WIRE502 -- fall-through is this "
+        "fixture's point\ndef run(", 1))
+    report = lint_paths(tree, root=tree, select=["WIRE502"])
+    assert report.violations == []
 
 
 def test_syntax_error_reported_as_lnt003(tmp_path):
@@ -336,7 +573,8 @@ def test_cli_list_rules(tmp_path):
         [sys.executable, "-m", "repro.lint", "--list-rules"],
         capture_output=True, text=True, cwd=REPO_ROOT)
     assert proc.returncode == 0
-    for rid in FILE_RULES + PAR_RULES + ["LNT001", "LNT002", "LNT003"]:
+    for rid in (FILE_RULES + PAR_RULES + WIRE_RULES
+                + ["LNT001", "LNT002", "LNT003"]):
         assert rid in proc.stdout
 
 
@@ -387,11 +625,160 @@ def test_violation_round_trip():
 # the gate itself
 # ---------------------------------------------------------------------------
 
+# ---------------------------------------------------------------------------
+# SARIF output
+# ---------------------------------------------------------------------------
+
+#: Structural subset of the SARIF 2.1.0 schema covering everything the
+#: renderer emits.  The full schema is ~200 KB; this pins the invariants
+#: code-scanning upload actually relies on.
+SARIF_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "columnKind": {"enum": ["utf16CodeUnits",
+                                            "unicodeCodePoints"]},
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {"driver": {
+                            "type": "object",
+                            "required": ["name", "rules"],
+                            "properties": {"rules": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["id", "name",
+                                                 "shortDescription"],
+                                    "properties": {"shortDescription": {
+                                        "type": "object",
+                                        "required": ["text"],
+                                    }},
+                                },
+                            }},
+                        }},
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "level", "message",
+                                         "locations"],
+                            "properties": {
+                                "level": {"enum": ["none", "note",
+                                                   "warning", "error"]},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {"physicalLocation": {
+                                            "type": "object",
+                                            "required": ["artifactLocation",
+                                                         "region"],
+                                            "properties": {"region": {
+                                                "type": "object",
+                                                "required": ["startLine"],
+                                                "properties": {
+                                                    "startLine": {
+                                                        "type": "integer",
+                                                        "minimum": 1},
+                                                    "startColumn": {
+                                                        "type": "integer",
+                                                        "minimum": 1},
+                                                },
+                                            }},
+                                        }},
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _lint_cli(*argv, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        capture_output=True, text=True, cwd=cwd)
+
+
+def test_sarif_output_validates_against_schema(tmp_path):
+    import jsonschema
+    proc = _lint_cli(str(FIXTURES / "det101_bad.py"), "--format", "sarif")
+    assert proc.returncode == 1
+    doc = json.loads(proc.stdout)
+    jsonschema.validate(doc, SARIF_SCHEMA)
+    run = doc["runs"][0]
+    # ruleIndex must point at the matching driver rule for every result.
+    rules = run["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == list(RULES)
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+    # Columns are 1-based in SARIF; the engine reports 0-based cols.
+    json_proc = _lint_cli(str(FIXTURES / "det101_bad.py"),
+                          "--format", "json")
+    cols = [v["col"] for v in json.loads(json_proc.stdout)["violations"]]
+    sarif_cols = [r["locations"][0]["physicalLocation"]["region"]
+                  ["startColumn"] for r in run["results"]]
+    assert sarif_cols == [c + 1 for c in cols]
+
+
+def test_sarif_clean_run_still_lists_all_rules(tmp_path):
+    clean = _write(tmp_path, "clean.py", "x = 1\n")
+    proc = _lint_cli(str(clean), "--format", "sarif")
+    assert proc.returncode == 0
+    doc = json.loads(proc.stdout)
+    run = doc["runs"][0]
+    assert run["results"] == []
+    assert len(run["tool"]["driver"]["rules"]) == len(RULES)
+
+
+# ---------------------------------------------------------------------------
+# --jobs parallelism
+# ---------------------------------------------------------------------------
+
+def test_jobs_output_is_byte_identical_to_serial():
+    """Acceptance criterion: ``--jobs N`` may not reorder or alter the
+    report relative to the serial run."""
+    argv = (str(FIXTURES / "con401_bad.py"),
+            str(FIXTURES / "con402_bad.py"),
+            str(FIXTURES / "det101_bad.py"),
+            str(FIXTURES / "wire502_bad"),
+            "--format", "json")
+    serial = _lint_cli(*argv, "--jobs", "1")
+    pooled = _lint_cli(*argv, "--jobs", "2")
+    assert serial.returncode == 1, serial.stderr
+    assert pooled.returncode == 1, pooled.stderr
+    assert serial.stdout == pooled.stdout
+
+
+def test_jobs_rejects_nonpositive():
+    proc = _lint_cli(str(FIXTURES / "det101_bad.py"), "--jobs", "0")
+    assert proc.returncode == 2
+
+
 def test_repo_tree_lints_clean():
     """The merged tree must satisfy its own gate (acceptance criterion)."""
     report = lint_paths(REPO_ROOT / "src", REPO_ROOT / "tools",
-                        root=REPO_ROOT)
+                        REPO_ROOT / "benchmarks", root=REPO_ROOT)
     assert report.violations == [], "\n".join(
         f"{v.path}:{v.line}: {v.rule} {v.message}"
         for v in report.violations)
-    assert report.files_checked > 80
+    assert report.files_checked > 100
